@@ -1,0 +1,33 @@
+# Convenience targets for the UnivMon reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick results examples lint clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+test-out:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+	$(PYTHON) benchmarks/collect_results.py
+
+bench-quick:
+	REPRO_BENCH_QUICK=1 REPRO_BENCH_RUNS=4 \
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+results:
+	$(PYTHON) benchmarks/collect_results.py
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
+	       .hypothesis .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

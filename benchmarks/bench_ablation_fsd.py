@@ -1,0 +1,70 @@
+"""ABL-FSD — flow size distribution: MRAC accuracy vs counter memory.
+
+The intro's flow-size-distribution metric [29], measured: WMRD of the
+MRAC EM estimate against the exact distribution over a counter-array
+sweep, with the raw (collision-corrupted) counter histogram as the
+no-inference baseline.  Expected shape: EM beats the raw histogram at
+every load factor, and both converge as the array grows (load factor
+-> 0 means no collisions to undo).
+"""
+
+from conftest import QUICK, RUNS, workload, write_result
+
+import numpy as np
+
+from repro.dataplane.keys import src_ip_key
+from repro.dataplane.trace import generate_trace
+from repro.eval.groundtruth import GroundTruth
+from repro.eval.metrics import wmrd
+from repro.eval.runner import format_table, run_sweep
+from repro.sketches.mrac import MRACSketch
+
+COUNTERS = (1024, 4096, 16384) if QUICK else (1024, 2048, 4096, 8192, 16384)
+MAX_SIZE = 40
+
+
+def _trial_factory(spec):
+    def trial(counters: float, seed: int):
+        trace = generate_trace(spec.epoch_config(seed))
+        keys = trace.key_array(src_ip_key)
+        truth = GroundTruth(trace, src_ip_key)
+        true_phi = truth.flow_size_distribution(MAX_SIZE)
+
+        sketch = MRACSketch(counters=int(counters), seed=seed,
+                            max_size=MAX_SIZE, em_iterations=15)
+        sketch.update_array(keys)
+        phi = sketch.estimate_distribution()
+        raw = np.zeros(MAX_SIZE + 1)
+        for value, count in sketch.observed_histogram().items():
+            raw[min(value, MAX_SIZE)] += count
+
+        return {
+            "em_wmrd": wmrd(phi[1:], true_phi[1:]),
+            "raw_wmrd": wmrd(raw[1:], true_phi[1:]),
+            "load_factor": sketch.load_factor(),
+            "memory_kb": sketch.memory_bytes() / 1024.0,
+        }
+    return trial
+
+
+def test_ablation_flow_size_distribution(benchmark):
+    runs = max(5, RUNS // 4)
+    points = benchmark.pedantic(
+        run_sweep, args=(COUNTERS, _trial_factory(workload())),
+        kwargs=dict(runs=runs), rounds=1, iterations=1)
+    table = format_table(
+        points, ["em_wmrd", "raw_wmrd", "load_factor", "memory_kb"],
+        x_label="counters",
+        title=f"Ablation — flow size distribution via MRAC ({runs} runs)")
+    write_result("ablation_fsd.txt", table, points,
+                 ["em_wmrd", "raw_wmrd"], x_label="counters")
+
+    for point in points:
+        # EM must beat the raw histogram wherever collisions exist.
+        if point.metrics["load_factor"].median > 0.2:
+            assert point.metrics["em_wmrd"].median < \
+                point.metrics["raw_wmrd"].median
+    # And the EM error must shrink as memory grows.
+    assert points[-1].metrics["em_wmrd"].median < \
+        points[0].metrics["em_wmrd"].median
+    assert points[-1].metrics["em_wmrd"].median < 0.25

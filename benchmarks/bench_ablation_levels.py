@@ -1,0 +1,35 @@
+"""ABL-LEVELS — G-sum accuracy vs the number of sampling levels.
+
+DESIGN.md design choice 1: the paper prescribes log(n) levels.  This
+ablation shows why: with too few levels the deepest substream holds more
+distinct keys than its heap, biasing Algorithm 2 for "flat" statistics
+(F0), while past ~log2(n/k) extra levels only add memory.
+"""
+
+from conftest import QUICK, RUNS, workload, write_result
+
+from repro.eval.experiments import ablation_levels
+from repro.eval.runner import format_table
+
+LEVELS = (2, 4, 6, 8, 10, 12) if not QUICK else (2, 6, 10)
+
+
+def test_ablation_levels(benchmark):
+    runs = max(5, RUNS // 2)
+    points = benchmark.pedantic(
+        ablation_levels,
+        kwargs=dict(level_counts=LEVELS, runs=runs, workload=workload()),
+        rounds=1, iterations=1)
+    table = format_table(points, ["f0_err", "entropy_err", "memory_kb"],
+                         x_label="levels",
+                         title=f"Ablation — sampling levels ({runs} runs)")
+    write_result("ablation_levels.txt", table, points,
+                 ["f0_err", "entropy_err"], x_label="levels",
+                 log_x=False)
+
+    few, many = points[0].metrics, points[-1].metrics
+    # F0 needs enough levels; the error must drop substantially.
+    assert many["f0_err"].median < few["f0_err"].median
+    assert many["f0_err"].median < 0.3
+    # Entropy is heavy-hitter-dominated and tolerant of few levels.
+    assert many["entropy_err"].median < 0.1

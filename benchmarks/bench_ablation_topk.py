@@ -1,0 +1,32 @@
+"""ABL-TOPK — G-sum accuracy vs per-level heap size k.
+
+DESIGN.md design choice 2: Algorithm 2 only sums over the tracked
+``Q_j`` sets, so k controls the truncation error of the recursion (and
+the control-plane state).  Expected: error shrinks as k grows, with
+diminishing returns once the deepest substreams fit entirely.
+"""
+
+from conftest import QUICK, RUNS, workload, write_result
+
+from repro.eval.experiments import ablation_heap_size
+from repro.eval.runner import format_table
+
+HEAPS = (8, 16, 32, 64, 128) if not QUICK else (8, 32, 128)
+
+
+def test_ablation_heap_size(benchmark):
+    runs = max(5, RUNS // 2)
+    points = benchmark.pedantic(
+        ablation_heap_size,
+        kwargs=dict(heap_sizes=HEAPS, runs=runs, workload=workload()),
+        rounds=1, iterations=1)
+    table = format_table(points, ["f0_err", "entropy_err", "memory_kb"],
+                         x_label="heap_size",
+                         title=f"Ablation — per-level top-k ({runs} runs)")
+    write_result("ablation_topk.txt", table, points,
+                 ["f0_err", "entropy_err"], x_label="heap_size",
+                 log_x=False)
+
+    small, large = points[0].metrics, points[-1].metrics
+    assert large["f0_err"].median <= small["f0_err"].median + 0.05
+    assert large["entropy_err"].median < 0.1

@@ -1,0 +1,37 @@
+"""FIG4 — Heavy hitters: FP/FN vs memory, UnivMon vs OpenSketch.
+
+Regenerates Figure 4's series (alpha = 0.5% of traffic, src-IP key,
+median ± std over independent runs) and checks the paper's shape: both
+systems reach low error at the top of the memory sweep, with OpenSketch
+never decisively better once past ~1 MB.
+"""
+
+from conftest import RUNS, memory_sweep, workload, write_result
+
+from repro.eval.experiments import fig4_heavy_hitters
+from repro.eval.runner import format_table
+
+METRICS = ["univmon_fp", "univmon_fn", "opensketch_fp", "opensketch_fn"]
+
+
+def test_fig4_heavy_hitters(benchmark):
+    points = benchmark.pedantic(
+        fig4_heavy_hitters,
+        kwargs=dict(memory_kb=memory_sweep(), runs=RUNS,
+                    workload=workload(), alpha=0.005),
+        rounds=1, iterations=1)
+    table = format_table(
+        points, METRICS,
+        title=f"Figure 4 — heavy hitters (alpha=0.5%, {RUNS} runs)")
+    write_result("fig4_heavy_hitters.txt", table, points, METRICS)
+
+    top = points[-1].metrics
+    # Shape check 1: at the largest memory both systems are accurate.
+    assert top["univmon_fn"].median <= 0.1
+    assert top["univmon_fp"].median <= 0.1
+    assert top["opensketch_fn"].median <= 0.1
+    # Shape check 2: error is non-increasing-ish across the sweep
+    # (compare first vs last point).
+    first = points[0].metrics
+    assert top["univmon_fp"].median <= first["univmon_fp"].median + 0.05
+    assert top["univmon_fn"].median <= first["univmon_fn"].median + 0.05

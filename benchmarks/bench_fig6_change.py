@@ -1,0 +1,37 @@
+"""FIG6 — Change detection: FP/FN vs memory (the figure UnivMon wins).
+
+Regenerates Figure 6's series: UnivMon's subtracted universal sketches
+vs the k-ary sketch baseline — which even receives the exact union of
+epoch keys as candidates.  Shape checks the paper's "interesting reversal
+of trends": UnivMon is at least as good as the custom sketch here.
+"""
+
+from conftest import RUNS, memory_sweep, workload, write_result
+
+from repro.eval.experiments import fig6_change_detection
+from repro.eval.runner import format_table
+
+METRICS = ["univmon_fp", "univmon_fn", "opensketch_fp", "opensketch_fn"]
+
+
+def test_fig6_change_detection(benchmark):
+    points = benchmark.pedantic(
+        fig6_change_detection,
+        kwargs=dict(memory_kb=memory_sweep(), runs=RUNS,
+                    workload=workload(), phi=0.03, num_changes=20,
+                    change_factor=10.0),
+        rounds=1, iterations=1)
+    table = format_table(
+        points, METRICS,
+        title=f"Figure 6 — heavy change detection (phi=0.03, {RUNS} runs)")
+    write_result("fig6_change.txt", table, points, METRICS)
+
+    top = points[-1].metrics
+    # Shape: UnivMon reaches low error.
+    assert top["univmon_fp"].median <= 0.15
+    assert top["univmon_fn"].median <= 0.15
+    # Shape: UnivMon's total error is no worse than the custom baseline
+    # at the top of the sweep (the paper's reversal).
+    univmon_total = top["univmon_fp"].median + top["univmon_fn"].median
+    baseline_total = top["opensketch_fp"].median + top["opensketch_fn"].median
+    assert univmon_total <= baseline_total + 0.05

@@ -1,0 +1,112 @@
+"""THRPT — wall-clock update throughput of every sketch's hot path.
+
+pytest-benchmark timings for the bulk (vectorised) update path over a
+shared 30k-packet trace, plus the per-packet scalar path on a sample.
+These are the numbers a deployment would size against; they complement
+the op-cost model with real CPython timings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.keys import src_ip_key
+from repro.core.universal import UniversalSketch
+from repro.opensketch.tasks import (
+    ChangeDetectionTask,
+    DDoSDetectionTask,
+    HeavyHitterTask,
+    HierarchicalHeavyHitterTask,
+)
+from repro.sketches.bitmap import LinearCounter
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.kary import KArySketch
+
+
+@pytest.fixture(scope="module")
+def keys(bench_trace):
+    return bench_trace.key_array(src_ip_key)
+
+
+def test_bulk_countsketch(benchmark, keys):
+    benchmark(lambda: CountSketch(rows=5, width=2048, seed=1)
+              .update_array(keys))
+
+
+def test_bulk_countmin(benchmark, keys):
+    benchmark(lambda: CountMinSketch(rows=3, width=2048, seed=1)
+              .update_array(keys))
+
+
+def test_bulk_kary(benchmark, keys):
+    benchmark(lambda: KArySketch(rows=5, width=2048, seed=1)
+              .update_array(keys))
+
+
+def test_bulk_bitmap(benchmark, keys):
+    benchmark(lambda: LinearCounter(bits=1 << 16, seed=1)
+              .update_array(keys))
+
+
+def test_bulk_hyperloglog(benchmark, keys):
+    benchmark(lambda: HyperLogLog(precision=12, seed=1).update_array(keys))
+
+
+def test_bulk_universal_sketch(benchmark, keys):
+    benchmark(lambda: UniversalSketch(levels=8, rows=5, width=2048,
+                                      heap_size=64, seed=1)
+              .update_array(keys))
+
+
+def test_bulk_opensketch_hh_task(benchmark, keys):
+    benchmark(lambda: HierarchicalHeavyHitterTask(rows=3, width=2048, seed=1)
+              .update_array(keys))
+
+
+def test_bulk_opensketch_suite(benchmark, keys):
+    """All three OpenSketch tasks back to back — the suite UnivMon
+    replaces with the single instance above."""
+    def run():
+        HierarchicalHeavyHitterTask(rows=3, width=2048, seed=1) \
+            .update_array(keys)
+        ChangeDetectionTask(rows=5, width=2048, seed=1).update_array(keys)
+        DDoSDetectionTask(method="bitmap", memory_bytes=1 << 13, seed=1) \
+            .update_array(keys)
+    benchmark(run)
+
+
+def test_scalar_universal_sketch(benchmark, keys):
+    """Per-packet path on a 2k sample (the non-vectorised deployment)."""
+    sample = keys[:2000].tolist()
+
+    def run():
+        u = UniversalSketch(levels=8, rows=5, width=2048, heap_size=64,
+                            seed=1)
+        for k in sample:
+            u.update(k)
+    benchmark(run)
+
+
+def test_scalar_cm_heap_task(benchmark, keys):
+    sample = keys[:2000].tolist()
+
+    def run():
+        t = HeavyHitterTask(rows=3, width=2048, seed=1)
+        for k in sample:
+            t.update(k)
+    benchmark(run)
+
+
+def test_control_plane_gsum_estimation(benchmark, keys):
+    """Offline cost of running Algorithm 2 for all four tasks."""
+    u = UniversalSketch(levels=8, rows=5, width=2048, heap_size=64, seed=1)
+    u.update_array(keys)
+
+    def estimate_all():
+        u.heavy_hitters(0.005)
+        u.cardinality()
+        u.entropy()
+        from repro.core.gsum import estimate_l1
+        estimate_l1(u)
+    benchmark(estimate_all)

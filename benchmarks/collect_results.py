@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Splice the latest benchmark tables into EXPERIMENTS.md.
+
+After ``pytest benchmarks/ --benchmark-only`` has written its tables to
+``benchmarks/results/``, run
+
+    python benchmarks/collect_results.py
+
+to replace each ``<!-- RESULT:name -->`` marker in EXPERIMENTS.md with a
+fenced code block holding the corresponding table.  Markers survive the
+splice (they are kept on the line above the block and any previously
+spliced block is replaced), so the script is idempotent.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = Path(__file__).resolve().parent / "results"
+EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+
+#: marker name -> results file
+SOURCES = {
+    "fig4": "fig4_heavy_hitters.txt",
+    "fig5": "fig5_ddos.txt",
+    "fig6": "fig6_change.txt",
+    "fig7": "fig7_entropy.txt",
+    "overhead": "overhead_cycles.txt",
+    "ablation-levels": "ablation_levels.txt",
+    "ablation-topk": "ablation_topk.txt",
+    "ablation-sampling": "ablation_sampling.txt",
+    "ablation-fsd": "ablation_fsd.txt",
+}
+
+_MARKER = re.compile(
+    r"<!-- RESULT:(?P<name>[\w-]+) -->(?:\n```text\n.*?\n```)?",
+    re.DOTALL)
+
+
+def splice(text: str) -> str:
+    def replace(match: re.Match) -> str:
+        name = match.group("name")
+        source = SOURCES.get(name)
+        if source is None:
+            return match.group(0)
+        path = RESULTS / source
+        if not path.exists():
+            return (f"<!-- RESULT:{name} -->\n```text\n"
+                    f"(run pytest benchmarks/ --benchmark-only to "
+                    f"generate {source})\n```")
+        table = path.read_text().rstrip("\n")
+        return f"<!-- RESULT:{name} -->\n```text\n{table}\n```"
+
+    return _MARKER.sub(replace, text)
+
+
+def main() -> int:
+    if not EXPERIMENTS.exists():
+        print("EXPERIMENTS.md not found", file=sys.stderr)
+        return 1
+    original = EXPERIMENTS.read_text()
+    updated = splice(original)
+    EXPERIMENTS.write_text(updated)
+    spliced = sum(1 for name, src in SOURCES.items()
+                  if (RESULTS / src).exists())
+    print(f"spliced {spliced}/{len(SOURCES)} result tables into "
+          f"{EXPERIMENTS}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

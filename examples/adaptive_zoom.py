@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Adaptive zoom-in monitoring (§5 "Dynamic monitoring adjustments").
+
+Epoch 1 watches source /8 prefixes; when one region turns hot the
+monitor refines it to /16, then /24 — the data-plane primitive (the
+universal sketch) never changes, only the key function does.  A sliding
+three-epoch window (§5's sliding-window direction) is kept alongside for
+"recent history" queries.
+
+Run:  python examples/adaptive_zoom.py
+"""
+
+import numpy as np
+
+from repro import SyntheticTraceConfig, UniversalSketch, generate_trace
+from repro.core.windowed import SlidingWindowUniversalSketch
+from repro.dataplane.packet import format_ipv4
+from repro.dataplane.trace import Trace
+from repro.network.zoom import ZoomMonitor
+
+
+def epoch_trace(seed: int, hot_share: float) -> Trace:
+    """Background traffic plus a hot 11.22.0.0/16 region."""
+    base = generate_trace(SyntheticTraceConfig(
+        packets=20_000, flows=3_000, duration=5.0, seed=seed))
+    n_hot = int(len(base) * hot_share)
+    rng = np.random.default_rng(seed + 1000)
+    hot = Trace(
+        np.sort(rng.uniform(0, 5.0, size=n_hot)),
+        (0x0B160000 | rng.integers(0, 1 << 16, size=n_hot)).astype(np.uint32),
+        rng.integers(0x0A000000, 0xDF000000, size=n_hot, dtype=np.uint32),
+        rng.integers(1024, 65535, size=n_hot, dtype=np.uint16),
+        np.full(n_hot, 80, dtype=np.uint16),
+        np.full(n_hot, 6, dtype=np.uint8),
+    )
+    return Trace.concat([base, hot])
+
+
+def main() -> None:
+    factory = lambda: UniversalSketch(  # noqa: E731
+        levels=9, rows=5, width=1024, heap_size=64, seed=41)
+    zoom = ZoomMonitor(sketch_factory=factory, zoom_fraction=0.10)
+    window = SlidingWindowUniversalSketch(
+        window_epochs=3, levels=9, rows=5, width=1024, heap_size=64, seed=43)
+
+    for epoch_index in range(4):
+        trace = epoch_trace(seed=epoch_index, hot_share=0.35)
+        sealed = zoom.process_epoch(trace)
+        window.update_array(zoom.keys_for(trace))
+        window.advance_epoch()
+
+        print(f"epoch {epoch_index}: {sealed.total_weight} packets")
+        print("  hot keys at current granularity:")
+        for key, weight in sealed.heavy_hitters(0.10)[:4]:
+            print(f"    {format_ipv4(int(key)):15s} est {weight:7.0f}")
+        regions = zoom.monitored_regions()
+        if regions:
+            rendered = ", ".join(f"{format_ipv4(v)}/{l}" for v, l in regions)
+            print(f"  refined regions for next epoch: {rendered}")
+        else:
+            print("  no refined regions (coarse /8 everywhere)")
+
+    print("\nsliding 3-epoch window (merged universal sketch):")
+    print(f"  packets in window : {window.window_sketch().total_weight}")
+    print(f"  distinct keys     : {window.cardinality():.0f}")
+    print(f"  entropy           : {window.entropy():.3f} bits")
+    print("\nexpected: the hot 11.22.0.0/16 is found at /8 in epoch 0, "
+          "refined to /16, then /24 keys appear in later epochs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""DDoS victim detection with the controller poll loop (§3.4 "DDoS").
+
+Simulates 30 seconds of traffic with a DDoS burst in the middle: 6000
+spoofed sources flood one destination during seconds 10-20.  The
+controller polls a universal sketch every 5 seconds and flags epochs
+whose estimated distinct-source count (G-sum with g(x) = x**0) exceeds
+the threshold k.
+
+Run:  python examples/ddos_detection.py
+"""
+
+from repro import (
+    CardinalityApp,
+    Controller,
+    DDoSApp,
+    SyntheticTraceConfig,
+    UniversalSketch,
+    generate_trace,
+)
+from repro.dataplane.keys import src_ip_key
+from repro.dataplane.trace import DDoSEvent
+
+THRESHOLD_K = 4_500  # alarm when an epoch sees more distinct sources
+# (baseline epochs carry ~2300 distinct sources, attack epochs ~6800)
+
+
+def main() -> None:
+    trace = generate_trace(SyntheticTraceConfig(
+        packets=90_000, flows=5_000, zipf_skew=1.1, duration=30.0, seed=3,
+        ddos_events=(
+            DDoSEvent(start=10.0, end=20.0, num_sources=6_000,
+                      packets_per_source=2),
+        )))
+
+    controller = Controller(
+        sketch_factory=lambda: UniversalSketch.for_memory_budget(
+            512 * 1024, levels=9, rows=5, heap_size=64, seed=11),
+        key_function=src_ip_key,
+        epoch_seconds=5.0)
+    controller.register(DDoSApp(threshold_k=THRESHOLD_K))
+    controller.register(CardinalityApp())
+
+    print(f"monitoring 30s of traffic, k = {THRESHOLD_K} distinct sources\n")
+    print(f"{'epoch':>5} {'window':>14} {'pkts':>7} "
+          f"{'est distinct':>12} {'true':>7}  alarm")
+    for report, epoch_trace in zip(controller.run_trace(trace),
+                                   trace.epochs(5.0)):
+        ddos = report["ddos"]
+        true_distinct = epoch_trace.distinct(src_ip_key)
+        alarm = "  *** DDoS ***" if ddos["victim"] else ""
+        window = f"[{report.start_time:4.1f}, {report.end_time:4.1f}]s"
+        print(f"{report.epoch_index:>5} {window:>14} {report.packets:>7} "
+              f"{ddos['distinct_sources']:>12.0f} {true_distinct:>7}{alarm}")
+
+    print("\nepochs 2-3 (the attack window) should carry the alarm.")
+
+
+if __name__ == "__main__":
+    main()

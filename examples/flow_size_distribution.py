@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Flow size distribution from a counter array (intro metric [29]).
+
+MRAC (Kumar et al.): the data plane is just ``m`` counters and one hash;
+an offline EM de-convolves hash collisions from the counter-value
+histogram to recover "how many flows sent exactly s packets".  This
+example compares the EM estimate against the raw (collision-corrupted)
+histogram and the exact distribution, at a load factor where the
+difference is visible.
+
+Run:  python examples/flow_size_distribution.py
+"""
+
+import numpy as np
+
+from repro import SyntheticTraceConfig, generate_trace
+from repro.dataplane.keys import src_ip_key
+from repro.eval.groundtruth import GroundTruth
+from repro.eval.metrics import wmrd
+from repro.sketches.mrac import MRACSketch
+
+MAX_SIZE = 30
+
+
+def main() -> None:
+    trace = generate_trace(SyntheticTraceConfig(
+        packets=25_000, flows=4_000, zipf_skew=1.1, duration=5.0, seed=13))
+    truth = GroundTruth(trace, src_ip_key)
+    true_phi = truth.flow_size_distribution(MAX_SIZE)
+
+    sketch = MRACSketch(counters=4096, seed=17, max_size=MAX_SIZE,
+                        em_iterations=20)
+    sketch.update_array(trace.key_array(src_ip_key))
+    print(f"{truth.distinct} flows hashed into {sketch.m} counters "
+          f"(load factor {sketch.load_factor():.2f}, "
+          f"{sketch.memory_bytes() / 1024:.0f} KB)\n")
+
+    phi = sketch.estimate_distribution()
+    raw = np.zeros(MAX_SIZE + 1)
+    for value, count in sketch.observed_histogram().items():
+        raw[min(value, MAX_SIZE)] += count
+
+    print(f"{'size':>4} {'true':>7} {'raw hist':>9} {'EM est':>8}")
+    for s in list(range(1, 9)) + [10, 15, 20]:
+        print(f"{s:>4} {true_phi[s]:>7.0f} {raw[s]:>9.0f} {phi[s]:>8.0f}")
+
+    print(f"\nWMRD  raw histogram vs truth : "
+          f"{wmrd(raw[1:], true_phi[1:]):.3f}")
+    print(f"WMRD  EM estimate vs truth   : "
+          f"{wmrd(phi[1:], true_phi[1:]):.3f}   (lower is better)")
+    print(f"flow count: true {truth.distinct}, "
+          f"EM {sketch.estimate_flow_count():.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Hierarchical heavy hitters (§5 "Multidimensional data").
+
+A single elephant host, a diffuse hot /16 (no single heavy host inside
+it), and background noise.  Plain heavy hitters see only the elephant;
+the hierarchical monitor — one universal sketch per prefix granularity —
+also surfaces the /16, and *discounting* keeps the report non-redundant
+(the elephant does not promote its ancestors).
+
+Run:  python examples/hierarchical_heavy_hitters.py
+"""
+
+import numpy as np
+
+from repro.controlplane.hhh import HierarchicalHeavyHitterMonitor
+from repro.dataplane.keys import src_ip_key
+from repro.dataplane.packet import format_ipv4
+from repro.dataplane.trace import Trace
+from repro.core.universal import UniversalSketch
+
+
+def build_trace() -> Trace:
+    rng = np.random.default_rng(7)
+    elephant = np.full(5_000, 0xC0A80164, dtype=np.uint32)   # 192.168.1.100
+    hot_subnet = (0x0B160000 | rng.integers(0, 1 << 16, size=5_000)) \
+        .astype(np.uint32)                                   # 11.22.0.0/16
+    noise = rng.integers(0x20000000, 0xDF000000, size=8_000,
+                         dtype=np.uint32)
+    src = np.concatenate([elephant, hot_subnet, noise])
+    rng.shuffle(src)
+    n = len(src)
+    return Trace(
+        np.linspace(0, 5.0, n), src,
+        rng.integers(0x0A000000, 0xDF000000, size=n, dtype=np.uint32),
+        rng.integers(1024, 65535, size=n, dtype=np.uint16),
+        np.full(n, 443, dtype=np.uint16),
+        np.full(n, 6, dtype=np.uint8),
+    )
+
+
+def main() -> None:
+    trace = build_trace()
+    factory = lambda: UniversalSketch(  # noqa: E731
+        levels=9, rows=5, width=2048, heap_size=64, seed=3)
+
+    # Plain (host-level) heavy hitters: only the elephant crosses 10%.
+    flat = factory()
+    flat.update_array(trace.key_array(src_ip_key))
+    print("flat heavy hitters (>10% of traffic):")
+    for key, weight in flat.heavy_hitters(0.10):
+        print(f"  {format_ipv4(int(key)):15s} est {weight:7.0f}")
+
+    # Hierarchical: the diffuse /16 appears too.
+    monitor = HierarchicalHeavyHitterMonitor(sketch_factory=factory)
+    monitor.process_trace(trace)
+    print(f"\nhierarchical heavy hitters (>10%), "
+          f"{monitor.memory_bytes() / 1024:.0f} KB across the ladder:")
+    for item in monitor.hierarchical_heavy_hitters(0.10):
+        print(f"  {item.cidr():20s} est {item.estimate:7.0f}   "
+              f"discounted {item.discounted:7.0f}")
+
+    print("\nexpected: 192.168.1.100/32 (the elephant) and 11.22.0.0/16 "
+          "(the diffuse subnet); no /8 survives discounting.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: one universal sketch, four monitoring tasks.
+
+Builds a synthetic 5-second backbone epoch, feeds it through a single
+:class:`~repro.core.universal.UniversalSketch`, and estimates heavy
+hitters, distinct sources, entropy, and total volume from that one
+structure — the paper's "RISC" pitch in ~40 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SyntheticTraceConfig, UniversalSketch, generate_trace
+from repro.core.gsum import estimate_l1
+from repro.dataplane.keys import src_ip_key
+from repro.dataplane.packet import format_ipv4
+from repro.eval.groundtruth import GroundTruth
+
+
+def main() -> None:
+    # --- a 5-second epoch of synthetic backbone traffic ---------------
+    trace = generate_trace(SyntheticTraceConfig(
+        packets=50_000, flows=8_000, zipf_skew=1.1, duration=5.0, seed=7))
+    print(f"trace: {len(trace)} packets, "
+          f"{trace.distinct(src_ip_key)} distinct sources")
+
+    # --- the data plane: ONE generic sketch ---------------------------
+    sketch = UniversalSketch.for_memory_budget(
+        512 * 1024,                       # 512 KB budget, like a switch SRAM slice
+        levels=UniversalSketch.levels_for(8_000),
+        rows=5, heap_size=64, seed=1)
+    sketch.update_array(trace.key_array(src_ip_key))
+    print(f"sketch: {sketch.num_levels + 1} Count Sketch levels, "
+          f"{sketch.memory_bytes() / 1024:.0f} KB")
+
+    # --- the control plane: many tasks, zero data-plane changes -------
+    truth = GroundTruth(trace, src_ip_key)
+
+    print("\nheavy hitters (> 0.5% of traffic):")
+    for key, estimate in sketch.heavy_hitters(0.005):
+        true = truth.frequency(key)
+        print(f"  {format_ipv4(key):15s}  est {estimate:8.0f}  true {true}")
+
+    distinct = sketch.cardinality()
+    print(f"\ndistinct sources : est {distinct:8.0f}   "
+          f"true {truth.distinct}")
+
+    entropy = sketch.entropy()
+    print(f"source entropy   : est {entropy:8.3f}   "
+          f"true {truth.entropy():.3f} bits")
+
+    volume = estimate_l1(sketch)
+    print(f"total volume (L1): est {volume:8.0f}   true {truth.total}")
+
+
+if __name__ == "__main__":
+    main()

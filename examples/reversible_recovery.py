@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Recovering *which* key changed, with a reversible sketch (§5
+"Reversibility").
+
+Small-memory sketches hash keys away; after detecting that *something*
+changed, operators want to know *what*.  The paper points at reversible
+hashing (Schweller et al.) as the answer.  This example sketches two
+epochs with a reversible sketch (modular hashing), subtracts them, and
+recovers the culprit IPs of the heavy changes from the difference
+sketch alone — no candidate list, no flow table.
+
+Run:  python examples/reversible_recovery.py
+"""
+
+import numpy as np
+
+from repro.dataplane.packet import format_ipv4
+from repro.sketches.reversible import ReversibleSketch
+
+CULPRITS = {
+    0xC0A80164: +8_000,   # 192.168.1.100 surges
+    0x0A141E28: -6_000,   # 10.20.30.40 goes dark
+}
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    background = rng.integers(0, 1 << 32, size=30_000, dtype=np.uint64)
+
+    epoch_a = ReversibleSketch(rows=5, chunk_bits=8,
+                               bucket_bits_per_chunk=3, seed=9)
+    epoch_b = ReversibleSketch(rows=5, chunk_bits=8,
+                               bucket_bits_per_chunk=3, seed=9)
+
+    # Shared background traffic in both epochs (slightly resampled).
+    epoch_a.update_array(background)
+    epoch_b.update_array(rng.permutation(background))
+    # Epoch A additionally carries the soon-to-vanish flow; epoch B the
+    # surge.
+    epoch_a.update(0x0A141E28, 6_000)
+    epoch_b.update(0x0A141E28, 0)
+    epoch_b.update(0xC0A80164, 8_000)
+
+    diff = epoch_b.subtract(epoch_a)
+    print(f"sketch: {diff.rows} rows x {diff.width} buckets "
+          f"({diff.memory_bytes() / 1024:.0f} KB), keys never stored\n")
+
+    print("recovered heavy-change keys (threshold |delta| >= 3000):")
+    for key, delta in diff.recover_heavy_keys(threshold=3000):
+        expected = CULPRITS.get(key)
+        verdict = (f"expected {expected:+d}" if expected is not None
+                   else "FALSE POSITIVE")
+        print(f"  {format_ipv4(key):15s} delta {delta:+9.0f}   [{verdict}]")
+
+    print("\nboth culprit addresses are recovered bit-for-bit from the\n"
+          "difference sketch.  (Modular hashing can admit rare aliases —\n"
+          "keys agreeing with a culprit's chunk hashes in every row; more\n"
+          "rows suppress them exponentially.)")
+
+
+if __name__ == "__main__":
+    main()

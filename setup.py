@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+legacy (non-PEP-517) editable install path works in offline environments
+where the ``wheel`` package is unavailable:
+
+    pip install -e . --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,350 @@
+"""Command-line interface: ``univmon <subcommand>``.
+
+Subcommands
+-----------
+- ``generate`` — write a synthetic trace (CSV or pcap).
+- ``run`` — monitor a trace with the UnivMon controller and print
+  per-epoch reports for the selected tasks.
+- ``experiment`` — regenerate one of the paper's figures/tables
+  (fig4 | fig5 | fig6 | fig7 | overhead | ablation-levels |
+  ablation-heap) as a text table (``--plot`` adds an ASCII chart).
+- ``agent`` — run a switch agent: replay a trace through a monitored
+  switch and serve its sketches over TCP (Figure 2's data plane).
+- ``poll`` — poll a running agent once and print the estimates
+  (Figure 2's control plane).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def _add_generate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("generate", help="generate a synthetic trace")
+    p.add_argument("--out", required=True, help="output path (.csv or .pcap)")
+    p.add_argument("--packets", type=int, default=100_000)
+    p.add_argument("--flows", type=int, default=10_000)
+    p.add_argument("--skew", type=float, default=1.1,
+                   help="Zipf exponent of flow sizes")
+    p.add_argument("--duration", type=float, default=60.0,
+                   help="trace length in seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ddos-at", type=float, default=None, metavar="T",
+                   help="inject a DDoS burst starting at T seconds")
+    p.add_argument("--ddos-sources", type=int, default=5000)
+
+
+def _add_run(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("run", help="monitor a trace with UnivMon")
+    p.add_argument("--trace", required=True, help="input .csv or .pcap trace")
+    p.add_argument("--epoch", type=float, default=5.0,
+                   help="polling interval in seconds")
+    p.add_argument("--tasks", default="hh,ddos,change,entropy",
+                   help="comma list of hh,ddos,change,entropy,cardinality")
+    p.add_argument("--alpha", type=float, default=0.005,
+                   help="heavy hitter threshold fraction")
+    p.add_argument("--ddos-k", type=int, default=5000,
+                   help="DDoS distinct-source threshold")
+    p.add_argument("--phi", type=float, default=0.05,
+                   help="heavy change threshold fraction")
+    p.add_argument("--memory-kb", type=int, default=512,
+                   help="sketch memory budget per epoch")
+    p.add_argument("--key", default="src_ip",
+                   choices=["src_ip", "dst_ip", "src_dst", "five_tuple"])
+
+
+def _add_experiment(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("experiment",
+                       help="regenerate a figure/table from the paper")
+    p.add_argument("name", choices=["fig4", "fig5", "fig6", "fig7",
+                                    "overhead", "ablation-levels",
+                                    "ablation-heap"])
+    p.add_argument("--runs", type=int, default=20,
+                   help="independent runs per point (paper: 20)")
+    p.add_argument("--quick", action="store_true",
+                   help="small workload + 5 runs, for a fast look")
+    p.add_argument("--plot", action="store_true",
+                   help="render the series as an ASCII chart too")
+
+
+def _add_agent(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("agent", help="serve a switch's sketches over TCP")
+    p.add_argument("--trace", required=True, help="trace to replay")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9099)
+    p.add_argument("--epoch", type=float, default=5.0,
+                   help="replay pacing: seconds of trace fed per epoch")
+    p.add_argument("--memory-kb", type=int, default=512)
+    p.add_argument("--speedup", type=float, default=0.0,
+                   help="replay pacing: 1 = capture rate, 10 = 10x "
+                        "faster, 0 = as fast as possible (default)")
+
+
+def _add_poll(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("poll", help="poll a running agent once")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9099)
+    p.add_argument("--program", default="univmon")
+    p.add_argument("--alpha", type=float, default=0.005)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="univmon",
+        description="UnivMon universal-streaming monitoring (HotNets'15 "
+                    "reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"univmon {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_generate(sub)
+    _add_run(sub)
+    _add_experiment(sub)
+    _add_agent(sub)
+    _add_poll(sub)
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------- #
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.dataplane.csvtrace import save_csv
+    from repro.dataplane.pcap import save_pcap
+    from repro.dataplane.trace import (DDoSEvent, SyntheticTraceConfig,
+                                       generate_trace)
+
+    events = ()
+    if args.ddos_at is not None:
+        events = (DDoSEvent(start=args.ddos_at,
+                            end=min(args.ddos_at + 5.0, args.duration),
+                            num_sources=args.ddos_sources),)
+    config = SyntheticTraceConfig(
+        packets=args.packets, flows=args.flows, zipf_skew=args.skew,
+        duration=args.duration, seed=args.seed, ddos_events=events)
+    trace = generate_trace(config)
+    if args.out.endswith(".pcap"):
+        save_pcap(trace, args.out)
+    else:
+        save_csv(trace, args.out)
+    print(f"wrote {len(trace)} packets ({trace.duration:.1f}s) to {args.out}")
+    return 0
+
+
+def _load_trace(path: str):
+    from repro.dataplane.csvtrace import load_csv
+    from repro.dataplane.pcap import load_pcap
+    if path.endswith(".pcap"):
+        return load_pcap(path)
+    return load_csv(path)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.controlplane import (CardinalityApp, ChangeDetectionApp,
+                                    Controller, DDoSApp, EntropyApp,
+                                    HeavyHitterApp)
+    from repro.dataplane.keys import KEY_FUNCTIONS
+    from repro.dataplane.packet import format_ipv4
+    from repro.core.universal import UniversalSketch
+
+    trace = _load_trace(args.trace)
+    key_function = KEY_FUNCTIONS[args.key]
+    budget = args.memory_kb * 1024
+    factory = lambda: UniversalSketch.for_memory_budget(  # noqa: E731
+        budget, levels=12, rows=5, heap_size=64, seed=1)
+    controller = Controller(sketch_factory=factory,
+                            key_function=key_function,
+                            epoch_seconds=args.epoch)
+    tasks = [t.strip() for t in args.tasks.split(",") if t.strip()]
+    for task in tasks:
+        if task == "hh":
+            controller.register(HeavyHitterApp(alpha=args.alpha))
+        elif task == "ddos":
+            controller.register(DDoSApp(threshold_k=args.ddos_k))
+        elif task == "change":
+            controller.register(ChangeDetectionApp(phi=args.phi))
+        elif task == "entropy":
+            controller.register(EntropyApp())
+        elif task == "cardinality":
+            controller.register(CardinalityApp())
+        else:
+            print(f"unknown task {task!r}", file=sys.stderr)
+            return 2
+
+    show_ip = key_function.reversible and args.key in ("src_ip", "dst_ip")
+    for report in controller.run_trace(trace):
+        print(f"epoch {report.epoch_index} "
+              f"[{report.start_time:.1f}s, {report.end_time:.1f}s] "
+              f"{report.packets} pkts")
+        for name, result in report.results.items():
+            if name == "heavy_hitters":
+                rendered = ", ".join(
+                    (format_ipv4(k) if show_ip else str(k))
+                    + f"={w:.0f}" for k, w in result["hitters"][:8])
+                print(f"  heavy_hitters(alpha={result['alpha']}): "
+                      f"{rendered or '(none)'}")
+            elif name == "ddos":
+                print(f"  ddos: distinct={result['distinct_sources']:.0f} "
+                      f"k={result['threshold_k']} "
+                      f"victim={result['victim']}")
+            elif name == "change":
+                rendered = ", ".join(
+                    (format_ipv4(k) if show_ip else str(k))
+                    + f"={w:+.0f}" for k, w in result["changes"][:8])
+                print(f"  change(phi={result.get('phi', '-')}): "
+                      f"D={result['total_change']:.0f} "
+                      f"{rendered or '(none)'}")
+            elif name == "entropy":
+                print(f"  entropy: {result['entropy']:.3f} bits")
+            elif name == "cardinality":
+                print(f"  cardinality: {result['distinct']:.0f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.eval import experiments as exp
+    from repro.eval.asciichart import chart_sweep
+    from repro.eval.runner import format_table
+
+    runs = 5 if args.quick else args.runs
+    workload = exp.WorkloadSpec(packets=10_000, flows=2_000) if args.quick \
+        else exp.DEFAULT_WORKLOAD
+    memory = (32, 128, 1024) if args.quick else exp.DEFAULT_MEMORY_KB
+
+    def emit(points, metrics, title, x_label="memory_kb", log_x=True):
+        print(format_table(points, metrics, x_label=x_label, title=title))
+        if args.plot:
+            print()
+            print(chart_sweep(points, metrics, x_label=x_label,
+                              title=title, log_x=log_x))
+
+    if args.name == "fig4":
+        points = exp.fig4_heavy_hitters(memory, runs=runs, workload=workload)
+        emit(points, ["univmon_fp", "univmon_fn",
+                      "opensketch_fp", "opensketch_fn"],
+             "Figure 4 — heavy hitters (alpha=0.5%)")
+    elif args.name == "fig5":
+        points = exp.fig5_ddos(memory, runs=runs, workload=workload)
+        emit(points, ["univmon_err", "opensketch_err",
+                      "univmon_detect_err", "opensketch_detect_err"],
+             "Figure 5 — DDoS (distinct sources)")
+    elif args.name == "fig6":
+        points = exp.fig6_change_detection(memory, runs=runs,
+                                           workload=workload)
+        emit(points, ["univmon_fp", "univmon_fn",
+                      "opensketch_fp", "opensketch_fn"],
+             "Figure 6 — change detection")
+    elif args.name == "fig7":
+        points = exp.fig7_entropy(memory, runs=runs, workload=workload)
+        emit(points, ["univmon_err", "sampling_err"],
+             "Figure 7 — entropy estimation")
+    elif args.name == "overhead":
+        result = exp.overhead_cycles(workload=workload,
+                                     epochs=3 if args.quick else 12)
+        print("Overhead (modelled cycles, Intel-PCM substitute)")
+        print(f"  packets processed:        {result.packets}")
+        print(f"  UnivMon (all tasks):      {result.univmon_cycles:.3e}")
+        print(f"  OpenSketch suite:         "
+              f"{result.opensketch_suite_cycles:.3e}")
+        for task, cycles in result.opensketch_per_task_cycles.items():
+            print(f"    {task:8s}                {cycles:.3e}")
+        print(f"  ratio (UnivMon/suite):    {result.ratio:.2f} "
+              f"(paper: 1.407e9/2.941e9 = 0.48)")
+    elif args.name == "ablation-levels":
+        points = exp.ablation_levels(runs=runs, workload=workload)
+        emit(points, ["f0_err", "entropy_err"],
+             "Ablation — sampling levels", x_label="levels", log_x=False)
+    elif args.name == "ablation-heap":
+        points = exp.ablation_heap_size(runs=runs, workload=workload)
+        emit(points, ["f0_err", "entropy_err"],
+             "Ablation — per-level top-k size", x_label="heap_size",
+             log_x=False)
+    return 0
+
+
+def _cmd_agent(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.controlplane.rpc import SwitchAgent
+    from repro.dataplane.keys import src_ip_key
+    from repro.dataplane.switch import MonitoredSwitch
+    from repro.core.universal import UniversalSketch
+
+    trace = _load_trace(args.trace)
+    budget = args.memory_kb * 1024
+    switch = MonitoredSwitch("agent")
+    switch.attach(
+        "univmon",
+        lambda: UniversalSketch.for_memory_budget(
+            budget, levels=12, rows=5, heap_size=64, seed=1),
+        src_ip_key)
+    agent = SwitchAgent(switch, host=args.host, port=args.port).start()
+    host, port = agent.address
+    print(f"switch agent on {host}:{port}; replaying "
+          f"{len(trace)} packets in {args.epoch:.0f}s epochs "
+          f"(poll with: univmon poll --host {host} --port {port})")
+    try:
+        from repro.dataplane.replay import TraceReplayer
+        replayer = TraceReplayer(trace, speedup=args.speedup,
+                                 chunk_seconds=args.epoch)
+
+        def feed(chunk):
+            switch.process_trace(chunk)
+            print(f"  fed {len(chunk)} packets "
+                  f"(total {switch.packets_seen})")
+
+        replayer.run(feed)
+        if replayer.max_lag > 0:
+            print(f"  (replay lagged the schedule by up to "
+                  f"{replayer.max_lag:.2f}s)")
+        print("trace exhausted; serving until interrupted (ctrl-c)")
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        agent.stop()
+    return 0
+
+
+def _cmd_poll(args: argparse.Namespace) -> int:
+    from repro.controlplane.rpc import RemoteSwitchClient
+    from repro.core.gsum import estimate_cardinality, estimate_entropy, g_core
+    from repro.dataplane.packet import format_ipv4
+
+    with RemoteSwitchClient(args.host, args.port) as client:
+        stats = client.stats()
+        sketch = client.poll(args.program)
+    print(f"agent stats: {stats}")
+    print(f"sealed epoch: {sketch.total_weight} packets, "
+          f"{sketch.memory_bytes() / 1024:.0f} KB sketch")
+    print(f"  distinct sources : {estimate_cardinality(sketch):.0f}")
+    print(f"  entropy          : {estimate_entropy(sketch):.3f} bits")
+    hitters = g_core(sketch, args.alpha)
+    rendered = ", ".join(f"{format_ipv4(int(k))}={w:.0f}"
+                         for k, w in hitters[:8])
+    print(f"  heavy hitters    : {rendered or '(none)'}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "agent":
+        return _cmd_agent(args)
+    if args.command == "poll":
+        return _cmd_poll(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""UnivMon's control plane: the poll loop and the estimation apps.
+
+The data plane collects one generic universal sketch; everything
+task-specific happens here, offline, by running *estimation functions*
+over the polled counters (Figure 2 of the paper).  Each app in
+:mod:`~repro.controlplane.apps` is one such function; the
+:class:`~repro.controlplane.controller.Controller` drives the epoch loop
+("the controller periodically polls the switch every 5 seconds") and fans
+the sealed sketch out to every registered app — the late binding between
+data-plane work and measurement task that makes the approach "RISC".
+"""
+
+from repro.controlplane.controller import Controller, EpochReport
+from repro.controlplane.apps.heavy_hitters import HeavyHitterApp
+from repro.controlplane.apps.ddos import DDoSApp
+from repro.controlplane.apps.change import ChangeDetectionApp
+from repro.controlplane.apps.entropy import EntropyApp
+from repro.controlplane.apps.cardinality import CardinalityApp
+from repro.controlplane.apps.moments import MomentsApp
+from repro.controlplane.hhh import HierarchicalHeavyHitterMonitor, HHHItem
+from repro.controlplane.multidim import MultidimensionalMonitor
+from repro.controlplane.rpc import RemoteSwitchClient, SwitchAgent
+
+__all__ = [
+    "HierarchicalHeavyHitterMonitor",
+    "HHHItem",
+    "SwitchAgent",
+    "RemoteSwitchClient",
+    "Controller",
+    "EpochReport",
+    "HeavyHitterApp",
+    "DDoSApp",
+    "ChangeDetectionApp",
+    "EntropyApp",
+    "CardinalityApp",
+    "MomentsApp",
+    "MultidimensionalMonitor",
+]

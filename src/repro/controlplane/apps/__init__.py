@@ -1,0 +1,10 @@
+"""Estimation apps: one offline translation function per monitoring task.
+
+Every app consumes the *same* polled universal sketch — that is the
+paper's point.  Adding a monitoring task is adding a file here; the data
+plane does not change.
+"""
+
+from repro.controlplane.apps.base import MonitoringApp
+
+__all__ = ["MonitoringApp"]

@@ -1,0 +1,28 @@
+"""The estimation-app protocol."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict
+
+
+class MonitoringApp(abc.ABC):
+    """One offline estimation function over a polled universal sketch.
+
+    Subclasses set :attr:`name` and implement :meth:`on_sketch`; stateful
+    apps (e.g. change detection, which compares adjacent epochs) keep
+    their own state across calls.
+    """
+
+    name: str = "app"
+
+    @abc.abstractmethod
+    def on_sketch(self, sketch, epoch_index: int) -> Dict[str, Any]:
+        """Estimate this app's metric from the sealed epoch sketch.
+
+        Returns a flat dict of named results; the controller collects
+        them into the epoch report under :attr:`name`.
+        """
+
+    def reset(self) -> None:
+        """Drop any cross-epoch state (e.g. at trace boundaries)."""

@@ -1,0 +1,21 @@
+"""Distinct-count (F0) estimation as a standalone app.
+
+The same ``g(x) = x**0`` estimate the DDoS app thresholds, reported raw —
+useful for flow-cardinality dashboards and the Figure 5 error curves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.controlplane.apps.base import MonitoringApp
+from repro.core.gsum import estimate_cardinality
+
+
+class CardinalityApp(MonitoringApp):
+    """Report the estimated number of distinct keys per epoch."""
+
+    name = "cardinality"
+
+    def on_sketch(self, sketch, epoch_index: int) -> Dict[str, Any]:
+        return {"distinct": estimate_cardinality(sketch)}

@@ -1,0 +1,45 @@
+"""Heavy change detection (§3.4 "Change Detection").
+
+Adjacent epoch sketches are subtracted (Count Sketch linearity); the
+difference sketch's G-sum with ``g(x)=|x|`` estimates the total change D,
+and its G-core yields the keys with ``|delta| >= phi * D``.  The previous
+epoch's sketch is stored in the control plane "without impacting online
+performance", exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.controlplane.apps.base import MonitoringApp
+from repro.core.gsum import heavy_changes
+
+
+class ChangeDetectionApp(MonitoringApp):
+    """Report heavy-change keys between each epoch and its predecessor."""
+
+    name = "change"
+
+    def __init__(self, phi: float = 0.05) -> None:
+        if not 0.0 < phi < 1.0:
+            raise ConfigurationError(f"phi must be in (0,1), got {phi}")
+        self.phi = phi
+        self._previous = None
+
+    def on_sketch(self, sketch, epoch_index: int) -> Dict[str, Any]:
+        if self._previous is None:
+            self._previous = sketch
+            return {"changes": [], "total_change": 0.0, "ready": False}
+        changes, total = heavy_changes(sketch, self._previous, self.phi)
+        self._previous = sketch
+        return {
+            "phi": self.phi,
+            "changes": changes,
+            "keys": [k for k, _ in changes],
+            "total_change": total,
+            "ready": True,
+        }
+
+    def reset(self) -> None:
+        self._previous = None

@@ -1,0 +1,34 @@
+"""DDoS victim detection (§3.4 "DDoS").
+
+``g(x) = x**0`` so ``G-sum = F0`` — the number of distinct keys (sources).
+"If G-sum is estimated to be larger than k, a specific host is a
+potential DDoS victim."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError
+from repro.controlplane.apps.base import MonitoringApp
+from repro.core.gsum import estimate_cardinality
+
+
+class DDoSApp(MonitoringApp):
+    """Flag epochs whose distinct-source count exceeds ``threshold_k``."""
+
+    name = "ddos"
+
+    def __init__(self, threshold_k: int) -> None:
+        if threshold_k < 1:
+            raise ConfigurationError(
+                f"threshold_k must be >= 1, got {threshold_k}")
+        self.threshold_k = threshold_k
+
+    def on_sketch(self, sketch, epoch_index: int) -> Dict[str, Any]:
+        distinct = estimate_cardinality(sketch)
+        return {
+            "distinct_sources": distinct,
+            "threshold_k": self.threshold_k,
+            "victim": distinct > self.threshold_k,
+        }

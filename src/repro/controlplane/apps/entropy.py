@@ -1,0 +1,29 @@
+"""Entropy estimation (§3.4 "Entropy Estimation").
+
+``H = log(m) - S/m`` with ``S = sum f_i log f_i`` estimated through
+Algorithm 2 with ``g(x) = x log x`` (bounded by ``x**2``, hence in
+Stream-PolyLog).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.controlplane.apps.base import MonitoringApp
+from repro.core.gsum import estimate_entropy
+
+
+class EntropyApp(MonitoringApp):
+    """Report the Shannon entropy of the monitored key distribution."""
+
+    name = "entropy"
+
+    def __init__(self, base: float = 2.0) -> None:
+        self.base = base
+
+    def on_sketch(self, sketch, epoch_index: int) -> Dict[str, Any]:
+        return {
+            "entropy": estimate_entropy(sketch, base=self.base),
+            "base": self.base,
+            "packets": sketch.total_weight,
+        }

@@ -1,0 +1,34 @@
+"""Heavy hitter estimation (§3.4 "Heavy Hitters").
+
+``g(x) = x``; the G-core — the level-0 heavy hitter set filtered at the
+threshold — directly yields the flows above an ``alpha`` fraction of the
+link, with their (1 ± eps)-approximate frequencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError
+from repro.controlplane.apps.base import MonitoringApp
+from repro.core.gsum import g_core
+
+
+class HeavyHitterApp(MonitoringApp):
+    """Report flows consuming more than ``alpha`` of total traffic."""
+
+    name = "heavy_hitters"
+
+    def __init__(self, alpha: float = 0.005) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in (0,1), got {alpha}")
+        self.alpha = alpha
+
+    def on_sketch(self, sketch, epoch_index: int) -> Dict[str, Any]:
+        hitters = g_core(sketch, self.alpha)
+        return {
+            "alpha": self.alpha,
+            "threshold": self.alpha * sketch.total_weight,
+            "hitters": hitters,
+            "keys": [k for k, _ in hitters],
+        }

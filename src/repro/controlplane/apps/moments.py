@@ -1,0 +1,38 @@
+"""Frequency-moment estimation: L1, L2/F2, and fractional ``F_p``.
+
+L1 is re-derived through Algorithm 2 with ``g(x)=|x|`` as an internal
+consistency check (the true value is the packet count the sketch already
+knows); F2 comes straight from the level-0 Count Sketch; fractional
+moments go through :func:`~repro.core.gsum.estimate_moment`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence
+
+from repro.errors import ConfigurationError
+from repro.controlplane.apps.base import MonitoringApp
+from repro.core.gsum import estimate_f2, estimate_l1, estimate_moment
+
+
+class MomentsApp(MonitoringApp):
+    """Report frequency moments of the monitored key distribution."""
+
+    name = "moments"
+
+    def __init__(self, fractional_ps: Sequence[float] = ()) -> None:
+        for p in fractional_ps:
+            if not 0.0 <= p <= 2.0:
+                raise ConfigurationError(
+                    f"moments outside [0, 2] are not Stream-PolyLog: {p}")
+        self.fractional_ps = tuple(fractional_ps)
+
+    def on_sketch(self, sketch, epoch_index: int) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "l1": estimate_l1(sketch),
+            "f2": estimate_f2(sketch),
+            "true_l1": float(sketch.total_weight),
+        }
+        for p in self.fractional_ps:
+            out[f"f{p:g}"] = estimate_moment(sketch, p)
+        return out

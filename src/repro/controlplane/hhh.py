@@ -1,0 +1,121 @@
+"""Hierarchical heavy hitters over universal sketches (§5
+"Multidimensional data").
+
+The discussion section points at hierarchical heavy hitters (Cormode et
+al., Zhang et al.) as a UnivMon extension.  The construction here is the
+natural one: one universal sketch per prefix granularity (/8, /16, /24,
+/32 by default) over the *same* traffic, all queries answered offline.
+
+Reported are the **discounted** hierarchical heavy hitters: a prefix is
+an HHH if its traffic *minus the traffic of its reported HHH
+descendants* still exceeds the threshold.  Discounting is what keeps the
+report non-redundant (an elephant host does not automatically promote
+its whole /8 chain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.dataplane.keys import src_prefix_key
+from repro.dataplane.trace import Trace
+from repro.core.gsum import g_core
+from repro.core.universal import UniversalSketch
+
+DEFAULT_LADDER = (8, 16, 24, 32)
+
+
+@dataclass(frozen=True)
+class HHHItem:
+    """One reported hierarchical heavy hitter."""
+
+    prefix: int
+    prefix_len: int
+    estimate: float          # the prefix's own estimated traffic
+    discounted: float        # after subtracting reported descendants
+
+    def cidr(self) -> str:
+        from repro.dataplane.packet import format_ipv4
+        return f"{format_ipv4(self.prefix)}/{self.prefix_len}"
+
+
+class HierarchicalHeavyHitterMonitor:
+    """One universal sketch per prefix length of the ladder."""
+
+    def __init__(self, ladder: Sequence[int] = DEFAULT_LADDER,
+                 sketch_factory: Optional[Callable[[], UniversalSketch]] = None
+                 ) -> None:
+        if not ladder or list(ladder) != sorted(set(ladder)):
+            raise ConfigurationError(
+                f"ladder must be strictly increasing, got {ladder}")
+        if any(not 0 < p <= 32 for p in ladder):
+            raise ConfigurationError(f"prefix lengths must be in (0, 32]")
+        if sketch_factory is None:
+            sketch_factory = lambda: UniversalSketch(  # noqa: E731
+                levels=10, rows=5, width=1024, heap_size=64, seed=1)
+        self.ladder = tuple(ladder)
+        self._keys = {p: src_prefix_key(p) for p in ladder}
+        self.sketches: Dict[int, UniversalSketch] = {
+            p: sketch_factory() for p in ladder
+        }
+
+    # ------------------------------------------------------------------ #
+    # data plane
+    # ------------------------------------------------------------------ #
+
+    def process_trace(self, trace: Trace) -> None:
+        for prefix_len, sketch in self.sketches.items():
+            sketch.update_array(trace.key_array(self._keys[prefix_len]))
+
+    def update_packet(self, packet) -> None:
+        for prefix_len, sketch in self.sketches.items():
+            sketch.update(self._keys[prefix_len](packet))
+
+    # ------------------------------------------------------------------ #
+    # control plane
+    # ------------------------------------------------------------------ #
+
+    def hierarchical_heavy_hitters(self, fraction: float) -> List[HHHItem]:
+        """Discounted HHHs above ``fraction`` of total traffic.
+
+        Works bottom-up: report /32 heavy hitters first; at each coarser
+        level, subtract the traffic of already-reported descendants from
+        the prefix's estimate before thresholding it.
+        """
+        total = self.sketches[self.ladder[0]].total_weight
+        threshold = fraction * total
+        reported: List[HHHItem] = []
+        # descendant traffic charged to each (prefix value at level) —
+        # accumulated as we move up the ladder.
+        charged: Dict[Tuple[int, int], float] = {}
+
+        for idx in range(len(self.ladder) - 1, -1, -1):
+            prefix_len = self.ladder[idx]
+            sketch = self.sketches[prefix_len]
+            for key, estimate in g_core(sketch, fraction / 4):
+                # fraction/4 pre-filter: candidates must be examined even
+                # if their discounted value later falls below threshold.
+                discount = charged.get((int(key), prefix_len), 0.0)
+                discounted = estimate - discount
+                if discounted >= threshold:
+                    item = HHHItem(prefix=int(key), prefix_len=prefix_len,
+                                   estimate=float(estimate),
+                                   discounted=float(discounted))
+                    reported.append(item)
+                    self._charge_ancestors(charged, item, idx)
+        reported.sort(key=lambda item: (-item.discounted, item.prefix_len))
+        return reported
+
+    def _charge_ancestors(self, charged: Dict[Tuple[int, int], float],
+                          item: HHHItem, ladder_index: int) -> None:
+        for idx in range(ladder_index - 1, -1, -1):
+            plen = self.ladder[idx]
+            shift = 32 - plen
+            ancestor = (item.prefix >> shift) << shift
+            charged[(ancestor, plen)] = \
+                charged.get((ancestor, plen), 0.0) + item.discounted
+
+    def memory_bytes(self) -> int:
+        return sum(s.memory_bytes() for s in self.sketches.values())

@@ -1,0 +1,75 @@
+"""Multidimensional monitoring (§5 "Multidimensional data").
+
+The 5-tuple is high-dimensional; operators want metrics over several of
+its projections (source, destination, OD pair, full flow) at once.  Short
+of a true multidimensional universal sketch (an open problem the paper
+poses), the practical construction is one universal sketch per monitored
+projection, managed together — which is still one *generic* primitive per
+dimension rather than one custom sketch per (dimension x task) pair, so
+the RISC economics survive: K dimensions x T tasks costs K sketches, not
+K x T.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.dataplane.keys import KEY_FUNCTIONS, KeyFunction
+from repro.dataplane.trace import Trace
+from repro.core.universal import UniversalSketch
+
+
+class MultidimensionalMonitor:
+    """One universal sketch per monitored 5-tuple projection."""
+
+    def __init__(self, dimensions: Sequence[KeyFunction],
+                 sketch_factory: Optional[Callable[[], UniversalSketch]] = None
+                 ) -> None:
+        if not dimensions:
+            raise ConfigurationError("need at least one dimension")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate dimensions: {names}")
+        if sketch_factory is None:
+            sketch_factory = lambda: UniversalSketch(  # noqa: E731
+                levels=12, rows=5, width=2048, heap_size=64, seed=1)
+        self.dimensions = list(dimensions)
+        self.sketches: Dict[str, UniversalSketch] = {
+            d.name: sketch_factory() for d in dimensions
+        }
+
+    @classmethod
+    def all_dimensions(cls, **kwargs) -> "MultidimensionalMonitor":
+        """Monitor every registered key function."""
+        return cls(list(KEY_FUNCTIONS.values()), **kwargs)
+
+    def process_trace(self, trace: Trace) -> None:
+        for dim in self.dimensions:
+            self.sketches[dim.name].update_array(trace.key_array(dim))
+
+    def update_packet(self, packet) -> None:
+        for dim in self.dimensions:
+            self.sketches[dim.name].update(dim(packet))
+
+    def sketch(self, dimension: str) -> UniversalSketch:
+        try:
+            return self.sketches[dimension]
+        except KeyError:
+            raise ConfigurationError(
+                f"dimension {dimension!r} is not monitored "
+                f"(have {sorted(self.sketches)})") from None
+
+    # Convenience per-dimension queries -------------------------------- #
+
+    def heavy_hitters(self, dimension: str, fraction: float):
+        return self.sketch(dimension).heavy_hitters(fraction)
+
+    def cardinality(self, dimension: str) -> float:
+        return self.sketch(dimension).cardinality()
+
+    def entropy(self, dimension: str, base: float = 2.0) -> float:
+        return self.sketch(dimension).entropy(base=base)
+
+    def memory_bytes(self) -> int:
+        return sum(s.memory_bytes() for s in self.sketches.values())

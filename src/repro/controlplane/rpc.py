@@ -1,0 +1,197 @@
+"""The poll protocol: controller <-> switch agent over TCP.
+
+Figure 2's dashed line, made concrete: a :class:`SwitchAgent` wraps a
+:class:`~repro.dataplane.switch.MonitoredSwitch` and serves its sealed
+sketches over a socket; a :class:`RemoteSwitchClient` on the controller
+side polls them.  Sketches travel in the binary format of
+:mod:`repro.core.serialization`, so the controller reconstructs a fully
+queryable :class:`~repro.core.universal.UniversalSketch` and runs the
+usual estimation apps on it.
+
+Protocol (all integers little-endian):
+
+    request :  u32 length | utf-8 command line
+    response:  u8 status (0 ok / 1 error) | u32 length | payload
+
+Commands:
+
+- ``POLL <program>``  -> payload = serialized sealed sketch
+- ``MEMORY``          -> payload = ascii decimal total data-plane bytes
+- ``STATS``           -> payload = ascii ``packets=<n> programs=<k>``
+- ``PING``            -> payload = ``pong``
+
+The server is intentionally synchronous and single-threaded per
+connection (a ThreadingTCPServer underneath): a switch has one
+controller, and the 5-second cadence leaves it idle almost always.
+
+Concurrency contract: POLL/MEMORY/STATS hold the agent's lock, so a
+poll atomically swaps the program's sketch.  The data-plane feed
+(``switch.process_trace`` from the owning thread) does not take the
+lock — under CPython's GIL the sketch-reference read is atomic, and the
+worst interleaving lands one in-flight chunk in the epoch on either
+side of the poll, which is exactly the boundary fuzziness a real
+switch's asynchronous counter read has.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+from repro.core import serialization
+from repro.dataplane.switch import MonitoredSwitch
+
+
+class RpcError(ReproError):
+    """The peer reported a protocol-level failure."""
+
+
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(struct.pack("<I", len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise RpcError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> bytes:
+    (length,) = struct.unpack("<I", _recv_exact(sock, 4))
+    return _recv_exact(sock, length)
+
+
+class _AgentHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        while True:
+            try:
+                command = _recv_frame(self.request).decode("utf-8")
+            except RpcError:
+                return  # client went away between requests
+            status, payload = self.server.agent._dispatch(command)
+            self.request.sendall(struct.pack("<B", status))
+            _send_frame(self.request, payload)
+
+
+class _AgentServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class SwitchAgent:
+    """Serves a monitored switch's sketches to a remote controller."""
+
+    def __init__(self, switch: MonitoredSwitch, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.switch = switch
+        self._lock = threading.Lock()
+        self._server = _AgentServer((host, port), _AgentHandler)
+        self._server.agent = self
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address
+
+    def start(self) -> "SwitchAgent":
+        """Start serving in a background thread (chainable)."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="switch-agent",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "SwitchAgent":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # request dispatch (runs on server threads)
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, command: str) -> Tuple[int, bytes]:
+        try:
+            parts = command.split()
+            if not parts:
+                raise RpcError("empty command")
+            verb = parts[0].upper()
+            if verb == "PING":
+                return 0, b"pong"
+            if verb == "MEMORY":
+                with self._lock:
+                    return 0, str(self.switch.memory_bytes()).encode()
+            if verb == "STATS":
+                with self._lock:
+                    text = (f"packets={self.switch.packets_seen} "
+                            f"programs={len(self.switch.programs())}")
+                return 0, text.encode()
+            if verb == "POLL":
+                if len(parts) != 2:
+                    raise RpcError("usage: POLL <program>")
+                with self._lock:
+                    sealed = self.switch.poll(parts[1])
+                return 0, serialization.dumps(sealed)
+            raise RpcError(f"unknown command {verb!r}")
+        except ReproError as exc:
+            return 1, str(exc).encode()
+        except Exception as exc:  # defensive: never kill the server loop
+            return 1, f"internal error: {exc}".encode()
+
+
+class RemoteSwitchClient:
+    """Controller-side client for one switch agent."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        if port <= 0:
+            raise ConfigurationError(f"invalid port {port}")
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "RemoteSwitchClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _call(self, command: str) -> bytes:
+        _send_frame(self._sock, command.encode("utf-8"))
+        (status,) = struct.unpack("<B", _recv_exact(self._sock, 1))
+        payload = _recv_frame(self._sock)
+        if status != 0:
+            raise RpcError(payload.decode("utf-8", "replace"))
+        return payload
+
+    def ping(self) -> bool:
+        return self._call("PING") == b"pong"
+
+    def memory_bytes(self) -> int:
+        return int(self._call("MEMORY"))
+
+    def stats(self) -> dict:
+        pairs = dict(item.split("=") for item in
+                     self._call("STATS").decode().split())
+        return {k: int(v) for k, v in pairs.items()}
+
+    def poll(self, program: str):
+        """Poll-and-reset one program; returns the reconstructed sketch."""
+        return serialization.loads(self._call(f"POLL {program}"))

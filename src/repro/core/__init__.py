@@ -1,0 +1,56 @@
+"""The paper's primary contribution: the universal sketch.
+
+- :class:`~repro.core.universal.UniversalSketch` — the data plane of
+  Algorithm 1: ``levels + 1`` Count Sketch instances over recursively
+  half-sampled substreams, each tracking its top-k L2 heavy hitters.
+- :mod:`~repro.core.gsum` — the control plane of Algorithm 2: the
+  Recursive Sum estimator turning per-level heavy hitter counters into an
+  unbiased ``G-sum`` estimate, plus the task-specific wrappers
+  (cardinality, entropy, moments) and ``G-core`` heavy hitter extraction.
+- :mod:`~repro.core.gfunctions` — the g-function library and the
+  Stream-PolyLog admissibility check.
+- :class:`~repro.core.windowed.SlidingWindowUniversalSketch` — the §5
+  "sliding windows" extension, built from mergeable epoch sketches.
+"""
+
+from repro.core.gfunctions import (
+    ABS,
+    CARDINALITY,
+    ENTROPY_NATS,
+    ENTROPY_SUM,
+    IDENTITY,
+    SQUARE,
+    GFunction,
+    is_stream_polylog,
+)
+from repro.core.gsum import (
+    estimate_cardinality,
+    estimate_entropy,
+    estimate_gsum,
+    estimate_l1,
+    estimate_moment,
+    g_core,
+)
+from repro.core.level import SketchLevel
+from repro.core.universal import UniversalSketch
+from repro.core.windowed import SlidingWindowUniversalSketch
+
+__all__ = [
+    "UniversalSketch",
+    "SketchLevel",
+    "SlidingWindowUniversalSketch",
+    "GFunction",
+    "IDENTITY",
+    "SQUARE",
+    "ABS",
+    "CARDINALITY",
+    "ENTROPY_SUM",
+    "ENTROPY_NATS",
+    "is_stream_polylog",
+    "estimate_gsum",
+    "estimate_cardinality",
+    "estimate_entropy",
+    "estimate_l1",
+    "estimate_moment",
+    "g_core",
+]

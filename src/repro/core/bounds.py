@@ -1,0 +1,99 @@
+"""Analytic error bounds for the sketch geometries.
+
+The paper's argument for sketching over generic sampling is that
+sketches come with *provable* resource-accuracy trade-offs.  This module
+states those trade-offs as code, so configurations can be sized from a
+target error instead of folklore, and so tests can check the
+implementations against their own theory.
+
+All bounds are the standard ones:
+
+- Count Sketch: per-row standard error ``L2 / sqrt(width)``; with
+  ``rows`` rows and the median rule,
+  ``P(|err| > e) <= delta`` for ``width = O(1/e**2)``,
+  ``rows = O(log 1/delta)``.
+- Count-Min: overestimate ``<= e * L1 / width`` with probability
+  ``1 - (1/e)**rows`` (e = Euler's number here).
+- Linear counting: std error ``~ sqrt(m*(exp(t) - t - 1)) / (t*m)``
+  with ``t = n/m``.
+- HyperLogLog: relative std error ``~ 1.04 / sqrt(m)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def count_sketch_error(width: int, rows: int, l2: float,
+                       confidence: float = 0.95) -> float:
+    """High-probability point-query error bound of a Count Sketch.
+
+    Returns ``e`` such that ``P(|estimate - f| > e) <= 1 - confidence``
+    for the median of ``rows`` independent rows, each with standard
+    deviation ``l2 / sqrt(width)`` (Chebyshev per row + Chernoff on the
+    median; the constant 3 below is the usual practical bound).
+    """
+    if width < 1 or rows < 1:
+        raise ConfigurationError("width and rows must be >= 1")
+    per_row_std = l2 / math.sqrt(width)
+    # Median of r rows: failure prob 2**(-r/3) at 3 sigma per row.
+    failure = 2.0 ** (-rows / 3.0)
+    if failure > 1 - confidence:
+        # Need wider per-row interval to meet the confidence target.
+        scale = 3.0 * math.sqrt((1 - confidence) / failure) ** -1
+    else:
+        scale = 3.0
+    return scale * per_row_std
+
+
+def count_sketch_width_for(epsilon: float, l2: float) -> int:
+    """Width so the per-row standard error is ``epsilon * l2``."""
+    if not 0 < epsilon < 1:
+        raise ConfigurationError(f"epsilon must be in (0,1), got {epsilon}")
+    return max(1, math.ceil(1.0 / (epsilon * epsilon)))
+
+
+def count_min_error(width: int, rows: int, l1: float) -> float:
+    """Expected-overestimate bound of a Count-Min point query:
+    ``e * L1 / width`` holds with probability ``1 - e**-rows``."""
+    if width < 1 or rows < 1:
+        raise ConfigurationError("width and rows must be >= 1")
+    return math.e * l1 / width
+
+
+def count_min_geometry_for(epsilon: float, delta: float) -> tuple:
+    """The classic ``(rows, width)`` for an (epsilon, delta) guarantee."""
+    if not 0 < epsilon < 1 or not 0 < delta < 1:
+        raise ConfigurationError("epsilon and delta must be in (0,1)")
+    width = math.ceil(math.e / epsilon)
+    rows = math.ceil(math.log(1.0 / delta))
+    return rows, width
+
+
+def linear_counting_std_error(bits: int, cardinality: int) -> float:
+    """Relative standard error of an m-bit linear counter at n keys."""
+    if bits < 1:
+        raise ConfigurationError("bits must be >= 1")
+    if cardinality <= 0:
+        return 0.0
+    t = cardinality / bits
+    return math.sqrt(bits * (math.exp(t) - t - 1)) / (t * bits)
+
+
+def hyperloglog_std_error(precision: int) -> float:
+    """Relative standard error of HLL at ``2**precision`` registers."""
+    if not 4 <= precision <= 18:
+        raise ConfigurationError("precision must be in [4, 18]")
+    return 1.04 / math.sqrt(1 << precision)
+
+
+def universal_sketch_levels(expected_distinct: int, heap_size: int) -> int:
+    """The log(n) rule restated: levels so the deepest substream's
+    expected distinct count drops below the heap size."""
+    if expected_distinct < 1 or heap_size < 1:
+        raise ConfigurationError("arguments must be >= 1")
+    if expected_distinct <= heap_size:
+        return 1
+    return math.ceil(math.log2(expected_distinct / heap_size)) + 1

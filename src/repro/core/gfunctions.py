@@ -1,0 +1,169 @@
+"""The g-function library and the Stream-PolyLog admissibility check.
+
+Section 3.1 of the paper characterises the class of ``G-sum = sum g(f_i)``
+statistics a universal sketch can estimate: *Stream-PolyLog*, informally
+the monotone ``g`` upper-bounded by ``O(f**2)``.  This module provides
+
+- :class:`GFunction`, a named, documented wrapper around the scalar ``g``;
+- the stock functions for every task in Section 3.4 (heavy hitters,
+  DDoS/distinct, change, entropy) plus F2;
+- :func:`is_stream_polylog`, a numeric admissibility check used to refuse
+  inadmissible functions (e.g. ``g = x**3``) before wasting a sketch on
+  them, mirroring footnote 1's lower-bound caveat.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import NotSketchableError
+
+
+@dataclass(frozen=True)
+class GFunction:
+    """A scalar ``g`` defining the statistic ``G-sum = sum_i g(f_i)``.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (used in reports and error messages).
+    fn:
+        The scalar function; must satisfy ``g(0) = 0`` so absent keys
+        contribute nothing.
+    description:
+        What the statistic measures.
+    stream_polylog:
+        Whether the function is (claimed) a member of Stream-PolyLog.
+        Stock functions set this from the theory; user functions can be
+        validated numerically with :func:`is_stream_polylog`.
+    """
+
+    name: str
+    fn: Callable[[float], float]
+    description: str = ""
+    stream_polylog: bool = True
+
+    def __call__(self, x: float) -> float:
+        return self.fn(x)
+
+    def applied_to_magnitude(self, x: float) -> float:
+        """``g(|x|)`` — used on difference streams whose "frequencies"
+        (signed per-key deltas) may be negative."""
+        return self.fn(abs(x))
+
+
+def _g_identity(x: float) -> float:
+    return float(x)
+
+
+def _g_square(x: float) -> float:
+    return float(x) * float(x)
+
+
+def _g_abs(x: float) -> float:
+    return abs(float(x))
+
+
+def _g_zeroth(x: float) -> float:
+    # x**0 with the streaming convention 0**0 = 0: counts distinct keys.
+    return 1.0 if x > 0 else 0.0
+
+
+def _g_xlogx_base2(x: float) -> float:
+    if x <= 0:
+        return 0.0
+    return float(x) * math.log2(x)
+
+
+def _g_xlogx_nats(x: float) -> float:
+    if x <= 0:
+        return 0.0
+    return float(x) * math.log(x)
+
+
+#: g(x) = x  →  G-sum = L1 (total traffic); G-core = heavy hitters (§3.4 HH).
+IDENTITY = GFunction("identity", _g_identity,
+                     "L1 / total volume; G-core gives heavy hitters")
+
+#: g(x) = x**2  →  G-sum = F2, the boundary of Stream-PolyLog.
+SQUARE = GFunction("square", _g_square, "second frequency moment F2")
+
+#: g(x) = |x|  →  L1 of a (signed) difference stream (§3.4 Change Detection).
+ABS = GFunction("abs", _g_abs, "L1 norm of a signed difference stream")
+
+#: g(x) = x**0 (0↦0)  →  G-sum = F0 = #distinct keys (§3.4 DDoS).
+CARDINALITY = GFunction("cardinality", _g_zeroth,
+                        "distinct key count F0 (DDoS victim test)")
+
+#: g(x) = x·log2(x)  →  S in H = log2(m) - S/m (§3.4 Entropy, bits).
+ENTROPY_SUM = GFunction("entropy_sum", _g_xlogx_base2,
+                        "sum f·log2 f, the entropy numerator (bits)")
+
+#: Same in natural log, for nat-denominated entropy.
+ENTROPY_NATS = GFunction("entropy_sum_nats", _g_xlogx_nats,
+                         "sum f·ln f, the entropy numerator (nats)")
+
+
+def is_stream_polylog(g: Callable[[float], float],
+                      max_frequency: int = 1 << 20,
+                      samples: int = 64,
+                      bound_constant: float = 4.0) -> bool:
+    """Numerically check the informal Stream-PolyLog membership criteria.
+
+    Checks, over geometrically spaced sample frequencies up to
+    ``max_frequency``:
+
+    1. ``g(0) == 0`` (absent keys contribute nothing),
+    2. ``g`` is non-negative and monotone non-decreasing,
+    3. ``g(x) <= bound_constant * x**2`` for x >= 1 (the ``O(f**2)``
+       upper bound; faster-growing g hit the lower bound of
+       Chakrabarti-Khot-Sun and are not polylog-sketchable).
+
+    This is a *necessary-condition* screen matching the paper's informal
+    characterisation, not the full technical definition in Braverman &
+    Ostrovsky 2010.
+    """
+    if g(0) != 0:
+        return False
+    xs = [1.0]
+    ratio = max_frequency ** (1.0 / max(samples - 1, 1))
+    while xs[-1] < max_frequency:
+        xs.append(min(xs[-1] * max(ratio, 1.0 + 1e-9), float(max_frequency)))
+    prev = 0.0
+    for x in xs:
+        v = g(x)
+        if v < 0:
+            return False
+        if v < prev - 1e-9:
+            return False
+        if x >= 1 and v > bound_constant * x * x + 1e-9:
+            return False
+        prev = v
+    return True
+
+
+def require_stream_polylog(g: GFunction) -> None:
+    """Raise :class:`NotSketchableError` if ``g`` fails the screen."""
+    claimed = g.stream_polylog
+    observed = is_stream_polylog(g.fn)
+    if not (claimed and observed):
+        raise NotSketchableError(
+            f"g-function {g.name!r} is not in Stream-PolyLog "
+            f"(claimed={claimed}, numeric check={observed}); no "
+            f"polylogarithmic-space universal estimate exists for it")
+
+
+def make_moment(p: float) -> GFunction:
+    """``g(x) = x**p``.  Only ``0 <= p <= 2`` is Stream-PolyLog."""
+    if p < 0:
+        raise NotSketchableError(f"negative moments (p={p}) are out of scope")
+
+    def fn(x: float) -> float:
+        if x <= 0:
+            return 0.0
+        return float(x) ** p
+
+    return GFunction(f"moment_{p:g}", fn, f"frequency moment F{p:g}",
+                     stream_polylog=(p <= 2))

@@ -1,0 +1,190 @@
+"""UnivMon's control plane — the Recursive Sum estimator (Algorithm 2).
+
+Given the per-level heavy hitter sets ``Q_j`` (key, ``w_j(key)`` pairs)
+collected by :class:`~repro.core.universal.UniversalSketch`, the estimator
+computes, for any Stream-PolyLog g,
+
+    Y_L     = sum_{i in Q'_L} g(w_L(i))
+    Y_j     = 2 * Y_{j+1} + sum_{i in Q'_j} (1 - 2*h_{j+1}(i)) * g(w_j(i))
+    G-sum  ~= Y_0
+
+where ``h_{j+1}(i)`` is the sampling bit that decides whether key ``i``
+advances from substream ``D_j`` to ``D_{j+1}``.  Intuition: ``2*Y_{j+1}``
+scales the sampled half back up; the correction term replaces the doubled
+contribution of keys that *did* advance (bit = 1, factor ``1-2 = -1``) with
+the directly-observed contribution of keys that did not (bit = 0, factor
+``+1``).  This is the Recursive Sum of Braverman & Ostrovsky 2013.
+
+All estimators apply ``g`` to the *magnitude* of the Count Sketch
+estimate: on insert-only streams estimates are already ≈ positive, and on
+difference streams the "frequency" of a key is the magnitude of its delta.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.core.gfunctions import (
+    ABS,
+    CARDINALITY,
+    ENTROPY_NATS,
+    ENTROPY_SUM,
+    IDENTITY,
+    GFunction,
+    make_moment,
+    require_stream_polylog,
+)
+
+_VALIDATED: set = set()
+
+
+def _check(g: GFunction) -> None:
+    """Validate Stream-PolyLog membership once per g-function name."""
+    if g.name not in _VALIDATED:
+        require_stream_polylog(g)
+        _VALIDATED.add(g.name)
+
+
+def estimate_gsum(sketch, g: GFunction,
+                  min_weight: float = 0.5) -> float:
+    """Algorithm 2: unbiased estimate of ``G-sum = sum_i g(f_i)``.
+
+    Parameters
+    ----------
+    sketch:
+        A :class:`~repro.core.universal.UniversalSketch` (or anything with
+        ``.levels`` and ``.sampler``).
+    g:
+        The statistic's g-function; must be in Stream-PolyLog.
+    min_weight:
+        Heap entries with ``|w| < min_weight`` are treated as noise and
+        skipped (a key actually present has true frequency >= 1).
+    """
+    _check(g)
+    levels = sketch.levels
+    sampler = sketch.sampler
+    deepest = len(levels) - 1
+
+    def gval(w: float) -> float:
+        mag = abs(w)
+        if mag < min_weight:
+            return 0.0
+        return g(mag)
+
+    y = sum(gval(w) for _, w in levels[deepest].heavy_hitters())
+    for j in range(deepest - 1, -1, -1):
+        correction = 0.0
+        for key, w in levels[j].heavy_hitters():
+            bit = sampler.bit(j + 1, key)
+            correction += (1 - 2 * bit) * gval(w)
+        y = 2.0 * y + correction
+    return y
+
+
+def g_core(sketch, fraction: float,
+           total: Optional[float] = None) -> List[Tuple[int, float]]:
+    """G-core for g(x)=x: the keys estimated above ``fraction * total``.
+
+    ``total`` defaults to the stream weight the sketch observed (heavy
+    hitters); pass the estimated total change when ``sketch`` is a
+    difference sketch (heavy changes).
+    """
+    if total is None:
+        total = float(sketch.total_weight)
+    threshold = fraction * total
+    q0 = sketch.levels[0].heavy_hitters()
+    return [(key, w) for key, w in q0 if abs(w) >= threshold]
+
+
+def estimate_cardinality(sketch) -> float:
+    """F0 (# distinct keys) via ``g(x) = x**0`` — the DDoS primitive."""
+    return max(0.0, estimate_gsum(sketch, CARDINALITY))
+
+
+def estimate_l1(sketch) -> float:
+    """L1 norm via ``g(x) = |x|``.
+
+    On an insert-only sketch this re-derives the stream weight (a useful
+    self-check); on a difference sketch it estimates the total change D.
+    """
+    return max(0.0, estimate_gsum(sketch, ABS))
+
+
+def estimate_l2(sketch) -> float:
+    """L2 norm straight off the level-0 Count Sketch (no recursion needed;
+    F2 is what Count Sketch natively estimates)."""
+    return sketch.levels[0].sketch.l2_estimate()
+
+
+def estimate_f2(sketch) -> float:
+    """Second frequency moment from the level-0 Count Sketch."""
+    return sketch.levels[0].sketch.f2_estimate()
+
+
+def estimate_entropy(sketch, base: float = 2.0) -> float:
+    """Shannon entropy ``H = log m - S/m`` with ``S = sum f log f`` (§3.4).
+
+    The result is clamped to the feasible range ``[0, log n_est]``.
+    """
+    m = float(sketch.total_weight)
+    if m <= 0:
+        return 0.0
+    if base == 2.0:
+        g = ENTROPY_SUM
+        log_m = math.log2(m)
+    else:
+        g = ENTROPY_NATS
+        log_m = math.log(m) / math.log(base)
+        if base != math.e:
+            scaled = GFunction(
+                f"entropy_sum_base{base:g}",
+                lambda x, _b=base: 0.0 if x <= 0 else x * math.log(x) / math.log(_b),
+                stream_polylog=True)
+            g = scaled
+    s = estimate_gsum(sketch, g)
+    h = log_m - s / m
+    return min(max(h, 0.0), log_m)
+
+
+def estimate_moment(sketch, p: float) -> float:
+    """Frequency moment ``F_p = sum f_i**p`` for ``0 <= p <= 2``."""
+    return max(0.0, estimate_gsum(sketch, make_moment(p)))
+
+
+def heavy_changes(sketch_a, sketch_b, phi: float,
+                  min_change: float = 1.0) -> Tuple[List[Tuple[int, float]], float]:
+    """Change detection between two epochs (§3.4).
+
+    Subtracts the epoch sketches (Count Sketch linearity), estimates the
+    total change ``D`` with ``g(x)=|x|``, and returns the candidate keys
+    whose estimated |delta| is at least ``phi * D``, plus D itself.
+
+    Returns
+    -------
+    (changes, total_change):
+        ``changes`` is a list of ``(key, signed_delta_estimate)`` sorted
+        by magnitude; ``total_change`` is the estimated D.
+    """
+    diff = sketch_a.subtract(sketch_b)
+    total = estimate_l1(diff)
+    if total <= 0:
+        return [], 0.0
+    threshold = max(phi * total, min_change)
+    q0 = diff.levels[0].heavy_hitters()
+    changes = [(key, w) for key, w in q0 if abs(w) >= threshold]
+    return changes, total
+
+
+__all__ = [
+    "estimate_gsum",
+    "g_core",
+    "estimate_cardinality",
+    "estimate_l1",
+    "estimate_l2",
+    "estimate_f2",
+    "estimate_entropy",
+    "estimate_moment",
+    "heavy_changes",
+    "IDENTITY",
+]

@@ -1,0 +1,173 @@
+"""Sketch (de)serialization — the wire format of the poll protocol.
+
+The controller "periodically retrieves the counters being maintained by
+the data plane"; in any real deployment those counters cross a network.
+This module defines a compact, versioned binary encoding for the
+sketches the poll loop ships:
+
+- header: magic ``b"UMS1"`` + a type tag,
+- fixed little-endian struct fields for the geometry and seed,
+- raw numpy counter blocks,
+- heaps as ``(key, estimate)`` arrays.
+
+Only seeded sketches can be serialized: the hash functions are *not*
+shipped (they are large and derivable), so the receiver reconstructs
+them from the seed — which is also what keeps the format compact enough
+for a 5-second polling cadence.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.core.level import SketchLevel
+from repro.core.universal import UniversalSketch
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.kary import KArySketch
+from repro.sketches.topk import TopK
+
+_MAGIC = b"UMS1"
+
+_TYPE_COUNT_SKETCH = 1
+_TYPE_COUNT_MIN = 2
+_TYPE_KARY = 3
+_TYPE_UNIVERSAL = 4
+
+
+def _require_seed(sketch) -> int:
+    if sketch.seed is None:
+        raise ConfigurationError(
+            f"{type(sketch).__name__} must have an explicit seed to be "
+            f"serialized (hash functions are reconstructed from it)")
+    return int(sketch.seed)
+
+
+def _write_table(out: BinaryIO, table: np.ndarray) -> None:
+    data = np.ascontiguousarray(table, dtype=np.int64).tobytes()
+    out.write(struct.pack("<I", len(data)))
+    out.write(data)
+
+
+def _read_table(buf: BinaryIO, rows: int, width: int) -> np.ndarray:
+    (nbytes,) = struct.unpack("<I", _read_exact(buf, 4))
+    raw = _read_exact(buf, nbytes)
+    table = np.frombuffer(raw, dtype=np.int64).reshape(rows, width).copy()
+    return table
+
+
+def _read_exact(buf: BinaryIO, n: int) -> bytes:
+    data = buf.read(n)
+    if len(data) != n:
+        raise TraceFormatError(
+            f"truncated sketch payload: wanted {n} bytes, got {len(data)}")
+    return data
+
+
+def _write_topk(out: BinaryIO, topk: TopK) -> None:
+    items = topk.items()
+    out.write(struct.pack("<II", topk.capacity, len(items)))
+    for key, estimate in items:
+        out.write(struct.pack("<Qd", key, estimate))
+
+
+def _read_topk(buf: BinaryIO) -> TopK:
+    capacity, count = struct.unpack("<II", _read_exact(buf, 8))
+    topk = TopK(capacity)
+    for _ in range(count):
+        key, estimate = struct.unpack("<Qd", _read_exact(buf, 16))
+        topk.offer(key, estimate)
+    return topk
+
+
+# --------------------------------------------------------------------- #
+# per-type encoders
+# --------------------------------------------------------------------- #
+
+def _dump_count_sketch(out: BinaryIO, sketch: CountSketch,
+                       type_tag: int) -> None:
+    out.write(_MAGIC)
+    out.write(struct.pack("<BIIq", type_tag, sketch.rows, sketch.width,
+                          _require_seed(sketch)))
+    _write_table(out, sketch.table)
+
+
+def _load_tableau(buf: BinaryIO, cls, type_name: str):
+    rows, width, seed = struct.unpack("<IIq", _read_exact(buf, 16))
+    sketch = cls(rows=rows, width=width, seed=seed)
+    sketch.table = _read_table(buf, rows, width)
+    return sketch
+
+
+def _dump_universal(out: BinaryIO, sketch: UniversalSketch) -> None:
+    out.write(_MAGIC)
+    out.write(struct.pack(
+        "<BIIIIqq", _TYPE_UNIVERSAL, sketch.num_levels, sketch.rows,
+        sketch.width, sketch.heap_size, _require_seed(sketch),
+        sketch.packets))
+    for level in sketch.levels:
+        out.write(struct.pack("<qq", level.packets, level.weight))
+        _write_table(out, level.sketch.table)
+        _write_topk(out, level.topk)
+
+
+def _load_universal(buf: BinaryIO) -> UniversalSketch:
+    levels, rows, width, heap_size, seed, packets = struct.unpack(
+        "<IIIIqq", _read_exact(buf, 32))
+    sketch = UniversalSketch(levels=levels, rows=rows, width=width,
+                             heap_size=heap_size, seed=seed)
+    sketch.packets = packets
+    for level in sketch.levels:
+        level.packets, level.weight = struct.unpack(
+            "<qq", _read_exact(buf, 16))
+        level.sketch.table = _read_table(buf, rows, width)
+        level.topk = _read_topk(buf)
+    return sketch
+
+
+# --------------------------------------------------------------------- #
+# public API
+# --------------------------------------------------------------------- #
+
+def dumps(sketch) -> bytes:
+    """Serialize a seeded sketch to bytes."""
+    out = io.BytesIO()
+    if isinstance(sketch, UniversalSketch):
+        _dump_universal(out, sketch)
+    elif isinstance(sketch, CountSketch):
+        _dump_count_sketch(out, sketch, _TYPE_COUNT_SKETCH)
+    elif isinstance(sketch, CountMinSketch):
+        if sketch.conservative:
+            raise ConfigurationError(
+                "conservative CountMin carries no extra state but is "
+                "flagged non-linear; serialize the plain variant")
+        _dump_count_sketch(out, sketch, _TYPE_COUNT_MIN)
+    elif isinstance(sketch, KArySketch):
+        _dump_count_sketch(out, sketch, _TYPE_KARY)
+    else:
+        raise ConfigurationError(
+            f"no serializer for {type(sketch).__name__}")
+    return out.getvalue()
+
+
+def loads(data: Union[bytes, bytearray]):
+    """Reconstruct a sketch serialized by :func:`dumps`."""
+    buf = io.BytesIO(bytes(data))
+    magic = buf.read(4)
+    if magic != _MAGIC:
+        raise TraceFormatError(f"bad sketch magic {magic!r}")
+    (type_tag,) = struct.unpack("<B", _read_exact(buf, 1))
+    if type_tag == _TYPE_UNIVERSAL:
+        return _load_universal(buf)
+    if type_tag == _TYPE_COUNT_SKETCH:
+        return _load_tableau(buf, CountSketch, "CountSketch")
+    if type_tag == _TYPE_COUNT_MIN:
+        return _load_tableau(buf, CountMinSketch, "CountMinSketch")
+    if type_tag == _TYPE_KARY:
+        return _load_tableau(buf, KArySketch, "KArySketch")
+    raise TraceFormatError(f"unknown sketch type tag {type_tag}")

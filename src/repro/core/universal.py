@@ -1,0 +1,244 @@
+"""The universal sketch — UnivMon's data plane (Algorithm 1 of the paper).
+
+One :class:`UniversalSketch` maintains ``levels + 1`` Count Sketch
+instances.  Level 0 sees the full stream; level ``j`` sees the substream
+of keys whose first ``j`` sampling-hash bits are all 1, so each level
+halves the expected number of distinct keys.  Every level also tracks the
+top-k L2 heavy hitters of its substream (the ``Q_j`` sets).
+
+From this single structure the control plane (``repro.core.gsum``)
+estimates *any* Stream-PolyLog statistic: heavy hitters, distinct counts,
+entropy, L1/L2 norms, heavy changes — the paper's "RISC" monitoring
+primitive.
+
+The sketch is linear: two instances built with the same ``seed`` and
+geometry can be merged (multi-switch aggregation, §5 "Distributed
+monitoring") or subtracted (change detection, §3.4).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, IncompatibleSketchError
+from repro.hashing.sampling import LevelSampler
+from repro.core.level import SketchLevel
+from repro.sketches.base import Sketch, UpdateCost
+from repro.sketches.topk import TopK
+
+
+class UniversalSketch(Sketch):
+    """UnivMon's single generic data-plane primitive.
+
+    Parameters
+    ----------
+    levels:
+        Number of sampled substreams below the full stream (the paper's
+        ``log n``); the sketch holds ``levels + 1`` Count Sketch
+        instances.  Choose ``levels >= log2(expected distinct keys / k)``
+        so the deepest substream fits in its heap.
+    rows, width:
+        Geometry of every per-level Count Sketch.
+    heap_size:
+        ``k`` of each per-level top-k heavy hitter set ``Q_j``.
+    seed:
+        Master seed; all hash functions derive from it deterministically,
+        making equal-seed sketches mergeable/subtractable.
+    """
+
+    __slots__ = ("num_levels", "rows", "width", "heap_size", "seed",
+                 "sampler", "levels", "packets")
+
+    def __init__(self, levels: int = 16, rows: int = 5, width: int = 1024,
+                 heap_size: int = 64, seed: Optional[int] = None,
+                 counter_bytes: int = 4) -> None:
+        if levels < 0:
+            raise ConfigurationError(f"levels must be >= 0, got {levels}")
+        self.num_levels = levels
+        self.rows = rows
+        self.width = width
+        self.heap_size = heap_size
+        self.seed = seed
+        master = random.Random(seed)
+        self.sampler = LevelSampler(levels, seed=master.randrange(1 << 62))
+        self.levels: List[SketchLevel] = [
+            SketchLevel(rows=rows, width=width, heap_size=heap_size,
+                        seed=master.randrange(1 << 62),
+                        counter_bytes=counter_bytes)
+            for _ in range(levels + 1)
+        ]
+        self.packets = 0
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def for_memory_budget(cls, total_bytes: int, levels: int = 16,
+                          rows: int = 5, heap_size: int = 64,
+                          seed: Optional[int] = None) -> "UniversalSketch":
+        """Size ``width`` so the whole sketch fits in ``total_bytes``.
+
+        The budget covers all ``levels + 1`` Count Sketches (4-byte
+        counters) and all heaps; this is the constructor the
+        accuracy-vs-memory sweeps use.
+        """
+        heap_bytes = (levels + 1) * heap_size * 16
+        counter_budget = total_bytes - heap_bytes
+        width = counter_budget // ((levels + 1) * rows * 4)
+        if width < 8:
+            raise ConfigurationError(
+                f"memory budget {total_bytes}B too small for {levels + 1} "
+                f"levels x {rows} rows (needs >= "
+                f"{heap_bytes + (levels + 1) * rows * 4 * 8}B)")
+        return cls(levels=levels, rows=rows, width=int(width),
+                   heap_size=heap_size, seed=seed)
+
+    @staticmethod
+    def levels_for(expected_distinct: int, heap_size: int = 64) -> int:
+        """The ``log n`` rule: enough levels that the deepest substream's
+        expected distinct count falls below the heap size."""
+        if expected_distinct <= heap_size:
+            return 1
+        return max(1, math.ceil(math.log2(expected_distinct / heap_size)) + 1)
+
+    # ------------------------------------------------------------------ #
+    # data plane
+    # ------------------------------------------------------------------ #
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Algorithm 1: add ``key`` to every substream it belongs to."""
+        depth = self.sampler.deepest_level(key)
+        levels = self.levels
+        for j in range(depth + 1):
+            levels[j].update(key, weight)
+        self.packets += 1
+
+    def update_array(self, keys: np.ndarray,
+                     weights: Optional[np.ndarray] = None) -> None:
+        """Vectorised bulk update over a ``uint64`` key array."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        depths = self.sampler.deepest_level_array(keys)
+        for j, level in enumerate(self.levels):
+            mask = depths >= j
+            if not mask.any():
+                break
+            level.update_array(keys[mask],
+                               None if weights is None else weights[mask])
+        self.packets += len(keys)
+
+    @property
+    def total_weight(self) -> int:
+        """Total stream weight ``m`` (level 0 sees everything)."""
+        return self.levels[0].weight
+
+    # ------------------------------------------------------------------ #
+    # control-plane entry points (thin wrappers over repro.core.gsum)
+    # ------------------------------------------------------------------ #
+
+    def heavy_hitters(self, fraction: float) -> List[Tuple[int, float]]:
+        """G-core for g(x)=x: keys estimated above ``fraction`` of total."""
+        from repro.core.gsum import g_core
+        return g_core(self, fraction)
+
+    def g_sum(self, g) -> float:
+        """Estimate ``G-sum`` for any Stream-PolyLog g (Algorithm 2)."""
+        from repro.core.gsum import estimate_gsum
+        return estimate_gsum(self, g)
+
+    def cardinality(self) -> float:
+        from repro.core.gsum import estimate_cardinality
+        return estimate_cardinality(self)
+
+    def entropy(self, base: float = 2.0) -> float:
+        from repro.core.gsum import estimate_entropy
+        return estimate_entropy(self, base=base)
+
+    # ------------------------------------------------------------------ #
+    # linearity
+    # ------------------------------------------------------------------ #
+
+    def _check_compatible(self, other: "UniversalSketch") -> None:
+        if not isinstance(other, UniversalSketch):
+            raise IncompatibleSketchError(
+                f"cannot combine UniversalSketch with {type(other).__name__}")
+        same = (self.num_levels, self.rows, self.width, self.heap_size,
+                self.seed) == (other.num_levels, other.rows, other.width,
+                               other.heap_size, other.seed)
+        if not same or self.seed is None:
+            raise IncompatibleSketchError(
+                "universal sketches must share geometry and an explicit "
+                "seed to be combined")
+
+    def _combine(self, other: "UniversalSketch", sign: int) -> "UniversalSketch":
+        self._check_compatible(other)
+        out = UniversalSketch(levels=self.num_levels, rows=self.rows,
+                              width=self.width, heap_size=self.heap_size,
+                              seed=self.seed)
+        for j, (a, b) in enumerate(zip(self.levels, other.levels)):
+            lvl = out.levels[j]
+            if sign > 0:
+                lvl.sketch = a.sketch.merge(b.sketch)
+            else:
+                lvl.sketch = a.sketch.subtract(b.sketch)
+            lvl.packets = a.packets + b.packets
+            lvl.weight = a.weight + sign * b.weight
+            # Rebuild Q_j from the union of both heaps' keys, re-queried
+            # against the combined counters.
+            union = set(a.topk.keys()) | set(b.topk.keys())
+            if union:
+                keys = np.fromiter(union, dtype=np.uint64, count=len(union))
+                estimates = lvl.sketch.query_many(keys)
+                heap = TopK(self.heap_size)
+                order = np.argsort(np.abs(estimates))
+                for i in order:
+                    heap.offer(int(keys[i]), float(estimates[i]))
+                lvl.topk = heap
+        out.packets = self.packets + other.packets
+        return out
+
+    def merge(self, other: "UniversalSketch") -> "UniversalSketch":
+        """Sketch of the concatenated streams (distributed aggregation)."""
+        return self._combine(other, +1)
+
+    def subtract(self, other: "UniversalSketch") -> "UniversalSketch":
+        """Sketch of the difference stream — the change-detection primitive.
+
+        Point queries on the result estimate per-key deltas, its G-core
+        yields heavy-change keys, and ``g_sum(ABS)`` the total change D.
+        """
+        return self._combine(other, -1)
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def memory_bytes(self) -> int:
+        return sum(level.memory_bytes() for level in self.levels)
+
+    def update_cost(self) -> UpdateCost:
+        """Expected per-packet cost.
+
+        Every packet pays all ``levels`` sampling bits (computed in one
+        pass) and updates level ``j`` with probability ``2**-j``, so the
+        expected number of Count Sketch updates is < 2 regardless of depth.
+        """
+        per_level = self.levels[0].update_cost()
+        expected_levels = sum(2.0 ** -j for j in range(self.num_levels + 1))
+        return UpdateCost(
+            hashes=int(round(self.num_levels
+                             + per_level.hashes * expected_levels)),
+            counter_updates=int(round(
+                per_level.counter_updates * expected_levels)),
+            memory_words=int(round(
+                per_level.memory_words * expected_levels)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"UniversalSketch(levels={self.num_levels}, rows={self.rows}, "
+                f"width={self.width}, heap_size={self.heap_size}, "
+                f"seed={self.seed})")

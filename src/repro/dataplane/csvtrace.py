@@ -1,0 +1,74 @@
+"""CSV trace format: one packet per line, human-inspectable.
+
+Columns: ``timestamp,src,dst,sport,dport,proto,size`` with dotted-quad
+addresses.  Round-trips exactly with :class:`~repro.dataplane.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.dataplane.packet import format_ipv4, parse_ipv4
+from repro.dataplane.trace import Trace
+
+_HEADER = ["timestamp", "src", "dst", "sport", "dport", "proto", "size"]
+
+
+def save_csv(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` in the CSV trace format."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for i in range(len(trace)):
+            writer.writerow([
+                f"{trace.timestamps[i]:.6f}",
+                format_ipv4(int(trace.src[i])),
+                format_ipv4(int(trace.dst[i])),
+                int(trace.sport[i]),
+                int(trace.dport[i]),
+                int(trace.proto[i]),
+                int(trace.size[i]),
+            ])
+
+
+def load_csv(path: Union[str, Path]) -> Trace:
+    """Read a CSV trace written by :func:`save_csv`."""
+    timestamps, src, dst, sport, dport, proto, size = \
+        [], [], [], [], [], [], []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise TraceFormatError(
+                f"{path}: expected header {_HEADER}, got {header}")
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(_HEADER):
+                raise TraceFormatError(
+                    f"{path}:{lineno}: expected {len(_HEADER)} fields, "
+                    f"got {len(row)}")
+            try:
+                timestamps.append(float(row[0]))
+                src.append(parse_ipv4(row[1]))
+                dst.append(parse_ipv4(row[2]))
+                sport.append(int(row[3]))
+                dport.append(int(row[4]))
+                proto.append(int(row[5]))
+                size.append(int(row[6]))
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}:{lineno}: {exc}") from exc
+    return Trace(
+        np.array(timestamps, dtype=np.float64),
+        np.array(src, dtype=np.uint32),
+        np.array(dst, dtype=np.uint32),
+        np.array(sport, dtype=np.uint16),
+        np.array(dport, dtype=np.uint16),
+        np.array(proto, dtype=np.uint8),
+        np.array(size, dtype=np.uint16),
+    )

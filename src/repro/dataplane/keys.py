@@ -1,0 +1,160 @@
+"""Flow-key extraction: the "feature" a metric is computed over.
+
+The paper's evaluation computes every metric over the source IP; the
+multidimensional extension (§5) wants other projections of the 5-tuple.
+A :class:`KeyFunction` maps packets (scalar path) or trace columns
+(vectorised path) to ``uint64`` keys the sketches hash.
+
+Keys are built by *packing*, not hashing, wherever the fields fit in 64
+bits (src, dst, src-dst pair) so they stay reversible for reporting; the
+full 5-tuple (104 bits) is mixed down to 64 bits with a splitmix-style
+finalizer, which keeps collisions at the 2**-64 scale of the key space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.dataplane.packet import FiveTuple, Packet
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _splitmix64(x: int) -> int:
+    """The splitmix64 finalizer — a fast, well-mixed 64-bit permutation."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+def _splitmix64_array(x: np.ndarray) -> np.ndarray:
+    x = (x + np.uint64(0x9E3779B97F4A7C15)) & _MASK64
+    x = ((x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _MASK64
+    x = ((x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & _MASK64
+    return x ^ (x >> np.uint64(31))
+
+
+@dataclass(frozen=True)
+class KeyFunction:
+    """A named projection of packets to integer keys.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in configs and reports (e.g. ``"src_ip"``).
+    scalar:
+        ``FiveTuple -> int`` for the per-packet path.
+    vector:
+        ``Trace -> np.ndarray[uint64]`` for the bulk path; receives the
+        trace object and uses its columns directly.
+    reversible:
+        Whether keys can be decoded back to the original field(s).
+    """
+
+    name: str
+    scalar: Callable[[FiveTuple], int]
+    vector: Callable[["object"], np.ndarray]
+    reversible: bool = True
+
+    def __call__(self, packet_or_flow) -> int:
+        flow = packet_or_flow.flow if isinstance(packet_or_flow, Packet) \
+            else packet_or_flow
+        return self.scalar(flow)
+
+    def of_trace(self, trace) -> np.ndarray:
+        return self.vector(trace)
+
+
+# --------------------------------------------------------------------- #
+# scalar projections
+# --------------------------------------------------------------------- #
+
+def _src_scalar(flow: FiveTuple) -> int:
+    return flow.src_ip
+
+
+def _dst_scalar(flow: FiveTuple) -> int:
+    return flow.dst_ip
+
+
+def _pair_scalar(flow: FiveTuple) -> int:
+    return (flow.src_ip << 32) | flow.dst_ip
+
+
+def _five_tuple_scalar(flow: FiveTuple) -> int:
+    packed = ((flow.src_ip << 32) | flow.dst_ip)
+    ports = (flow.src_port << 24) | (flow.dst_port << 8) | flow.protocol
+    return _splitmix64(packed) ^ _splitmix64(ports)
+
+
+# --------------------------------------------------------------------- #
+# vectorised projections (operate on Trace columns)
+# --------------------------------------------------------------------- #
+
+def _src_vector(trace) -> np.ndarray:
+    return trace.src.astype(np.uint64)
+
+
+def _dst_vector(trace) -> np.ndarray:
+    return trace.dst.astype(np.uint64)
+
+
+def _pair_vector(trace) -> np.ndarray:
+    return ((trace.src.astype(np.uint64) << np.uint64(32))
+            | trace.dst.astype(np.uint64))
+
+
+def _five_tuple_vector(trace) -> np.ndarray:
+    packed = ((trace.src.astype(np.uint64) << np.uint64(32))
+              | trace.dst.astype(np.uint64))
+    ports = ((trace.sport.astype(np.uint64) << np.uint64(24))
+             | (trace.dport.astype(np.uint64) << np.uint64(8))
+             | trace.proto.astype(np.uint64))
+    return _splitmix64_array(packed) ^ _splitmix64_array(ports)
+
+
+#: Metric computed over source addresses — the paper's evaluation feature.
+src_ip_key = KeyFunction("src_ip", _src_scalar, _src_vector)
+
+#: Metric computed over destination addresses (HH "per destination").
+dst_ip_key = KeyFunction("dst_ip", _dst_scalar, _dst_vector)
+
+#: Source-destination pair (origin-destination flows).
+src_dst_key = KeyFunction("src_dst", _pair_scalar, _pair_vector)
+
+#: Full 5-tuple flows (mixed to 64 bits; not reversible).
+five_tuple_key = KeyFunction("five_tuple", _five_tuple_scalar,
+                             _five_tuple_vector, reversible=False)
+
+def src_prefix_key(prefix_len: int) -> KeyFunction:
+    """Source address truncated to ``prefix_len`` bits — the key family
+    hierarchical heavy hitters aggregate over (§5 "Multidimensional
+    data").  ``src_prefix_key(32)`` equals :data:`src_ip_key`."""
+    if not 0 < prefix_len <= 32:
+        raise ValueError(f"prefix_len must be in (0, 32], got {prefix_len}")
+    shift = 32 - prefix_len
+    np_shift = np.uint64(shift)
+
+    def scalar(flow: FiveTuple) -> int:
+        return (flow.src_ip >> shift) << shift
+
+    def vector(trace) -> np.ndarray:
+        src = trace.src.astype(np.uint64)
+        return (src >> np_shift) << np_shift
+
+    return KeyFunction(f"src_prefix_{prefix_len}", scalar, vector)
+
+
+KEY_FUNCTIONS: Dict[str, KeyFunction] = {
+    kf.name: kf
+    for kf in (src_ip_key, dst_ip_key, src_dst_key, five_tuple_key)
+}
+
+
+def decode_src_dst(key: int) -> tuple:
+    """Invert :data:`src_dst_key`: key -> (src_ip, dst_ip)."""
+    return (key >> 32) & 0xFFFFFFFF, key & 0xFFFFFFFF

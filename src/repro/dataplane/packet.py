@@ -1,0 +1,80 @@
+"""Packets and IP 5-tuples.
+
+Addresses are plain integers internally (``uint32`` for IPv4) because the
+sketches hash integers; the dotted-quad helpers exist for I/O and display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.errors import TraceFormatError
+
+#: IANA protocol numbers used throughout the traces.
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_ICMP = 1
+
+
+def parse_ipv4(text: str) -> int:
+    """Dotted-quad string -> uint32 (raises TraceFormatError on junk)."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise TraceFormatError(f"bad IPv4 address {text!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError as exc:
+            raise TraceFormatError(f"bad IPv4 address {text!r}") from exc
+        if not 0 <= octet <= 255:
+            raise TraceFormatError(f"bad IPv4 address {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """uint32 -> dotted-quad string."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise TraceFormatError(f"IPv4 value out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class FiveTuple(NamedTuple):
+    """The classic flow identifier."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    @classmethod
+    def from_strings(cls, src_ip: str, dst_ip: str, src_port: int,
+                     dst_port: int, protocol: int) -> "FiveTuple":
+        return cls(parse_ipv4(src_ip), parse_ipv4(dst_ip),
+                   int(src_port), int(dst_port), int(protocol))
+
+    def reversed(self) -> "FiveTuple":
+        """The reverse direction of the same conversation."""
+        return FiveTuple(self.dst_ip, self.src_ip, self.dst_port,
+                         self.src_port, self.protocol)
+
+    def __str__(self) -> str:
+        return (f"{format_ipv4(self.src_ip)}:{self.src_port} -> "
+                f"{format_ipv4(self.dst_ip)}:{self.dst_port} "
+                f"proto={self.protocol}")
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One observed packet: a 5-tuple, arrival time, and wire size."""
+
+    flow: FiveTuple
+    timestamp: float = 0.0
+    size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise TraceFormatError(f"negative packet size {self.size}")

@@ -1,0 +1,137 @@
+"""Minimal libpcap reader/writer (pure stdlib ``struct``).
+
+Writes traces as Ethernet/IPv4/{TCP,UDP} frames in classic pcap format
+(magic ``0xa1b2c3d4``, microsecond timestamps) and reads them back,
+tolerating both byte orders.  Only the fields a :class:`Trace` carries are
+preserved; payloads are zero-padded to the recorded packet size.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.dataplane.packet import PROTO_TCP, PROTO_UDP
+from repro.dataplane.trace import Trace
+
+_PCAP_MAGIC = 0xA1B2C3D4
+_LINKTYPE_ETHERNET = 1
+_ETH_HEADER = b"\x02\x00\x00\x00\x00\x01" + b"\x02\x00\x00\x00\x00\x02" + b"\x08\x00"
+_ETH_LEN = 14
+_IP_LEN = 20
+
+
+def save_pcap(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` as a classic pcap capture."""
+    with open(path, "wb") as fh:
+        fh.write(struct.pack("<IHHiIII", _PCAP_MAGIC, 2, 4, 0, 0, 65535,
+                             _LINKTYPE_ETHERNET))
+        for i in range(len(trace)):
+            ts = float(trace.timestamps[i])
+            sec = int(ts)
+            usec = int(round((ts - sec) * 1_000_000))
+            if usec >= 1_000_000:
+                sec, usec = sec + 1, usec - 1_000_000
+            proto = int(trace.proto[i])
+            l4 = _l4_header(proto, int(trace.sport[i]), int(trace.dport[i]))
+            total_ip = max(int(trace.size[i]) - _ETH_LEN, _IP_LEN + len(l4))
+            ip = _ipv4_header(int(trace.src[i]), int(trace.dst[i]),
+                              proto, total_ip)
+            payload_len = total_ip - _IP_LEN - len(l4)
+            frame = _ETH_HEADER + ip + l4 + b"\x00" * payload_len
+            fh.write(struct.pack("<IIII", sec, usec, len(frame), len(frame)))
+            fh.write(frame)
+
+
+def _ipv4_header(src: int, dst: int, proto: int, total_len: int) -> bytes:
+    header = struct.pack(">BBHHHBBHII", 0x45, 0, total_len, 0, 0, 64,
+                         proto, 0, src, dst)
+    checksum = _ip_checksum(header)
+    return header[:10] + struct.pack(">H", checksum) + header[12:]
+
+
+def _ip_checksum(header: bytes) -> int:
+    total = 0
+    for i in range(0, len(header), 2):
+        total += (header[i] << 8) | header[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def _l4_header(proto: int, sport: int, dport: int) -> bytes:
+    if proto == PROTO_TCP:
+        return struct.pack(">HHIIBBHHH", sport, dport, 0, 0, 0x50, 0x10,
+                           65535, 0, 0)
+    if proto == PROTO_UDP:
+        return struct.pack(">HHHH", sport, dport, 8, 0)
+    return b""
+
+
+def load_pcap(path: Union[str, Path]) -> Trace:
+    """Read a pcap capture into a :class:`Trace`.
+
+    Non-IPv4 frames are skipped; TCP/UDP ports are extracted when present.
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if len(data) < 24:
+        raise TraceFormatError(f"{path}: truncated pcap header")
+    magic = struct.unpack("<I", data[:4])[0]
+    if magic == _PCAP_MAGIC:
+        endian = "<"
+    elif magic == 0xD4C3B2A1:
+        endian = ">"
+    else:
+        raise TraceFormatError(f"{path}: not a pcap file (magic {magic:#x})")
+    linktype = struct.unpack(endian + "I", data[20:24])[0]
+    if linktype != _LINKTYPE_ETHERNET:
+        raise TraceFormatError(
+            f"{path}: unsupported linktype {linktype} (want Ethernet)")
+
+    ts_list, src, dst, sport, dport, proto, size = \
+        [], [], [], [], [], [], []
+    offset = 24
+    while offset + 16 <= len(data):
+        sec, usec, caplen, origlen = struct.unpack(
+            endian + "IIII", data[offset:offset + 16])
+        offset += 16
+        frame = data[offset:offset + caplen]
+        offset += caplen
+        if len(frame) < _ETH_LEN + _IP_LEN:
+            continue
+        ethertype = struct.unpack(">H", frame[12:14])[0]
+        if ethertype != 0x0800:
+            continue
+        ip = frame[_ETH_LEN:]
+        version_ihl = ip[0]
+        if version_ihl >> 4 != 4:
+            continue
+        ihl = (version_ihl & 0x0F) * 4
+        if len(ip) < ihl + 4:
+            continue
+        p = ip[9]
+        s_ip, d_ip = struct.unpack(">II", ip[12:20])
+        sp = dp = 0
+        if p in (PROTO_TCP, PROTO_UDP) and len(ip) >= ihl + 4:
+            sp, dp = struct.unpack(">HH", ip[ihl:ihl + 4])
+        ts_list.append(sec + usec / 1_000_000)
+        src.append(s_ip)
+        dst.append(d_ip)
+        sport.append(sp)
+        dport.append(dp)
+        proto.append(p)
+        size.append(origlen)
+    return Trace(
+        np.array(ts_list, dtype=np.float64),
+        np.array(src, dtype=np.uint32),
+        np.array(dst, dtype=np.uint32),
+        np.array(sport, dtype=np.uint16),
+        np.array(dport, dtype=np.uint16),
+        np.array(proto, dtype=np.uint8),
+        np.array(size, dtype=np.uint16),
+    )

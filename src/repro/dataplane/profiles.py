@@ -1,0 +1,57 @@
+"""Named workload profiles for the synthetic trace generator.
+
+The generator's knobs (`SyntheticTraceConfig`) parameterise one
+heavy-tailed model; these presets pin them to the regimes the
+measurement literature usually distinguishes, so examples and
+experiments can say ``profile("backbone")`` instead of re-deriving
+skews.  Values follow common characterisations: backbone links are the
+most aggregated (many flows, skew ~1.1); datacenter traffic is mousier
+but with pronounced elephants (higher skew); an IXP sees extreme fan-in
+(more flows per packet); an enterprise edge is small and bursty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.dataplane.trace import SyntheticTraceConfig
+
+#: Per-5-second-epoch profiles (packets scale with duration).
+PROFILES: Dict[str, SyntheticTraceConfig] = {
+    # Tier-1 backbone link (the paper's CAIDA setting).
+    "backbone": SyntheticTraceConfig(
+        packets=30_000, flows=5_000, zipf_skew=1.1, duration=5.0),
+    # Datacenter aggregation: fewer concurrent flows, heavier elephants.
+    "datacenter": SyntheticTraceConfig(
+        packets=40_000, flows=2_000, zipf_skew=1.4, duration=5.0),
+    # Internet exchange point: extreme flow fan-in, flatter sizes.
+    "ixp": SyntheticTraceConfig(
+        packets=30_000, flows=12_000, zipf_skew=0.9, duration=5.0),
+    # Enterprise edge: small and comparatively flat.
+    "enterprise": SyntheticTraceConfig(
+        packets=8_000, flows=1_200, zipf_skew=1.0, duration=5.0),
+}
+
+
+def profile(name: str, duration: float = 5.0,
+            seed: int = 0) -> SyntheticTraceConfig:
+    """A named profile scaled to ``duration`` seconds.
+
+    Packets scale linearly with duration; flow count scales with its
+    square root (longer windows see more distinct flows, sublinearly).
+    """
+    try:
+        base = PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown profile {name!r} (have {sorted(PROFILES)})") from None
+    scale = duration / base.duration
+    return replace(
+        base,
+        packets=max(1, int(round(base.packets * scale))),
+        flows=max(1, int(round(base.flows * scale ** 0.5))),
+        duration=duration,
+        seed=seed,
+    )

@@ -1,0 +1,81 @@
+"""Timed trace replay — feeding a consumer at (scaled) capture rate.
+
+The CLI's switch agent and any live-ish demo need a trace pushed at
+realistic pacing rather than all at once.  :class:`TraceReplayer` walks
+a trace in chunks, sleeping so that inter-packet gaps match the capture
+timestamps divided by ``speedup``, and invokes a callback per chunk.
+
+Pacing is best-effort (coarse sleeps, no busy-wait): the guarantee is
+that a chunk is never delivered *early*, and delivery lag is reported
+so callers can detect when they cannot keep up.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.dataplane.trace import Trace
+
+
+class TraceReplayer:
+    """Replay a trace against a callback at scaled capture pacing.
+
+    Parameters
+    ----------
+    trace:
+        The (time-sorted) trace to replay.
+    speedup:
+        Time compression factor; ``inf`` (or ``0``) replays as fast as
+        possible, 1.0 replays in real time, 60 replays an hour-long
+        trace in a minute.
+    chunk_seconds:
+        Capture-time granularity of the callback batches.
+    """
+
+    def __init__(self, trace: Trace, speedup: float = float("inf"),
+                 chunk_seconds: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if speedup < 0:
+            raise ConfigurationError(f"speedup must be >= 0, got {speedup}")
+        if chunk_seconds <= 0:
+            raise ConfigurationError(
+                f"chunk_seconds must be > 0, got {chunk_seconds}")
+        self.trace = trace
+        self.speedup = speedup if speedup > 0 else float("inf")
+        self.chunk_seconds = chunk_seconds
+        self._clock = clock
+        self._sleep = sleep
+        self.max_lag = 0.0
+        self.chunks_delivered = 0
+
+    def run(self, consume: Callable[[Trace], None],
+            stop: Optional[Callable[[], bool]] = None) -> int:
+        """Replay; calls ``consume(chunk)`` per chunk.  Returns packets
+        delivered.  ``stop()`` is checked between chunks."""
+        trace = self.trace
+        if len(trace) == 0:
+            return 0
+        start_wall = self._clock()
+        start_capture = float(trace.timestamps[0])
+        delivered = 0
+        for chunk in trace.epochs(self.chunk_seconds):
+            if stop is not None and stop():
+                break
+            if len(chunk) == 0:
+                self.chunks_delivered += 1
+                continue
+            if self.speedup != float("inf"):
+                due = (float(chunk.timestamps[0]) - start_capture) \
+                    / self.speedup
+                now = self._clock() - start_wall
+                if now < due:
+                    self._sleep(due - now)
+                else:
+                    self.max_lag = max(self.max_lag, now - due)
+            consume(chunk)
+            delivered += len(chunk)
+            self.chunks_delivered += 1
+        return delivered

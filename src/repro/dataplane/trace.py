@@ -1,0 +1,352 @@
+"""Column-oriented packet traces and the synthetic workload generator.
+
+The paper evaluates on a proprietary CAIDA 2015 backbone trace.  The
+substitute here is a generator producing the statistical structure the
+evaluated metrics actually depend on:
+
+- **Zipf-distributed flow sizes** (heavy-tailed: a few elephants, many
+  mice) — backbone traces fit Zipf with skew ~1.0-1.3;
+- realistic random 5-tuples over configurable address pools;
+- injectable **DDoS events** (a victim destination suddenly contacted by
+  thousands of fresh sources) for Figure 5;
+- injectable **change events** (a set of flows surging or vanishing at an
+  epoch boundary) for Figure 6.
+
+A :class:`Trace` stores packets as parallel numpy columns (timestamps,
+src, dst, ports, protocol, size), which is what makes trace-scale
+experiments tractable in Python: sketches consume the vectorised key
+arrays, and epoch slicing is an O(1) view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.dataplane.packet import FiveTuple, Packet, PROTO_TCP, PROTO_UDP
+
+
+class Trace:
+    """An ordered packet trace stored as parallel numpy columns."""
+
+    __slots__ = ("timestamps", "src", "dst", "sport", "dport", "proto", "size")
+
+    def __init__(self, timestamps: np.ndarray, src: np.ndarray,
+                 dst: np.ndarray, sport: np.ndarray, dport: np.ndarray,
+                 proto: np.ndarray, size: Optional[np.ndarray] = None) -> None:
+        n = len(timestamps)
+        if size is None:
+            size = np.full(n, 64, dtype=np.uint16)
+        columns = (timestamps, src, dst, sport, dport, proto, size)
+        if any(len(c) != n for c in columns):
+            raise TraceFormatError("trace columns have mismatched lengths")
+        self.timestamps = np.asarray(timestamps, dtype=np.float64)
+        self.src = np.asarray(src, dtype=np.uint32)
+        self.dst = np.asarray(dst, dtype=np.uint32)
+        self.sport = np.asarray(sport, dtype=np.uint16)
+        self.dport = np.asarray(dport, dtype=np.uint16)
+        self.proto = np.asarray(proto, dtype=np.uint8)
+        self.size = np.asarray(size, dtype=np.uint16)
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def packet(self, i: int) -> Packet:
+        return Packet(
+            flow=FiveTuple(int(self.src[i]), int(self.dst[i]),
+                           int(self.sport[i]), int(self.dport[i]),
+                           int(self.proto[i])),
+            timestamp=float(self.timestamps[i]),
+            size=int(self.size[i]),
+        )
+
+    def __iter__(self) -> Iterator[Packet]:
+        for i in range(len(self)):
+            yield self.packet(i)
+
+    @property
+    def duration(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return float(self.timestamps[-1] - self.timestamps[0])
+
+    def key_array(self, key_function) -> np.ndarray:
+        """The uint64 key column for a given key function (bulk path)."""
+        return key_function.of_trace(self)
+
+    def distinct(self, key_function) -> int:
+        """Exact number of distinct keys (ground-truth helper)."""
+        return int(len(np.unique(self.key_array(key_function))))
+
+    # ------------------------------------------------------------------ #
+    # slicing / combination
+    # ------------------------------------------------------------------ #
+
+    def _take(self, index) -> "Trace":
+        return Trace(self.timestamps[index], self.src[index],
+                     self.dst[index], self.sport[index], self.dport[index],
+                     self.proto[index], self.size[index])
+
+    def slice_time(self, start: float, end: float) -> "Trace":
+        """Packets with ``start <= t < end`` (assumes time-sorted trace)."""
+        lo = int(np.searchsorted(self.timestamps, start, side="left"))
+        hi = int(np.searchsorted(self.timestamps, end, side="left"))
+        return self._take(slice(lo, hi))
+
+    def epochs(self, epoch_seconds: float) -> List["Trace"]:
+        """Split into consecutive fixed-length epochs (the controller's
+        5-second polling intervals)."""
+        if epoch_seconds <= 0:
+            raise ConfigurationError(
+                f"epoch_seconds must be > 0, got {epoch_seconds}")
+        if len(self) == 0:
+            return []
+        t0 = float(self.timestamps[0])
+        t_end = float(self.timestamps[-1])
+        out = []
+        t = t0
+        while t <= t_end:
+            out.append(self.slice_time(t, t + epoch_seconds))
+            t += epoch_seconds
+        return out
+
+    def sorted_by_time(self) -> "Trace":
+        order = np.argsort(self.timestamps, kind="stable")
+        return self._take(order)
+
+    @classmethod
+    def concat(cls, traces: Sequence["Trace"]) -> "Trace":
+        traces = [t for t in traces if len(t) > 0]
+        if not traces:
+            return cls.empty()
+        return cls(
+            np.concatenate([t.timestamps for t in traces]),
+            np.concatenate([t.src for t in traces]),
+            np.concatenate([t.dst for t in traces]),
+            np.concatenate([t.sport for t in traces]),
+            np.concatenate([t.dport for t in traces]),
+            np.concatenate([t.proto for t in traces]),
+            np.concatenate([t.size for t in traces]),
+        ).sorted_by_time()
+
+    @classmethod
+    def empty(cls) -> "Trace":
+        z = np.zeros(0)
+        return cls(z, z, z, z, z, z, z)
+
+    @classmethod
+    def from_packets(cls, packets: Sequence[Packet]) -> "Trace":
+        n = len(packets)
+        out = cls(
+            np.fromiter((p.timestamp for p in packets), np.float64, n),
+            np.fromiter((p.flow.src_ip for p in packets), np.uint32, n),
+            np.fromiter((p.flow.dst_ip for p in packets), np.uint32, n),
+            np.fromiter((p.flow.src_port for p in packets), np.uint16, n),
+            np.fromiter((p.flow.dst_port for p in packets), np.uint16, n),
+            np.fromiter((p.flow.protocol for p in packets), np.uint8, n),
+            np.fromiter((p.size for p in packets), np.uint16, n),
+        )
+        return out
+
+
+# --------------------------------------------------------------------- #
+# synthetic workload generation
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class DDoSEvent:
+    """A burst of fresh sources hitting one victim destination.
+
+    During ``[start, end)`` seconds, ``num_sources`` previously unseen
+    source addresses each send ``packets_per_source`` packets to the
+    victim — the workload Figure 5's detector must flag.
+    """
+
+    start: float
+    end: float
+    num_sources: int
+    packets_per_source: int = 2
+    victim: Optional[int] = None  # dst IP; drawn randomly when None
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """A volume shift at time ``time``: ``num_flows`` flows surge by
+    ``factor`` (half of them) or go quiet (the other half) afterwards —
+    the heavy-change keys Figure 6's detectors must find.
+
+    ``rank_lo``/``rank_hi`` bound the Zipf ranks the changed flows are
+    drawn from (default: mid-rank flows, ``[flows/100, flows/4)``), so
+    experiments can control how large the injected changes are relative
+    to the noise floor of multinomial re-sampling."""
+
+    time: float
+    num_flows: int
+    factor: float = 8.0
+    rank_lo: Optional[int] = None
+    rank_hi: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SyntheticTraceConfig:
+    """Knobs of the CAIDA-substitute generator.
+
+    Attributes
+    ----------
+    packets:
+        Total baseline packets (events add more).
+    flows:
+        Number of distinct 5-tuple flows in the baseline traffic.
+    zipf_skew:
+        Zipf exponent of the flow-size distribution (backbone ~1.0-1.3).
+    duration:
+        Trace length in seconds.
+    seed:
+        Generator seed (each distinct seed is an independent trace).
+    """
+
+    packets: int = 100_000
+    flows: int = 10_000
+    zipf_skew: float = 1.1
+    duration: float = 60.0
+    seed: int = 0
+    ddos_events: Tuple[DDoSEvent, ...] = ()
+    change_events: Tuple[ChangeEvent, ...] = ()
+
+    def with_seed(self, seed: int) -> "SyntheticTraceConfig":
+        return replace(self, seed=seed)
+
+
+def _zipf_probabilities(flows: int, skew: float) -> np.ndarray:
+    ranks = np.arange(1, flows + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    return weights / weights.sum()
+
+
+def _draw_flow_table(rng: np.random.Generator, flows: int):
+    """Random distinct 5-tuples: sources/destinations from scattered /16s,
+    ephemeral source ports, service-ish destination ports."""
+    src = rng.integers(0x0A000000, 0xDF000000, size=flows, dtype=np.uint32)
+    dst = rng.integers(0x0A000000, 0xDF000000, size=flows, dtype=np.uint32)
+    sport = rng.integers(1024, 65535, size=flows, dtype=np.uint16)
+    dport = rng.choice(
+        np.array([80, 443, 53, 22, 25, 8080, 3306, 123], dtype=np.uint16),
+        size=flows)
+    proto = rng.choice(np.array([PROTO_TCP, PROTO_UDP], dtype=np.uint8),
+                       size=flows, p=[0.8, 0.2])
+    return src, dst, sport, dport, proto
+
+
+def _segment(rng: np.random.Generator, flow_cols, probs: np.ndarray,
+             packets: int, t0: float, t1: float) -> Trace:
+    """One time segment: multinomial packet counts per flow, then shuffle."""
+    src, dst, sport, dport, proto = flow_cols
+    counts = rng.multinomial(packets, probs)
+    flow_idx = np.repeat(np.arange(len(probs)), counts)
+    rng.shuffle(flow_idx)
+    ts = np.sort(rng.uniform(t0, t1, size=len(flow_idx)))
+    sizes = rng.choice(np.array([64, 576, 1500], dtype=np.uint16),
+                       size=len(flow_idx), p=[0.5, 0.25, 0.25])
+    return Trace(ts, src[flow_idx], dst[flow_idx], sport[flow_idx],
+                 dport[flow_idx], proto[flow_idx], sizes)
+
+
+def generate_trace(config: SyntheticTraceConfig) -> Trace:
+    """Generate a synthetic backbone-like trace per ``config``.
+
+    Baseline traffic is piecewise stationary between change-event
+    boundaries; DDoS bursts are appended and the result re-sorted by time.
+    """
+    if config.packets < 1 or config.flows < 1:
+        raise ConfigurationError("packets and flows must be >= 1")
+    rng = np.random.default_rng(config.seed)
+    flow_cols = _draw_flow_table(rng, config.flows)
+    probs = _zipf_probabilities(config.flows, config.zipf_skew)
+
+    boundaries = sorted({0.0, config.duration}
+                        | {e.time for e in config.change_events
+                           if 0.0 < e.time < config.duration})
+    segments: List[Trace] = []
+    seg_probs = probs.copy()
+    # Pre-draw which flows each change event touches (mid-rank flows so
+    # they are detectable but not already the top elephants).
+    event_flows = {}
+    for event in config.change_events:
+        lo = event.rank_lo if event.rank_lo is not None else config.flows // 100
+        hi = event.rank_hi if event.rank_hi is not None \
+            else max(config.flows // 4, lo + 2)
+        hi = min(hi, config.flows)
+        lo = max(0, min(lo, hi - 1))
+        chosen = rng.choice(np.arange(lo, hi), size=min(event.num_flows,
+                                                        hi - lo),
+                            replace=False)
+        event_flows[event] = chosen
+
+    for t0, t1 in zip(boundaries[:-1], boundaries[1:]):
+        for event in config.change_events:
+            if abs(event.time - t0) < 1e-12:
+                chosen = event_flows[event]
+                half = len(chosen) // 2
+                seg_probs = seg_probs.copy()
+                seg_probs[chosen[:half]] *= event.factor   # surge
+                seg_probs[chosen[half:]] /= event.factor   # quiet
+                seg_probs = seg_probs / seg_probs.sum()
+        seg_packets = int(round(config.packets
+                                * (t1 - t0) / config.duration))
+        if seg_packets > 0:
+            segments.append(_segment(rng, flow_cols, seg_probs,
+                                     seg_packets, t0, t1))
+
+    for event in config.ddos_events:
+        segments.append(_ddos_burst(rng, event))
+
+    return Trace.concat(segments)
+
+
+def _ddos_burst(rng: np.random.Generator, event: DDoSEvent) -> Trace:
+    if event.end <= event.start:
+        raise ConfigurationError(
+            f"DDoS event end {event.end} must be after start {event.start}")
+    victim = event.victim if event.victim is not None else int(
+        rng.integers(0x0A000000, 0xDF000000))
+    n = event.num_sources * event.packets_per_source
+    # Fresh sources from a high range the baseline generator never uses.
+    sources = rng.integers(0xE0000000, 0xFFFFFFF0, size=event.num_sources,
+                           dtype=np.uint32)
+    src = np.repeat(sources, event.packets_per_source)
+    rng.shuffle(src)
+    ts = np.sort(rng.uniform(event.start, event.end, size=n))
+    return Trace(
+        ts, src,
+        np.full(n, victim, dtype=np.uint32),
+        rng.integers(1024, 65535, size=n, dtype=np.uint16),
+        np.full(n, 80, dtype=np.uint16),
+        np.full(n, PROTO_TCP, dtype=np.uint8),
+        np.full(n, 64, dtype=np.uint16),
+    )
+
+
+def generate_epoch_pair(packets: int, flows: int, zipf_skew: float,
+                        num_changes: int, change_factor: float,
+                        seed: int,
+                        rank_lo: Optional[int] = None,
+                        rank_hi: Optional[int] = None) -> Tuple[Trace, Trace]:
+    """Two adjacent 5-second epochs sharing a flow table, with
+    ``num_changes`` flows shifting volume by ``change_factor`` between
+    them — the Figure 6 workload in its minimal form."""
+    config = SyntheticTraceConfig(
+        packets=packets * 2, flows=flows, zipf_skew=zipf_skew,
+        duration=10.0, seed=seed,
+        change_events=(ChangeEvent(time=5.0, num_flows=num_changes,
+                                   factor=change_factor,
+                                   rank_lo=rank_lo, rank_hi=rank_hi),),
+    )
+    trace = generate_trace(config)
+    return trace.slice_time(0.0, 5.0), trace.slice_time(5.0, 10.0)

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro (UnivMon) library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class IncompatibleSketchError(ReproError):
+    """Two sketches cannot be combined (merge/subtract) because their
+    geometry or seeds differ."""
+
+
+class NotSketchableError(ReproError):
+    """The requested g-function is not in Stream-PolyLog, so no
+    polylogarithmic-space universal estimate exists for it."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be parsed."""
+
+
+class TopologyError(ReproError):
+    """A network topology operation failed (unknown node, no path, ...)."""

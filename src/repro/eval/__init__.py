@@ -1,0 +1,28 @@
+"""Evaluation harness: metrics, ground truth, the PCM-substitute cost
+model, and the 20-run median/std sweep runner the figures are built from.
+"""
+
+from repro.eval.cost import CostModel, DEFAULT_COST_MODEL
+from repro.eval.groundtruth import GroundTruth
+from repro.eval.metrics import (
+    detection_rates,
+    f1_score,
+    precision_recall,
+    relative_error,
+)
+from repro.eval.runner import TrialStats, SweepPoint, aggregate, format_table, run_sweep
+
+__all__ = [
+    "detection_rates",
+    "precision_recall",
+    "f1_score",
+    "relative_error",
+    "GroundTruth",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "TrialStats",
+    "SweepPoint",
+    "aggregate",
+    "run_sweep",
+    "format_table",
+]

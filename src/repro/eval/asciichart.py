@@ -1,0 +1,109 @@
+"""Terminal line charts for sweep results — no plotting dependency.
+
+The figures of the paper are error-vs-memory curves; this renders the
+same series as a fixed-grid ASCII chart so ``univmon experiment --plot``
+and the bench result files can show the *shape*, not just rows.
+
+Rendering model: a ``height x width`` character grid, one mark per
+series per column (series are sampled/interpolated onto the x grid),
+y-axis labels on the left, a legend underneath.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+_MARKS = "ox+*#@%&"
+
+
+def render_chart(series: Dict[str, Sequence[Tuple[float, float]]],
+                 width: int = 60, height: int = 16,
+                 x_label: str = "", y_label: str = "",
+                 log_x: bool = False,
+                 title: str = "") -> str:
+    """Render named ``(x, y)`` series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        ``name -> [(x, y), ...]``; up to 8 series (one mark each).
+    log_x:
+        Place x positions on a log scale (memory sweeps are geometric).
+    """
+    if not series:
+        raise ConfigurationError("no series to render")
+    if len(series) > len(_MARKS):
+        raise ConfigurationError(
+            f"at most {len(_MARKS)} series supported, got {len(series)}")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ConfigurationError("series contain no points")
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+    if x_lo == x_hi:
+        x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
+    if log_x and x_lo <= 0:
+        raise ConfigurationError("log_x needs positive x values")
+
+    def x_pos(x: float) -> int:
+        if log_x:
+            frac = (math.log(x) - math.log(x_lo)) \
+                / (math.log(x_hi) - math.log(x_lo))
+        else:
+            frac = (x - x_lo) / (x_hi - x_lo)
+        return min(width - 1, max(0, int(round(frac * (width - 1)))))
+
+    def y_pos(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, int(round(frac * (height - 1)))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (name, pts) in zip(_MARKS, series.items()):
+        for x, y in pts:
+            row = height - 1 - y_pos(y)
+            col = x_pos(x)
+            grid[row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_hi:.3g}"), len(f"{y_lo:.3g}"))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:.3g}".rjust(label_width)
+        elif i == height - 1:
+            label = f"{y_lo:.3g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = (f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}".rjust(8))
+    lines.append(" " * label_width + "  " + x_axis)
+    if x_label or y_label:
+        lines.append(" " * label_width + f"  x: {x_label}   y: {y_label}")
+    legend = "   ".join(f"{mark}={name}" for mark, name
+                        in zip(_MARKS, series))
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def chart_sweep(points, metrics: Sequence[str],
+                x_label: str = "memory_kb",
+                title: str = "", log_x: bool = True) -> str:
+    """Chart selected metrics of a ``run_sweep`` result (medians)."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for metric in metrics:
+        pts = [(p.x, p.metrics[metric].median) for p in points
+               if metric in p.metrics]
+        if pts:
+            series[metric] = pts
+    return render_chart(series, x_label=x_label, y_label="median",
+                        log_x=log_x, title=title)

@@ -1,0 +1,437 @@
+"""The paper's experiments, one function per figure/table.
+
+Every function here regenerates one artifact of Section 4 (see
+DESIGN.md's per-experiment index): it builds the workload, runs UnivMon
+and the OpenSketch-style baseline at each memory budget over ``runs``
+independent seeds, and returns the figure's data points
+(:class:`~repro.eval.runner.SweepPoint` lists) ready for
+:func:`~repro.eval.runner.format_table`.
+
+Shared conventions, following Section 4's setup:
+
+- metrics are computed over the **source IP** feature;
+- epochs are **5 seconds**; memory numbers are per 5-second epoch;
+- each point is the **median ± std over 20 runs** (``runs`` configurable);
+- UnivMon and the baseline see the *same* trace at the same (memory, run)
+  position (paired seeds), and both are sized to the same memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataplane.keys import src_ip_key
+from repro.dataplane.switch import MonitoredSwitch
+from repro.dataplane.trace import (
+    DDoSEvent,
+    SyntheticTraceConfig,
+    generate_epoch_pair,
+    generate_trace,
+)
+from repro.eval.cost import DEFAULT_COST_MODEL, CostModel
+from repro.eval.groundtruth import GroundTruth
+from repro.eval.metrics import detection_rates, relative_error
+from repro.eval.runner import SweepPoint, run_sweep
+from repro.core.gsum import (
+    estimate_cardinality,
+    estimate_entropy,
+    g_core,
+    heavy_changes,
+)
+from repro.core.universal import UniversalSketch
+from repro.opensketch.tasks import (
+    ChangeDetectionTask,
+    DDoSDetectionTask,
+    HeavyHitterTask,
+    HierarchicalHeavyHitterTask,
+)
+from repro.sketches.entropy_sampling import SampledEntropyEstimator
+
+#: Default memory sweep (KB), spanning the paper's ~0.1-2 MB x-axis
+#: (with two sub-0.1 MB points to expose the error knee).
+DEFAULT_MEMORY_KB: Tuple[int, ...] = (32, 64, 128, 256, 512, 1024, 2048)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The per-epoch workload every figure shares (5-second epoch)."""
+
+    packets: int = 30_000
+    flows: int = 5_000
+    zipf_skew: float = 1.1
+
+    def epoch_config(self, seed: int, **overrides) -> SyntheticTraceConfig:
+        params = dict(packets=self.packets, flows=self.flows,
+                      zipf_skew=self.zipf_skew, duration=5.0, seed=seed)
+        params.update(overrides)
+        return SyntheticTraceConfig(**params)
+
+
+DEFAULT_WORKLOAD = WorkloadSpec()
+
+
+def _univmon_for(budget_bytes: int, flows: int, seed: int,
+                 heap_size: Optional[int] = None,
+                 rows: int = 5) -> UniversalSketch:
+    """Size a universal sketch for a memory budget.
+
+    The heap size scales with the budget (1/4096th of it, clamped to
+    [32, 512]) because for "flat" statistics like F0 the ``Q_j``
+    truncation — not the Count Sketch width — is the binding error term;
+    fixed heaps would make the error curve insensitive to memory.
+    """
+    if heap_size is None:
+        heap_size = max(32, min(512, budget_bytes // 4096))
+    levels = UniversalSketch.levels_for(flows, heap_size=heap_size)
+    return UniversalSketch.for_memory_budget(
+        budget_bytes, levels=levels, rows=rows, heap_size=heap_size,
+        seed=seed)
+
+
+# --------------------------------------------------------------------- #
+# FIG4 — Heavy hitters: FP/FN rate vs memory, UnivMon vs OpenSketch
+# --------------------------------------------------------------------- #
+
+def fig4_heavy_hitters(memory_kb: Sequence[float] = DEFAULT_MEMORY_KB,
+                       runs: int = 20,
+                       workload: WorkloadSpec = DEFAULT_WORKLOAD,
+                       alpha: float = 0.005) -> List[SweepPoint]:
+    """Figure 4: heavy hitter detection error vs memory.
+
+    UnivMon's G-core (g(x)=x) vs OpenSketch's hierarchical count-min
+    task, at alpha = 0.5% of link traffic.
+    """
+
+    def trial(kb: float, seed: int) -> Dict[str, float]:
+        trace = generate_trace(workload.epoch_config(seed))
+        keys = trace.key_array(src_ip_key)
+        truth = GroundTruth(trace, src_ip_key)
+        true_hh = truth.heavy_hitter_keys(alpha)
+        budget = int(kb * 1024)
+
+        univmon = _univmon_for(budget, workload.flows, seed=seed)
+        univmon.update_array(keys)
+        um_keys = {k for k, _ in g_core(univmon, alpha)}
+        um_fp, um_fn = detection_rates(true_hh, um_keys)
+
+        hier_levels = 8
+        os_width = max(16, budget // (hier_levels * 3 * 4))
+        osk = HierarchicalHeavyHitterTask(rows=3, width=os_width,
+                                          key_bits=32, step=4, seed=seed)
+        osk.update_array(keys)
+        os_keys = {k for k, _ in osk.heavy_hitters(alpha)}
+        os_fp, os_fn = detection_rates(true_hh, os_keys)
+
+        return {
+            "univmon_fp": um_fp, "univmon_fn": um_fn,
+            "opensketch_fp": os_fp, "opensketch_fn": os_fn,
+        }
+
+    return run_sweep(memory_kb, trial, runs=runs)
+
+
+# --------------------------------------------------------------------- #
+# FIG5 — DDoS: distinct-source error and detection vs memory
+# --------------------------------------------------------------------- #
+
+def fig5_ddos(memory_kb: Sequence[float] = DEFAULT_MEMORY_KB,
+              runs: int = 20,
+              workload: WorkloadSpec = DEFAULT_WORKLOAD,
+              attack_sources: int = 4000) -> List[SweepPoint]:
+    """Figure 5: DDoS detection (g(x)=x**0, i.e. F0) vs memory.
+
+    A 10-second trace whose second 5-second epoch contains a DDoS burst
+    (``attack_sources`` fresh sources).  Both systems estimate the
+    distinct source count per epoch and flag epochs above k (set halfway
+    between the normal and attacked loads).  Reported per memory point:
+    F0 relative error and detection error rate for UnivMon and the
+    OpenSketch bitmap baseline.
+    """
+
+    def trial(kb: float, seed: int) -> Dict[str, float]:
+        config = SyntheticTraceConfig(
+            packets=workload.packets * 2, flows=workload.flows,
+            zipf_skew=workload.zipf_skew, duration=10.0, seed=seed,
+            ddos_events=(DDoSEvent(start=5.0, end=10.0,
+                                   num_sources=attack_sources,
+                                   packets_per_source=2),))
+        trace = generate_trace(config)
+        epochs = [trace.slice_time(0.0, 5.0), trace.slice_time(5.0, 10.0)]
+        labels = [False, True]
+        budget = int(kb * 1024)
+
+        normal_distinct = epochs[0].distinct(src_ip_key)
+        attack_distinct = epochs[1].distinct(src_ip_key)
+        k = (normal_distinct + attack_distinct) / 2.0
+
+        um_errors, bm_errors = [], []
+        um_wrong = bm_wrong = 0
+        for epoch, is_attack in zip(epochs, labels):
+            keys = epoch.key_array(src_ip_key)
+            true_distinct = epoch.distinct(src_ip_key)
+
+            univmon = _univmon_for(budget, workload.flows, seed=seed)
+            univmon.update_array(keys)
+            um_est = estimate_cardinality(univmon)
+            um_errors.append(relative_error(um_est, true_distinct))
+            if (um_est > k) != is_attack:
+                um_wrong += 1
+
+            bitmap = DDoSDetectionTask(method="bitmap", memory_bytes=budget,
+                                       seed=seed)
+            bitmap.update_array(keys)
+            bm_est = bitmap.distinct_estimate()
+            bm_errors.append(relative_error(bm_est, true_distinct))
+            if (bm_est > k) != is_attack:
+                bm_wrong += 1
+
+        return {
+            "univmon_err": float(np.mean(um_errors)),
+            "opensketch_err": float(np.mean(bm_errors)),
+            "univmon_detect_err": um_wrong / 2.0,
+            "opensketch_detect_err": bm_wrong / 2.0,
+        }
+
+    return run_sweep(memory_kb, trial, runs=runs)
+
+
+# --------------------------------------------------------------------- #
+# FIG6 — Change detection: FP/FN vs memory (UnivMon wins here)
+# --------------------------------------------------------------------- #
+
+def fig6_change_detection(memory_kb: Sequence[float] = DEFAULT_MEMORY_KB,
+                          runs: int = 20,
+                          workload: WorkloadSpec = DEFAULT_WORKLOAD,
+                          phi: float = 0.03,
+                          num_changes: int = 20,
+                          change_factor: float = 10.0) -> List[SweepPoint]:
+    """Figure 6: heavy-change detection error vs memory.
+
+    UnivMon subtracts adjacent-epoch universal sketches and thresholds
+    the difference's G-core at ``phi`` of the estimated total change; the
+    baseline is the k-ary sketch of Krishnamurthy et al. (which even gets
+    the exact union of epoch keys as candidates — the advantage UnivMon
+    does not need).
+    """
+
+    def trial(kb: float, seed: int) -> Dict[str, float]:
+        epoch_a, epoch_b = generate_epoch_pair(
+            packets=workload.packets, flows=workload.flows,
+            zipf_skew=workload.zipf_skew, num_changes=num_changes,
+            change_factor=change_factor, seed=seed,
+            rank_lo=10, rank_hi=max(100, num_changes * 3))
+        keys_a = epoch_a.key_array(src_ip_key)
+        keys_b = epoch_b.key_array(src_ip_key)
+        truth_a = GroundTruth(epoch_a, src_ip_key)
+        truth_b = GroundTruth(epoch_b, src_ip_key)
+        true_changes = truth_b.heavy_change_keys(truth_a, phi)
+        budget = int(kb * 1024)
+
+        sketch_seed = seed + 17
+        um_a = _univmon_for(budget // 2, workload.flows, seed=sketch_seed)
+        um_b = _univmon_for(budget // 2, workload.flows, seed=sketch_seed)
+        um_a.update_array(keys_a)
+        um_b.update_array(keys_b)
+        changes, _total = heavy_changes(um_b, um_a, phi)
+        um_keys = {k for k, _ in changes}
+        um_fp, um_fn = detection_rates(true_changes, um_keys)
+
+        kary_width = max(16, (budget // 2) // (5 * 4))
+        task = ChangeDetectionTask(rows=5, width=kary_width,
+                                   seed=sketch_seed)
+        task.update_array(keys_a)
+        task.advance_epoch()
+        task.update_array(keys_b)
+        candidates = truth_b.union_keys(truth_a)
+        os_changes, _ = task.heavy_changes(phi, candidates)
+        os_keys = {k for k, _ in os_changes}
+        os_fp, os_fn = detection_rates(true_changes, os_keys)
+
+        return {
+            "univmon_fp": um_fp, "univmon_fn": um_fn,
+            "opensketch_fp": os_fp, "opensketch_fn": os_fn,
+        }
+
+    return run_sweep(memory_kb, trial, runs=runs)
+
+
+# --------------------------------------------------------------------- #
+# FIG7 — Entropy estimation error vs memory
+# --------------------------------------------------------------------- #
+
+def fig7_entropy(memory_kb: Sequence[float] = DEFAULT_MEMORY_KB,
+                 runs: int = 20,
+                 workload: WorkloadSpec = DEFAULT_WORKLOAD) -> List[SweepPoint]:
+    """Figure 7: entropy estimation relative error vs memory.
+
+    OpenSketch has no entropy task (the paper reports UnivMon alone); the
+    canonical streaming competitor — the Lall et al. sampled estimator,
+    given the same memory in sample trackers — is reported alongside.
+    """
+
+    def trial(kb: float, seed: int) -> Dict[str, float]:
+        trace = generate_trace(workload.epoch_config(seed))
+        keys = trace.key_array(src_ip_key)
+        truth = GroundTruth(trace, src_ip_key)
+        true_h = truth.entropy(base=2.0)
+        budget = int(kb * 1024)
+
+        univmon = _univmon_for(budget, workload.flows, seed=seed)
+        univmon.update_array(keys)
+        um_h = estimate_entropy(univmon, base=2.0)
+
+        # One 16-byte tracker per sample; more samples than packets buys
+        # nothing (each position is then just drawn repeatedly), so cap.
+        samples = max(8, min(budget // 16, len(keys)))
+        lall = SampledEntropyEstimator(stream_length=len(keys),
+                                       num_samples=samples, base=2.0,
+                                       seed=seed)
+        for key in keys.tolist():
+            lall.update(int(key))
+        lall_h = lall.entropy_estimate()
+
+        return {
+            "univmon_err": relative_error(um_h, true_h),
+            "sampling_err": relative_error(lall_h, true_h),
+        }
+
+    return run_sweep(memory_kb, trial, runs=runs)
+
+
+# --------------------------------------------------------------------- #
+# TAB-CPU — total modelled cycles: UnivMon vs the OpenSketch suite
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class OverheadResult:
+    """Modelled cycles for the whole trace (the Intel-PCM substitute)."""
+
+    packets: int
+    univmon_cycles: float
+    opensketch_suite_cycles: float
+    opensketch_per_task_cycles: Dict[str, float]
+
+    @property
+    def ratio(self) -> float:
+        """UnivMon cycles / OpenSketch-suite cycles (paper: ~0.48)."""
+        return self.univmon_cycles / self.opensketch_suite_cycles
+
+
+def overhead_cycles(workload: WorkloadSpec = DEFAULT_WORKLOAD,
+                    epochs: int = 12, seed: int = 42,
+                    memory_kb: int = 1024,
+                    cost_model: CostModel = DEFAULT_COST_MODEL) -> OverheadResult:
+    """§4 "Overhead": total cycles to support the task suite.
+
+    One UnivMon instance supports HH + DDoS + Change + Entropy; the
+    OpenSketch suite needs three separate custom tasks (it cannot do
+    entropy at all).  The paper's PCM numbers — UnivMon 1.407e9 vs
+    OpenSketch 2.941e9 — are testbed cycle counts; the comparable claim
+    here is the *ratio* under the op-cost model.
+    """
+    budget = memory_kb * 1024
+    config = workload.epoch_config(seed, duration=5.0 * epochs,
+                                   packets=workload.packets * epochs)
+    trace = generate_trace(config)
+
+    um_switch = MonitoredSwitch("univmon")
+    um_switch.attach(
+        "univmon",
+        lambda: _univmon_for(budget, workload.flows, seed=seed),
+        src_ip_key)
+    for epoch in trace.epochs(5.0):
+        um_switch.process_trace(epoch)
+        um_switch.poll("univmon")
+    univmon_cycles = cost_model.cycles(um_switch.total_cost())
+
+    os_switch = MonitoredSwitch("opensketch")
+    hier_width = max(16, budget // (8 * 3 * 4))
+    os_switch.attach(
+        "hh", lambda: HierarchicalHeavyHitterTask(
+            rows=3, width=hier_width, key_bits=32, step=4, seed=seed),
+        src_ip_key)
+    os_switch.attach(
+        "change", lambda: ChangeDetectionTask(
+            rows=5, width=max(16, budget // (5 * 4)), seed=seed),
+        src_ip_key)
+    os_switch.attach(
+        "ddos", lambda: DDoSDetectionTask(
+            method="bitmap", memory_bytes=budget, seed=seed),
+        src_ip_key)
+    for epoch in trace.epochs(5.0):
+        os_switch.process_trace(epoch)
+        os_switch.poll_all()
+    per_task = {
+        name: cost_model.cycles(os_switch.program(name).total_cost)
+        for name in ("hh", "change", "ddos")
+    }
+    suite_cycles = sum(per_task.values())
+
+    return OverheadResult(
+        packets=len(trace),
+        univmon_cycles=univmon_cycles,
+        opensketch_suite_cycles=suite_cycles,
+        opensketch_per_task_cycles=per_task,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Ablations (design choices called out in DESIGN.md)
+# --------------------------------------------------------------------- #
+
+def ablation_levels(level_counts: Sequence[int] = (2, 4, 6, 8, 10, 12, 14),
+                    runs: int = 10,
+                    workload: WorkloadSpec = DEFAULT_WORKLOAD,
+                    width: int = 2048) -> List[SweepPoint]:
+    """G-sum accuracy vs the number of sampling levels.
+
+    Too few levels leave the deepest substream with more distinct keys
+    than its heap can hold, biasing Algorithm 2 for "flat" statistics
+    like F0; beyond ~log2(n/k) levels, extra levels only cost memory.
+    """
+
+    def trial(levels: float, seed: int) -> Dict[str, float]:
+        trace = generate_trace(workload.epoch_config(seed))
+        keys = trace.key_array(src_ip_key)
+        truth = GroundTruth(trace, src_ip_key)
+        sketch = UniversalSketch(levels=int(levels), rows=5, width=width,
+                                 heap_size=64, seed=seed)
+        sketch.update_array(keys)
+        return {
+            "f0_err": relative_error(estimate_cardinality(sketch),
+                                     truth.distinct),
+            "entropy_err": relative_error(estimate_entropy(sketch),
+                                          truth.entropy()),
+            "memory_kb": sketch.memory_bytes() / 1024.0,
+        }
+
+    return run_sweep(level_counts, trial, runs=runs)
+
+
+def ablation_heap_size(heap_sizes: Sequence[int] = (8, 16, 32, 64, 128, 256),
+                       runs: int = 10,
+                       workload: WorkloadSpec = DEFAULT_WORKLOAD,
+                       width: int = 2048) -> List[SweepPoint]:
+    """G-sum accuracy vs per-level top-k size (the ``Q_j`` truncation)."""
+
+    def trial(k: float, seed: int) -> Dict[str, float]:
+        trace = generate_trace(workload.epoch_config(seed))
+        keys = trace.key_array(src_ip_key)
+        truth = GroundTruth(trace, src_ip_key)
+        levels = UniversalSketch.levels_for(workload.flows,
+                                            heap_size=int(k))
+        sketch = UniversalSketch(levels=levels, rows=5, width=width,
+                                 heap_size=int(k), seed=seed)
+        sketch.update_array(keys)
+        return {
+            "f0_err": relative_error(estimate_cardinality(sketch),
+                                     truth.distinct),
+            "entropy_err": relative_error(estimate_entropy(sketch),
+                                          truth.entropy()),
+            "memory_kb": sketch.memory_bytes() / 1024.0,
+        }
+
+    return run_sweep(heap_sizes, trial, runs=runs)

@@ -1,0 +1,72 @@
+"""Exact per-task answers computed from a trace — what every figure's
+error is measured against."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.dataplane.keys import KeyFunction
+from repro.dataplane.trace import Trace
+from repro.sketches.exact import ExactCounter
+
+
+class GroundTruth:
+    """Exact statistics of one epoch (trace slice) over one key function."""
+
+    def __init__(self, trace: Trace, key_function: KeyFunction) -> None:
+        self.key_function = key_function
+        keys = trace.key_array(key_function)
+        self.counter = ExactCounter()
+        self.counter.update_array(keys)
+
+    @property
+    def total(self) -> int:
+        return self.counter.total()
+
+    @property
+    def distinct(self) -> int:
+        return self.counter.cardinality()
+
+    def heavy_hitter_keys(self, alpha: float) -> Set[int]:
+        """Keys above an ``alpha`` fraction of the total traffic."""
+        return {k for k, _ in self.counter.heavy_hitters(alpha)}
+
+    def entropy(self, base: float = 2.0) -> float:
+        return self.counter.entropy(base=base)
+
+    def moment(self, p: float) -> float:
+        return self.counter.moment(p)
+
+    def frequency(self, key: int) -> int:
+        return self.counter.frequency(key)
+
+    def g_sum(self, g) -> float:
+        return self.counter.g_sum(g)
+
+    def flow_size_distribution(self, max_size: int) -> np.ndarray:
+        """``phi[s]`` = number of flows with exactly ``s`` packets, for
+        ``s`` in [0, max_size]; flows above ``max_size`` are clamped into
+        the last bucket (mirroring the MRAC estimator's convention)."""
+        phi = np.zeros(max_size + 1, dtype=np.float64)
+        for count in self.counter.counts.values():
+            phi[min(count, max_size)] += 1
+        return phi
+
+    # ------------------------------------------------------------------ #
+    # two-epoch (change detection) ground truth
+    # ------------------------------------------------------------------ #
+
+    def heavy_change_keys(self, other: "GroundTruth", phi: float) -> Set[int]:
+        """Keys whose |delta| between the two epochs is >= phi * D."""
+        return {k for k, _ in self.counter.heavy_changes(other.counter, phi)}
+
+    def total_change(self, other: "GroundTruth") -> int:
+        return self.counter.total_change(other.counter)
+
+    def union_keys(self, other: "GroundTruth") -> np.ndarray:
+        """All keys present in either epoch (candidate set for baselines
+        that cannot enumerate keys themselves)."""
+        keys = set(self.counter.counts) | set(other.counter.counts)
+        return np.fromiter(keys, dtype=np.uint64, count=len(keys))

@@ -1,0 +1,72 @@
+"""Error metrics used across the figures.
+
+The paper reports *false positive rate* and *false negative rate*
+separately for the detection tasks (HH, DDoS, Change) and *relative
+error* for the scalar estimates (distinct counts, entropy).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+
+def _as_sets(truth: Iterable, reported: Iterable) -> Tuple[Set, Set]:
+    return set(truth), set(reported)
+
+
+def detection_rates(truth: Iterable, reported: Iterable) -> Tuple[float, float]:
+    """``(false_positive_rate, false_negative_rate)`` of a detection task.
+
+    - FP rate: fraction of *reported* items that are not true positives —
+      ``|reported \\ truth| / |reported|`` (0 when nothing is reported).
+    - FN rate: fraction of *true* items that were missed —
+      ``|truth \\ reported| / |truth|`` (0 when there are no positives).
+    """
+    t, r = _as_sets(truth, reported)
+    fp = len(r - t) / len(r) if r else 0.0
+    fn = len(t - r) / len(t) if t else 0.0
+    return fp, fn
+
+
+def precision_recall(truth: Iterable, reported: Iterable) -> Tuple[float, float]:
+    """``(precision, recall)`` — the complements of the rates above."""
+    fp, fn = detection_rates(truth, reported)
+    return 1.0 - fp, 1.0 - fn
+
+
+def f1_score(truth: Iterable, reported: Iterable) -> float:
+    """Harmonic mean of precision and recall (1.0 when both sets empty)."""
+    t, r = _as_sets(truth, reported)
+    if not t and not r:
+        return 1.0
+    precision, recall = precision_recall(truth, reported)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / truth`` (absolute error when truth == 0)."""
+    if truth == 0:
+        return abs(estimate)
+    return abs(estimate - truth) / abs(truth)
+
+
+def wmrd(estimate, truth) -> float:
+    """Weighted Mean Relative Difference between two histograms.
+
+    The standard flow-size-distribution error metric (Kumar et al.):
+
+        WMRD = sum_i |n_i - n'_i|  /  sum_i (n_i + n'_i) / 2
+
+    Inputs are aligned sequences (index = flow size); 0 when identical,
+    approaching 2 when disjoint.
+    """
+    num = 0.0
+    den = 0.0
+    for a, b in zip(estimate, truth):
+        num += abs(a - b)
+        den += (a + b) / 2.0
+    if den == 0:
+        return 0.0
+    return num / den

@@ -1,0 +1,90 @@
+"""The sweep runner: "we run the experiment 20 times and report the
+median and standard deviation over these 20 independent runs."
+
+A *trial function* maps ``(x, seed) -> {metric_name: value}``; the runner
+evaluates it over a sweep of x values (memory budgets, in every figure)
+with ``runs`` independent seeds each, aggregates per metric, and formats
+the figure's rows as an aligned text table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Median and standard deviation over independent runs."""
+
+    median: float
+    std: float
+    runs: int
+
+    def __str__(self) -> str:
+        return f"{self.median:.4f} ± {self.std:.4f}"
+
+
+def aggregate(values: Sequence[float]) -> TrialStats:
+    arr = np.asarray(list(values), dtype=np.float64)
+    return TrialStats(median=float(np.median(arr)), std=float(arr.std()),
+                      runs=len(arr))
+
+
+@dataclass
+class SweepPoint:
+    """All metric aggregates at one sweep position (one figure x-value)."""
+
+    x: float
+    metrics: Dict[str, TrialStats] = field(default_factory=dict)
+
+
+def run_sweep(xs: Sequence[float],
+              trial: Callable[[float, int], Dict[str, float]],
+              runs: int = 20,
+              base_seed: int = 1000) -> List[SweepPoint]:
+    """Evaluate ``trial`` at every x with ``runs`` independent seeds.
+
+    Seeds are ``base_seed + run`` so UnivMon and baseline trials at the
+    same (x, run) share a trace when the trial function derives its trace
+    from the seed — paired comparison, lower variance.
+    """
+    points = []
+    for x in xs:
+        samples: Dict[str, List[float]] = {}
+        for run in range(runs):
+            result = trial(x, base_seed + run)
+            for name, value in result.items():
+                samples.setdefault(name, []).append(float(value))
+        points.append(SweepPoint(
+            x=float(x),
+            metrics={name: aggregate(vals) for name, vals in samples.items()},
+        ))
+    return points
+
+
+def format_table(points: Sequence[SweepPoint],
+                 metrics: Sequence[str],
+                 x_label: str = "memory_kb",
+                 title: str = "") -> str:
+    """Render sweep results as the aligned rows a figure would plot."""
+    header = [x_label] + [f"{m} (median±std)" for m in metrics]
+    rows = [header]
+    for point in points:
+        row = [f"{point.x:g}"]
+        for m in metrics:
+            stats = point.metrics.get(m)
+            row.append(str(stats) if stats else "-")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[j])
+                               for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Seedable hash families used throughout the sketches.
+
+Everything in this package is deterministic given a seed, which is what makes
+sketch *linearity* usable: two sketches built with the same seed share hash
+functions and can therefore be added or subtracted counter-by-counter.
+
+Public surface:
+
+- :class:`~repro.hashing.families.PolynomialHash` — k-wise independent
+  polynomial hashing over the Mersenne prime ``2**61 - 1``.
+- :class:`~repro.hashing.families.PairwiseHash` — the ``k=2`` special case.
+- :class:`~repro.hashing.families.SignHash` — pairwise-independent ±1 hash
+  (the Count Sketch "s" function).
+- :class:`~repro.hashing.families.BucketHash` — hash onto ``[0, width)``.
+- :class:`~repro.hashing.tabulation.TabulationHash` — 3-wise independent
+  tabulation hashing, the fastest family here for scalar lookups.
+- :class:`~repro.hashing.sampling.LevelSampler` — UnivMon's Algorithm 1
+  level-sampling hash stack (``h_1 .. h_L : [n] -> {0,1}``).
+"""
+
+from repro.hashing.families import (
+    MERSENNE_PRIME_61,
+    BucketHash,
+    PairwiseHash,
+    PolynomialHash,
+    SignHash,
+)
+from repro.hashing.sampling import LevelSampler
+from repro.hashing.tabulation import TabulationHash
+
+__all__ = [
+    "MERSENNE_PRIME_61",
+    "PolynomialHash",
+    "PairwiseHash",
+    "SignHash",
+    "BucketHash",
+    "TabulationHash",
+    "LevelSampler",
+]

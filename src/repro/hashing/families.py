@@ -1,0 +1,158 @@
+"""k-wise independent hash families over the Mersenne prime ``2**61 - 1``.
+
+The classic construction: pick ``k`` random coefficients ``a_0 .. a_{k-1}``
+(with ``a_{k-1} != 0``) and evaluate the degree-``k-1`` polynomial
+
+    h(x) = (a_{k-1} x^{k-1} + ... + a_1 x + a_0) mod p
+
+over the field GF(p).  Any such family is exactly k-wise independent, which
+is the independence level every analysis in the paper relies on (Count
+Sketch needs pairwise rows and pairwise signs; the level samplers of
+Algorithm 1 need pairwise bits).
+
+Python integers are arbitrary precision, so the modular arithmetic here is
+exact.  Batched (numpy) evaluation is provided for the trace-driven
+benchmarks; it reduces mod ``p`` with ``object`` dtype only when values can
+overflow 64 bits, and otherwise stays in fast integer ops.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: The Mersenne prime 2**61 - 1 used as the field size for all polynomial
+#: hash families.  Keys must be < p, which any 61-bit key encoding satisfies.
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
+_P = MERSENNE_PRIME_61
+
+
+def _mod_mersenne(x: int) -> int:
+    """Reduce ``x`` modulo ``2**61 - 1`` using shift/add (no division).
+
+    Valid for ``0 <= x < 2**122``, which covers a product of two 61-bit
+    residues plus a 61-bit addend.  Two folds are required: after the
+    first, the value can still be as large as ``2**62``.
+    """
+    x = (x & _P) + (x >> 61)
+    x = (x & _P) + (x >> 61)
+    if x >= _P:
+        x -= _P
+    return x
+
+
+class PolynomialHash:
+    """A single k-wise independent hash function ``h : [p] -> [p]``.
+
+    Parameters
+    ----------
+    k:
+        Independence level; the polynomial has degree ``k - 1``.
+    seed:
+        Seeds the coefficient draw; equal seeds give equal functions.
+    rng:
+        Alternative to ``seed``: an existing :class:`random.Random` to draw
+        coefficients from (used when building many functions from one seed).
+    """
+
+    __slots__ = ("k", "coefficients")
+
+    def __init__(self, k: int = 2, seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        if k < 1:
+            raise ConfigurationError(f"independence k must be >= 1, got {k}")
+        if rng is None:
+            rng = random.Random(seed)
+        coeffs = [rng.randrange(_P) for _ in range(k)]
+        # Leading coefficient must be non-zero for full degree.
+        while k > 1 and coeffs[-1] == 0:
+            coeffs[-1] = rng.randrange(_P)
+        self.k = k
+        self.coefficients: Sequence[int] = tuple(coeffs)
+
+    def __call__(self, x: int) -> int:
+        """Evaluate the polynomial at ``x`` (Horner's rule, exact)."""
+        acc = 0
+        for a in reversed(self.coefficients):
+            acc = _mod_mersenne(acc * x + a)
+        return acc
+
+    def hash_many(self, xs: Iterable[int]) -> List[int]:
+        """Evaluate on every element of ``xs`` (convenience wrapper)."""
+        return [self(x) for x in xs]
+
+    def hash_array(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation over a ``uint64``/``int64`` numpy array.
+
+        Uses Python-object arithmetic per chunk boundary only when needed;
+        implemented with ``object`` dtype to stay exact (the 61-bit products
+        overflow uint64).  This is the slow-but-correct path; per-sketch hot
+        loops use :class:`TabulationHash` instead.
+        """
+        obj = xs.astype(object)
+        acc = np.zeros(len(obj), dtype=object)
+        for a in reversed(self.coefficients):
+            acc = (acc * obj + a) % _P
+        return acc.astype(np.uint64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PolynomialHash(k={self.k})"
+
+
+class PairwiseHash(PolynomialHash):
+    """The ``k = 2`` (pairwise independent) polynomial hash, ``ax + b mod p``."""
+
+    def __init__(self, seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__(k=2, seed=seed, rng=rng)
+
+
+class BucketHash:
+    """Hash keys onto a bucket index in ``[0, width)``.
+
+    Composes a :class:`PolynomialHash` with a modular range reduction.  The
+    tiny non-uniformity of ``mod width`` (at most ``width / p``) is
+    negligible for any realistic width.
+    """
+
+    __slots__ = ("width", "_h")
+
+    def __init__(self, width: int, k: int = 2, seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        self.width = width
+        self._h = PolynomialHash(k=k, seed=seed, rng=rng)
+
+    def __call__(self, x: int) -> int:
+        return self._h(x) % self.width
+
+    def hash_array(self, xs: np.ndarray) -> np.ndarray:
+        return (self._h.hash_array(xs) % np.uint64(self.width)).astype(np.int64)
+
+
+class SignHash:
+    """Pairwise-independent sign hash ``s : [p] -> {-1, +1}``.
+
+    This is Count Sketch's ``s_i`` function; pairwise independence is what
+    makes ``E[s(x) s(y)] = 0`` for ``x != y`` and hence the point-query
+    estimator unbiased.
+    """
+
+    __slots__ = ("_h",)
+
+    def __init__(self, seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self._h = PairwiseHash(seed=seed, rng=rng)
+
+    def __call__(self, x: int) -> int:
+        return 1 if (self._h(x) & 1) else -1
+
+    def hash_array(self, xs: np.ndarray) -> np.ndarray:
+        bits = (self._h.hash_array(xs) & np.uint64(1)).astype(np.int64)
+        return 2 * bits - 1

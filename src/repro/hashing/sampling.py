@@ -1,0 +1,93 @@
+"""UnivMon level sampling (the ``h_1 .. h_L : [n] -> {0,1}`` stack).
+
+Algorithm 1 of the paper keeps ``log n`` substreams: a key belongs to
+substream ``D_j`` iff ``h_1(key) = ... = h_j(key) = 1`` for ``j`` independent
+pairwise hash bits.  Every key is therefore in ``D_0`` (the full stream), and
+membership is *prefix-closed*: if a key is in ``D_j`` it is in all shallower
+substreams too.  The deepest substream a key belongs to is fully described by
+one number — the index of the first hash that outputs 0.
+
+:class:`LevelSampler` exposes exactly that number, so the data plane does a
+single O(levels) pass per packet instead of the naive O(levels**2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.tabulation import TabulationHash
+
+
+class LevelSampler:
+    """The sampling-hash stack shared by a universal sketch's levels.
+
+    Parameters
+    ----------
+    levels:
+        Number of sampled substreams *below* the full stream; the sketch
+        has ``levels + 1`` Count Sketch instances (level 0 = full stream).
+    seed:
+        Seeds the underlying hash functions.  Two samplers with the same
+        seed and level count are identical, which is the precondition for
+        merging or differencing universal sketches.
+    """
+
+    __slots__ = ("levels", "_hashes", "seed")
+
+    def __init__(self, levels: int, seed: Optional[int] = None) -> None:
+        if levels < 0:
+            raise ConfigurationError(f"levels must be >= 0, got {levels}")
+        self.levels = levels
+        self.seed = seed
+        rng = random.Random(seed)
+        # One independent hash per level; bit j of a key is hash_j's parity.
+        self._hashes: List[TabulationHash] = [
+            TabulationHash(rng=rng) for _ in range(levels)
+        ]
+
+    def bit(self, level: int, key: int) -> int:
+        """The value of ``h_level(key)`` in {0, 1} (level is 1-based)."""
+        if not 1 <= level <= self.levels:
+            raise ConfigurationError(
+                f"level must be in [1, {self.levels}], got {level}")
+        return self._hashes[level - 1](key) & 1
+
+    def deepest_level(self, key: int) -> int:
+        """Deepest substream index ``j`` such that key is in ``D_j``.
+
+        Returns a value in ``[0, levels]``: 0 means only the full stream,
+        ``levels`` means the key survives every sampling hash.
+        """
+        depth = 0
+        for h in self._hashes:
+            if h(key) & 1:
+                depth += 1
+            else:
+                break
+        return depth
+
+    def deepest_level_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`deepest_level` for a ``uint64`` key array.
+
+        Computes all level bits, then finds the first zero per key.
+        """
+        n = len(keys)
+        if self.levels == 0:
+            return np.zeros(n, dtype=np.int64)
+        bits = np.empty((self.levels, n), dtype=bool)
+        for j, h in enumerate(self._hashes):
+            bits[j] = (h.hash_array(keys) & np.uint64(1)).astype(bool)
+        # Depth = index of first False row, or `levels` if all True.
+        all_true = bits.all(axis=0)
+        first_zero = np.argmin(bits, axis=0)  # 0 if bits[0] False, etc.
+        depth = np.where(all_true, self.levels, first_zero)
+        return depth.astype(np.int64)
+
+    def compatible_with(self, other: "LevelSampler") -> bool:
+        """True when both samplers hash identically (same seed geometry)."""
+        return (self.levels == other.levels and self.seed == other.seed
+                and self.seed is not None)

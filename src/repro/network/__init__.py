@@ -1,0 +1,20 @@
+"""Network-wide monitoring: topology, distributed sketching, adaptive zoom.
+
+Implements the §5 research directions that have concrete constructions:
+
+- :mod:`~repro.network.topology` — switches, links, shortest-path routing
+  (networkx under the hood), and ingress assignment of trace packets.
+- :mod:`~repro.network.distributed` — one universal sketch per switch,
+  merged at the controller via linearity (network-wide view), plus
+  hash-partitioned responsibility to spread data-plane load.
+- :mod:`~repro.network.zoom` — dynamic granularity adjustment: monitor at
+  prefix level and refine the heavy prefixes each epoch.
+"""
+
+from repro.network.topology import NetworkTopology
+from repro.network.distributed import DistributedMonitor
+from repro.network.coordinator import NetworkCoordinator
+from repro.network.zoom import ZoomMonitor
+
+__all__ = ["NetworkTopology", "DistributedMonitor", "NetworkCoordinator",
+           "ZoomMonitor"]

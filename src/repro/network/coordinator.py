@@ -1,0 +1,112 @@
+"""Network-wide epoch coordination: the controller for many switches.
+
+Combines :class:`~repro.network.distributed.DistributedMonitor` with the
+estimation apps of :mod:`repro.controlplane.apps`: each epoch, the
+per-switch universal sketches are merged into one network-wide sketch
+(exact, by linearity), every registered app runs on it, and a per-epoch
+report is emitted — the multi-switch version of
+:class:`~repro.controlplane.controller.Controller`.
+
+Switch loss is tolerated: a switch marked failed is skipped at merge
+time, degrading coverage to the traffic the surviving switches ingested
+instead of failing the epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.controlplane.apps.base import MonitoringApp
+from repro.controlplane.controller import EpochReport
+from repro.dataplane.keys import KeyFunction, src_ip_key
+from repro.dataplane.trace import Trace
+from repro.network.distributed import DistributedMonitor
+from repro.network.topology import NetworkTopology
+from repro.core.universal import UniversalSketch
+
+
+class NetworkCoordinator:
+    """Epoch loop over a multi-switch deployment."""
+
+    def __init__(self, topology: NetworkTopology,
+                 sketch_factory: Optional[Callable[[], UniversalSketch]] = None,
+                 key_function: KeyFunction = src_ip_key,
+                 epoch_seconds: float = 5.0) -> None:
+        if epoch_seconds <= 0:
+            raise ConfigurationError(
+                f"epoch_seconds must be > 0, got {epoch_seconds}")
+        if sketch_factory is None:
+            sketch_factory = lambda: UniversalSketch(  # noqa: E731
+                levels=10, rows=5, width=2048, heap_size=64, seed=1)
+        self.topology = topology
+        self.epoch_seconds = epoch_seconds
+        self._factory = sketch_factory
+        self._key_function = key_function
+        self._apps: List[MonitoringApp] = []
+        self._failed: Set[str] = set()
+        self._monitor = self._fresh_monitor()
+
+    def _fresh_monitor(self) -> DistributedMonitor:
+        return DistributedMonitor(self.topology,
+                                  sketch_factory=self._factory,
+                                  key_function=self._key_function)
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+
+    def register(self, app: MonitoringApp) -> "NetworkCoordinator":
+        if any(existing.name == app.name for existing in self._apps):
+            raise ConfigurationError(f"duplicate app name {app.name!r}")
+        self._apps.append(app)
+        return self
+
+    def mark_failed(self, switch: str) -> None:
+        """Exclude a switch from merges until :meth:`mark_recovered`."""
+        if switch not in self._monitor.sketches:
+            raise ConfigurationError(f"unknown switch {switch!r}")
+        self._failed.add(switch)
+
+    def mark_recovered(self, switch: str) -> None:
+        self._failed.discard(switch)
+
+    @property
+    def failed_switches(self) -> Set[str]:
+        return set(self._failed)
+
+    # ------------------------------------------------------------------ #
+    # epoch loop
+    # ------------------------------------------------------------------ #
+
+    def run_trace(self, trace: Trace) -> List[EpochReport]:
+        return [self.run_epoch(epoch, index)
+                for index, epoch in
+                enumerate(trace.epochs(self.epoch_seconds))]
+
+    def run_epoch(self, epoch_trace: Trace, epoch_index: int) -> EpochReport:
+        self._monitor.process_trace(epoch_trace)
+        merged = self._merge_surviving()
+        t0 = float(epoch_trace.timestamps[0]) if len(epoch_trace) else 0.0
+        t1 = float(epoch_trace.timestamps[-1]) if len(epoch_trace) else 0.0
+        report = EpochReport(epoch_index=epoch_index, start_time=t0,
+                             end_time=t1, packets=len(epoch_trace))
+        report.results["coverage"] = {
+            "switches": len(self._monitor.sketches) - len(self._failed),
+            "failed": sorted(self._failed),
+            "packets_covered": merged.total_weight if merged else 0,
+        }
+        if merged is not None:
+            for app in self._apps:
+                report.results[app.name] = app.on_sketch(merged, epoch_index)
+        self._monitor = self._fresh_monitor()
+        return report
+
+    def _merge_surviving(self) -> Optional[UniversalSketch]:
+        merged = None
+        for name in self.topology.switches:
+            if name in self._failed:
+                continue
+            sketch = self._monitor.sketches[name]
+            merged = sketch if merged is None else merged.merge(sketch)
+        return merged

@@ -1,0 +1,109 @@
+"""Switch-level topology and routing.
+
+A thin, purpose-built layer over :mod:`networkx`: switches are nodes,
+links are weighted edges, and flows are routed on shortest paths.  Trace
+packets are assigned an *ingress switch* by hashing their source prefix,
+which is how a single backbone trace is spread over a simulated
+multi-switch deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.dataplane.trace import Trace
+from repro.hashing.tabulation import TabulationHash
+
+
+class NetworkTopology:
+    """A named-switch topology with shortest-path routing."""
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def add_switch(self, name: str) -> None:
+        self.graph.add_node(name)
+
+    def add_link(self, a: str, b: str, weight: float = 1.0) -> None:
+        self.graph.add_edge(a, b, weight=weight)
+
+    @classmethod
+    def line(cls, n: int) -> "NetworkTopology":
+        """s0 - s1 - ... - s(n-1)."""
+        topo = cls()
+        for i in range(n):
+            topo.add_switch(f"s{i}")
+        for i in range(n - 1):
+            topo.add_link(f"s{i}", f"s{i + 1}")
+        return topo
+
+    @classmethod
+    def star(cls, leaves: int) -> "NetworkTopology":
+        """A core switch with ``leaves`` edge switches."""
+        topo = cls()
+        topo.add_switch("core")
+        for i in range(leaves):
+            topo.add_switch(f"edge{i}")
+            topo.add_link("core", f"edge{i}")
+        return topo
+
+    @classmethod
+    def fat_tree_pod(cls, edge: int = 4) -> "NetworkTopology":
+        """One pod of a fat-tree: ``edge`` ToR switches dual-homed to two
+        aggregation switches."""
+        topo = cls()
+        for agg in ("agg0", "agg1"):
+            topo.add_switch(agg)
+        for i in range(edge):
+            tor = f"tor{i}"
+            topo.add_switch(tor)
+            topo.add_link(tor, "agg0")
+            topo.add_link(tor, "agg1")
+        topo.add_link("agg0", "agg1")
+        return topo
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def switches(self) -> List[str]:
+        return sorted(self.graph.nodes)
+
+    def path(self, src: str, dst: str) -> List[str]:
+        """Shortest path between two switches."""
+        for node in (src, dst):
+            if node not in self.graph:
+                raise TopologyError(f"unknown switch {node!r}")
+        try:
+            return nx.shortest_path(self.graph, src, dst, weight="weight")
+        except nx.NetworkXNoPath as exc:
+            raise TopologyError(f"no path between {src!r} and {dst!r}") from exc
+
+    def ingress_assignment(self, trace: Trace,
+                           seed: int = 0) -> Dict[str, Trace]:
+        """Partition a trace across switches by hashing the source /16.
+
+        Models each edge switch seeing the traffic entering through it:
+        all packets from one source prefix enter at one switch.
+        """
+        switches = self.switches
+        if not switches:
+            raise TopologyError("topology has no switches")
+        h = TabulationHash(seed=seed)
+        prefixes = (trace.src.astype(np.uint64) >> np.uint64(16))
+        hashed = h.hash_array(prefixes)
+        assignment = (hashed % np.uint64(len(switches))).astype(np.int64)
+        out: Dict[str, Trace] = {}
+        for idx, name in enumerate(switches):
+            mask = assignment == idx
+            out[name] = trace._take(np.nonzero(mask)[0])
+        return out

@@ -1,0 +1,122 @@
+"""Dynamic monitoring adjustment (§5): adaptively zoom into subspaces.
+
+The first epoch monitors source /8 prefixes with a universal sketch.
+After each epoch, prefixes contributing more than ``zoom_fraction`` of
+the traffic are *refined*: the next epoch monitors them one step finer
+(/8 -> /16 -> /24 -> /32) while cold regions stay coarse — and regions
+that cool down automatically fall back to coarse.  The key function
+changes per epoch but the data-plane primitive never does: this is the
+paper's "adjust the granularity of the measurement dynamically" with the
+same RISC sketch underneath.
+
+Refined regions form a prefix tree, stored as a set of
+``(prefix_value, prefix_len)`` pairs meaning "this region is split to the
+next ladder step".  A packet's monitored key is its source address
+truncated at the deepest refined ancestor's child granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.dataplane.trace import Trace
+from repro.core.universal import UniversalSketch
+
+#: Granularity ladder: prefix lengths monitored keys are truncated to.
+LADDER = (8, 16, 24, 32)
+
+
+def _truncate(addresses: np.ndarray, prefix_len: int) -> np.ndarray:
+    shift = np.uint64(32 - prefix_len)
+    return (addresses.astype(np.uint64) >> shift) << shift
+
+
+def _truncate_scalar(address: int, prefix_len: int) -> int:
+    shift = 32 - prefix_len
+    return (address >> shift) << shift
+
+
+class ZoomMonitor:
+    """Adaptive-granularity source-prefix monitoring."""
+
+    def __init__(self,
+                 sketch_factory: Optional[Callable[[], UniversalSketch]] = None,
+                 zoom_fraction: float = 0.05) -> None:
+        if sketch_factory is None:
+            sketch_factory = lambda: UniversalSketch(  # noqa: E731
+                levels=10, rows=5, width=1024, heap_size=64, seed=1)
+        self._factory = sketch_factory
+        self.zoom_fraction = zoom_fraction
+        #: regions split to the next ladder step: {(prefix_value, prefix_len)}
+        self.refined: Set[Tuple[int, int]] = set()
+        self.sketch = self._factory()
+        self.epoch = 0
+
+    # ------------------------------------------------------------------ #
+    # key assignment at the current granularity
+    # ------------------------------------------------------------------ #
+
+    def keys_for(self, trace: Trace) -> np.ndarray:
+        """Monitored keys for a trace at the current granularity."""
+        addresses = trace.src.astype(np.uint64)
+        keys = _truncate(addresses, LADDER[0])
+        lens = np.full(len(addresses), LADDER[0], dtype=np.int64)
+        for i, plen in enumerate(LADDER[:-1]):
+            values = {v for v, l in self.refined if l == plen}
+            if not values:
+                continue
+            vals = np.fromiter(values, dtype=np.uint64, count=len(values))
+            descend = np.isin(keys, vals) & (lens == plen)
+            if not descend.any():
+                continue
+            finer = LADDER[i + 1]
+            keys = np.where(descend, _truncate(addresses, finer), keys)
+            lens = np.where(descend, finer, lens)
+        return keys
+
+    def granularity_of(self, address: int) -> int:
+        """The prefix length ``address`` is currently monitored at."""
+        plen = LADDER[0]
+        for i, step in enumerate(LADDER[:-1]):
+            if (_truncate_scalar(address, step), step) in self.refined:
+                plen = LADDER[i + 1]
+            else:
+                break
+        return plen
+
+    # ------------------------------------------------------------------ #
+    # epoch loop
+    # ------------------------------------------------------------------ #
+
+    def process_epoch(self, trace: Trace) -> UniversalSketch:
+        """Sketch one epoch, adapt granularity, return the sealed sketch."""
+        self.sketch.update_array(self.keys_for(trace))
+        sealed = self.sketch
+        self._adapt(sealed)
+        self.sketch = self._factory()
+        self.epoch += 1
+        return sealed
+
+    def _adapt(self, sealed: UniversalSketch) -> None:
+        """Refine hot regions; let cold refinements expire."""
+        if sealed.total_weight <= 0:
+            return
+        hot = sealed.heavy_hitters(self.zoom_fraction)
+        refined: Set[Tuple[int, int]] = set()
+        for key, _weight in hot:
+            key = int(key)
+            plen = self.granularity_of(key)
+            # Keep the whole ancestor chain refined, then split the hot
+            # region itself one step further (unless already at /32).
+            for i, step in enumerate(LADDER[:-1]):
+                if step < plen:
+                    refined.add((_truncate_scalar(key, step), step))
+            if plen < LADDER[-1]:
+                refined.add((_truncate_scalar(key, plen), plen))
+        self.refined = refined
+
+    def monitored_regions(self) -> List[Tuple[int, int]]:
+        """Currently refined (prefix_value, prefix_len) regions."""
+        return sorted(self.refined)

@@ -1,0 +1,38 @@
+"""An OpenSketch-style programmable measurement substrate (Yu et al.,
+NSDI 2013) — the system the paper benchmarks UnivMon against.
+
+OpenSketch structures the data plane as a three-stage pipeline —
+*hashing* (pick packet fields), *classification* (filter by wildcard
+rules), *counting* (update simple counter structures) — and ships a task
+library built from those primitives.  This package reimplements both: the
+pipeline in :mod:`~repro.opensketch.primitives` and the per-task custom
+sketches in :mod:`~repro.opensketch.tasks` (heavy hitters, change
+detection, DDoS victim detection), each a task-specific composition in
+contrast to UnivMon's single generic primitive.
+"""
+
+from repro.opensketch.primitives import (
+    ClassificationStage,
+    CountingStage,
+    HashingStage,
+    MeasurementPipeline,
+)
+from repro.opensketch.superspreader import SuperSpreaderTask
+from repro.opensketch.tasks import (
+    ChangeDetectionTask,
+    DDoSDetectionTask,
+    HeavyHitterTask,
+    HierarchicalHeavyHitterTask,
+)
+
+__all__ = [
+    "HashingStage",
+    "ClassificationStage",
+    "CountingStage",
+    "MeasurementPipeline",
+    "HeavyHitterTask",
+    "HierarchicalHeavyHitterTask",
+    "ChangeDetectionTask",
+    "DDoSDetectionTask",
+    "SuperSpreaderTask",
+]

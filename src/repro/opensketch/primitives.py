@@ -1,0 +1,130 @@
+"""OpenSketch's three-stage measurement pipeline.
+
+A pipeline is ``hashing -> classification -> counting``:
+
+1. :class:`HashingStage` projects each packet to the key field(s) the
+   task measures (a :class:`~repro.dataplane.keys.KeyFunction`).
+2. :class:`ClassificationStage` keeps only packets matching prefix rules
+   (e.g. "dst in 10.1.0.0/16"), letting one physical pipeline serve a
+   scoped task.
+3. :class:`CountingStage` feeds surviving keys to a counter structure
+   (count-min, bitmap, bloom filter, ...).
+
+Tasks in :mod:`repro.opensketch.tasks` are pre-wired pipelines; the
+classes here are also usable directly for custom compositions, which is
+OpenSketch's programming model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.dataplane.keys import KeyFunction
+from repro.dataplane.trace import Trace
+from repro.sketches.base import Sketch, UpdateCost
+
+
+class HashingStage:
+    """Stage 1: select the key field(s) to measure over."""
+
+    def __init__(self, key_function: KeyFunction) -> None:
+        self.key_function = key_function
+
+    def keys(self, trace: Trace) -> np.ndarray:
+        return trace.key_array(self.key_function)
+
+
+@dataclass(frozen=True)
+class PrefixRule:
+    """Match a 32-bit field against ``value/prefix_len`` (CIDR-style)."""
+
+    field: str          # "src" or "dst"
+    value: int
+    prefix_len: int
+
+    def __post_init__(self) -> None:
+        if self.field not in ("src", "dst"):
+            raise ConfigurationError(
+                f"rule field must be 'src' or 'dst', got {self.field!r}")
+        if not 0 <= self.prefix_len <= 32:
+            raise ConfigurationError(
+                f"prefix_len must be in [0, 32], got {self.prefix_len}")
+
+    def mask(self) -> int:
+        if self.prefix_len == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.prefix_len)) & 0xFFFFFFFF
+
+    def matches_array(self, trace: Trace) -> np.ndarray:
+        column = trace.src if self.field == "src" else trace.dst
+        mask = np.uint32(self.mask())
+        return (column & mask) == np.uint32(self.value & self.mask())
+
+
+class ClassificationStage:
+    """Stage 2: keep packets matching *any* of the rules (OR semantics).
+
+    An empty rule list matches everything (the common whole-link case).
+    """
+
+    def __init__(self, rules: Sequence[PrefixRule] = ()) -> None:
+        self.rules = list(rules)
+
+    def select(self, trace: Trace) -> np.ndarray:
+        """Boolean mask over the trace's packets."""
+        if not self.rules:
+            return np.ones(len(trace), dtype=bool)
+        mask = np.zeros(len(trace), dtype=bool)
+        for rule in self.rules:
+            mask |= rule.matches_array(trace)
+        return mask
+
+
+class CountingStage:
+    """Stage 3: the counter structure updates."""
+
+    def __init__(self, sketch: Sketch) -> None:
+        self.sketch = sketch
+
+    def consume(self, keys: np.ndarray) -> None:
+        if hasattr(self.sketch, "update_array"):
+            self.sketch.update_array(keys)
+        else:
+            for key in keys.tolist():
+                self.sketch.update(int(key))
+
+
+class MeasurementPipeline:
+    """A composed hashing/classification/counting pipeline."""
+
+    def __init__(self, hashing: HashingStage,
+                 counting: CountingStage,
+                 classification: Optional[ClassificationStage] = None) -> None:
+        self.hashing = hashing
+        self.classification = classification or ClassificationStage()
+        self.counting = counting
+        self.packets_processed = 0
+        self.packets_matched = 0
+
+    def process_trace(self, trace: Trace) -> None:
+        mask = self.classification.select(trace)
+        keys = self.hashing.keys(trace)[mask]
+        self.counting.consume(keys)
+        self.packets_processed += len(trace)
+        self.packets_matched += int(mask.sum())
+
+    def process_key(self, key: int) -> None:
+        """Per-packet path for pre-classified keys."""
+        self.counting.sketch.update(key)
+        self.packets_processed += 1
+        self.packets_matched += 1
+
+    def memory_bytes(self) -> int:
+        return self.counting.sketch.memory_bytes()
+
+    def update_cost(self) -> UpdateCost:
+        return self.counting.sketch.update_cost()

@@ -1,0 +1,48 @@
+"""Streaming sketches: the building blocks and the custom baselines.
+
+Two roles live here:
+
+1. **Building blocks of UnivMon** — :class:`CountSketch` (the per-level
+   L2 heavy hitter structure of Algorithm 1) and :class:`TopK`.
+2. **Custom per-task baselines** in the spirit of the OpenSketch library
+   the paper compares against: Count-Min + heap heavy hitters, the k-ary
+   change-detection sketch, bitmap / HyperLogLog distinct counters, the
+   AMS F2 sketch, sample-and-hold, and the Lall et al. sampled entropy
+   estimator.
+
+All sketches are deterministic given ``seed``, expose ``memory_bytes()``
+for the accuracy-vs-memory figures, and the linear ones (Count Sketch,
+Count-Min, k-ary, AMS) support ``merge`` and Count Sketch additionally
+``subtract`` — the property change detection exploits.
+"""
+
+from repro.sketches.ams import AMSSketch
+from repro.sketches.base import Sketch, UpdateCost
+from repro.sketches.bitmap import LinearCounter
+from repro.sketches.bloom import BloomFilter
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.entropy_sampling import SampledEntropyEstimator
+from repro.sketches.exact import ExactCounter
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.kary import KArySketch
+from repro.sketches.reversible import ReversibleSketch
+from repro.sketches.sample_hold import SampleAndHold
+from repro.sketches.topk import TopK
+
+__all__ = [
+    "Sketch",
+    "UpdateCost",
+    "CountSketch",
+    "CountMinSketch",
+    "TopK",
+    "KArySketch",
+    "LinearCounter",
+    "HyperLogLog",
+    "BloomFilter",
+    "AMSSketch",
+    "SampleAndHold",
+    "SampledEntropyEstimator",
+    "ReversibleSketch",
+    "ExactCounter",
+]

@@ -1,0 +1,73 @@
+"""Linear-counting bitmap distinct counter (Whang et al. 1990).
+
+OpenSketch's DDoS task counts distinct sources per destination with small
+bitmaps; this is that primitive.  Each key sets one bit of an ``m``-bit
+array; the cardinality estimate is ``-m * ln(z/m)`` where ``z`` is the
+number of zero bits.  Accurate while the bitmap is not saturated
+(roughly ``n < m ln m``), and extremely cheap: one hash, one bit write.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.tabulation import TabulationHash
+from repro.sketches.base import Sketch, UpdateCost
+
+
+class LinearCounter(Sketch):
+    """An ``m``-bit linear-counting bitmap."""
+
+    __slots__ = ("bits", "seed", "_bitmap", "_hash")
+
+    def __init__(self, bits: int, seed: Optional[int] = None) -> None:
+        if bits < 8:
+            raise ConfigurationError(f"bits must be >= 8, got {bits}")
+        self.bits = bits
+        self.seed = seed
+        self._bitmap = np.zeros(bits, dtype=bool)
+        self._hash = TabulationHash(seed=seed)
+
+    def update(self, key: int, weight: int = 1) -> None:
+        # Distinct counting ignores weights; any appearance sets the bit.
+        self._bitmap[self._hash(key) % self.bits] = True
+
+    def update_array(self, keys: np.ndarray) -> None:
+        idx = (self._hash.hash_array(keys) % np.uint64(self.bits)).astype(np.intp)
+        self._bitmap[idx] = True
+
+    def zero_bits(self) -> int:
+        return int(self.bits - self._bitmap.sum())
+
+    def cardinality(self) -> float:
+        """Estimated number of distinct keys observed."""
+        zeros = self.zero_bits()
+        if zeros == 0:
+            # Saturated: the estimator diverges; report the (coupon
+            # collector) saturation point as a floor.
+            return float(self.bits * math.log(self.bits))
+        return float(-self.bits * math.log(zeros / self.bits))
+
+    def saturated(self, threshold: float = 0.95) -> bool:
+        """True when more than ``threshold`` of the bits are set."""
+        return (self.bits - self.zero_bits()) / self.bits > threshold
+
+    def merge(self, other: "LinearCounter") -> "LinearCounter":
+        """Union of the two observed key sets (bitwise OR)."""
+        if (self.bits, self.seed) != (other.bits, other.seed) or self.seed is None:
+            from repro.errors import IncompatibleSketchError
+            raise IncompatibleSketchError(
+                "LinearCounters must share bits and an explicit seed")
+        out = LinearCounter(self.bits, seed=self.seed)
+        out._bitmap = self._bitmap | other._bitmap
+        return out
+
+    def memory_bytes(self) -> int:
+        return (self.bits + 7) // 8
+
+    def update_cost(self) -> UpdateCost:
+        return UpdateCost(hashes=1, counter_updates=1, memory_words=1)

@@ -1,0 +1,140 @@
+"""Count-Min sketch (Cormode & Muthukrishnan 2005).
+
+The workhorse of the OpenSketch library the paper benchmarks against.  Each
+row hashes the key to a bucket and adds the weight; a point query takes the
+*minimum* over rows, which overestimates by at most ``eps * L1`` with
+probability ``1 - delta`` for ``width = e/eps`` and ``rows = ln(1/delta)``.
+
+The optional *conservative update* variant only increments the minimal
+counters, trading update cost for less overestimation — OpenSketch's
+heavy-hitter pipeline uses it, so the baseline here supports it too.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, IncompatibleSketchError
+from repro.hashing.tabulation import TabulationHash
+from repro.sketches.base import Sketch, UpdateCost
+
+
+class CountMinSketch(Sketch):
+    """A ``rows x width`` Count-Min sketch over integer keys."""
+
+    __slots__ = ("rows", "width", "seed", "conservative", "counter_bytes",
+                 "table", "_hashes")
+
+    def __init__(self, rows: int, width: int, seed: Optional[int] = None,
+                 conservative: bool = False, counter_bytes: int = 4) -> None:
+        if rows < 1:
+            raise ConfigurationError(f"rows must be >= 1, got {rows}")
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        self.rows = rows
+        self.width = width
+        self.seed = seed
+        self.conservative = conservative
+        self.counter_bytes = counter_bytes
+        self.table = np.zeros((rows, width), dtype=np.int64)
+        rng = random.Random(seed)
+        self._hashes: List[TabulationHash] = [
+            TabulationHash(rng=rng) for _ in range(rows)
+        ]
+
+    def _buckets(self, key: int) -> List[int]:
+        return [h(key) % self.width for h in self._hashes]
+
+    def update(self, key: int, weight: int = 1) -> None:
+        buckets = self._buckets(key)
+        table = self.table
+        if self.conservative and weight > 0:
+            current = min(table[r, b] for r, b in enumerate(buckets))
+            target = current + weight
+            for r, b in enumerate(buckets):
+                if table[r, b] < target:
+                    table[r, b] = target
+        else:
+            for r, b in enumerate(buckets):
+                table[r, b] += weight
+
+    def update_array(self, keys: np.ndarray,
+                     weights: Optional[np.ndarray] = None) -> None:
+        """Vectorised bulk update (plain, non-conservative semantics)."""
+        if self.conservative:
+            # Conservative update is inherently sequential; fall back.
+            if weights is None:
+                for k in keys.tolist():
+                    self.update(int(k))
+            else:
+                for k, w in zip(keys.tolist(), weights.tolist()):
+                    self.update(int(k), int(w))
+            return
+        if weights is None:
+            weights = np.ones(len(keys), dtype=np.int64)
+        for r, h in enumerate(self._hashes):
+            buckets = (h.hash_array(keys) % np.uint64(self.width)).astype(np.intp)
+            np.add.at(self.table[r], buckets, weights)
+
+    def query(self, key: int) -> int:
+        """Point estimate: min over rows (never underestimates for
+        non-negative streams)."""
+        return int(min(self.table[r, b]
+                       for r, b in enumerate(self._buckets(key))))
+
+    def query_many(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        estimates = np.empty((self.rows, len(keys)), dtype=np.int64)
+        for r, h in enumerate(self._hashes):
+            buckets = (h.hash_array(keys) % np.uint64(self.width)).astype(np.intp)
+            estimates[r] = self.table[r, buckets]
+        return estimates.min(axis=0)
+
+    def l1_estimate(self) -> int:
+        """Total stream weight (exact for non-negative streams: row sum)."""
+        return int(self.table[0].sum())
+
+    def _check_compatible(self, other: "CountMinSketch") -> None:
+        if not isinstance(other, CountMinSketch):
+            raise IncompatibleSketchError(
+                f"cannot combine CountMinSketch with {type(other).__name__}")
+        if (self.rows, self.width) != (other.rows, other.width):
+            raise IncompatibleSketchError(
+                f"geometry mismatch: {self.rows}x{self.width} vs "
+                f"{other.rows}x{other.width}")
+        if self.seed is None or self.seed != other.seed:
+            raise IncompatibleSketchError(
+                "sketches must share an explicit seed to be combined")
+        if self.conservative or other.conservative:
+            raise IncompatibleSketchError(
+                "conservative-update sketches are not linear and cannot "
+                "be merged")
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Return the sketch of the concatenated streams."""
+        self._check_compatible(other)
+        out = CountMinSketch.__new__(CountMinSketch)
+        out.rows = self.rows
+        out.width = self.width
+        out.seed = self.seed
+        out.conservative = False
+        out.counter_bytes = self.counter_bytes
+        out.table = self.table + other.table
+        out._hashes = self._hashes
+        return out
+
+    def memory_bytes(self) -> int:
+        return self.rows * self.width * self.counter_bytes
+
+    def update_cost(self) -> UpdateCost:
+        extra = self.rows if self.conservative else 0  # read-before-write
+        return UpdateCost(hashes=self.rows,
+                          counter_updates=self.rows,
+                          memory_words=self.rows + extra)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CountMinSketch(rows={self.rows}, width={self.width}, "
+                f"seed={self.seed}, conservative={self.conservative})")

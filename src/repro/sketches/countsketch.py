@@ -1,0 +1,176 @@
+"""Count Sketch (Charikar, Chen, Farach-Colton 2002).
+
+The L2 heavy hitter / point-query structure at the heart of UnivMon: each of
+``rows`` rows hashes the key to one of ``width`` buckets and adds
+``sign(key) * weight`` there; a point query returns the median over rows of
+``sign(key) * bucket``.  The estimator is unbiased with per-row standard
+deviation ``L2 / sqrt(width)``, and the median over rows turns that into a
+high-probability guarantee.
+
+Count Sketch is *linear*: sketches with the same geometry and seed can be
+added and subtracted counter-by-counter.  Subtraction is what makes change
+detection (Figure 6) essentially free for UnivMon.
+
+Both bucket index and sign are derived from a single tabulation hash per
+row (low bits -> bucket, top bit -> sign); simple tabulation is 3-wise
+independent, more than the pairwise independence the analysis needs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, IncompatibleSketchError
+from repro.hashing.tabulation import TabulationHash
+from repro.sketches.base import Sketch, UpdateCost
+
+
+class CountSketch(Sketch):
+    """A ``rows x width`` Count Sketch over integer keys.
+
+    Parameters
+    ----------
+    rows:
+        Number of independent hash rows (median is taken across these).
+    width:
+        Buckets per row; per-row error is ``L2 / sqrt(width)``.
+    seed:
+        Seeds the row hashes; equal (rows, width, seed) sketches are
+        mergeable and subtractable.
+    counter_bytes:
+        Bytes charged per counter in :meth:`memory_bytes` (hardware
+        sketches use 4-byte counters; the accounting follows suit).
+    """
+
+    __slots__ = ("rows", "width", "seed", "counter_bytes", "table", "_hashes")
+
+    def __init__(self, rows: int, width: int, seed: Optional[int] = None,
+                 counter_bytes: int = 4) -> None:
+        if rows < 1:
+            raise ConfigurationError(f"rows must be >= 1, got {rows}")
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        self.rows = rows
+        self.width = width
+        self.seed = seed
+        self.counter_bytes = counter_bytes
+        self.table = np.zeros((rows, width), dtype=np.int64)
+        rng = random.Random(seed)
+        self._hashes: List[TabulationHash] = [
+            TabulationHash(rng=rng) for _ in range(rows)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # update / query
+    # ------------------------------------------------------------------ #
+
+    def update(self, key: int, weight: int = 1) -> None:
+        table = self.table
+        width = self.width
+        for r, h in enumerate(self._hashes):
+            v = h(key)
+            sign = 1 if (v >> 63) else -1
+            table[r, v % width] += sign * weight
+
+    def update_array(self, keys: np.ndarray,
+                     weights: Optional[np.ndarray] = None) -> None:
+        """Vectorised bulk update (numpy ``uint64`` keys)."""
+        if weights is None:
+            weights = np.ones(len(keys), dtype=np.int64)
+        for r, h in enumerate(self._hashes):
+            v = h.hash_array(keys)
+            sign = np.where(v >> np.uint64(63), 1, -1).astype(np.int64)
+            buckets = (v % np.uint64(self.width)).astype(np.intp)
+            np.add.at(self.table[r], buckets, sign * weights)
+
+    def query(self, key: int) -> float:
+        """Unbiased point estimate of the key's total weight (median rule)."""
+        estimates = np.empty(self.rows, dtype=np.float64)
+        for r, h in enumerate(self._hashes):
+            v = h(key)
+            sign = 1 if (v >> 63) else -1
+            estimates[r] = sign * self.table[r, v % self.width]
+        return float(np.median(estimates))
+
+    def query_many(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised point queries for a ``uint64`` key array."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        estimates = np.empty((self.rows, len(keys)), dtype=np.float64)
+        for r, h in enumerate(self._hashes):
+            v = h.hash_array(keys)
+            sign = np.where(v >> np.uint64(63), 1.0, -1.0)
+            buckets = (v % np.uint64(self.width)).astype(np.intp)
+            estimates[r] = sign * self.table[r, buckets]
+        return np.median(estimates, axis=0)
+
+    def l2_estimate(self) -> float:
+        """Estimate of the stream's L2 norm (median of per-row norms)."""
+        row_norms = np.sqrt((self.table.astype(np.float64) ** 2).sum(axis=1))
+        return float(np.median(row_norms))
+
+    def f2_estimate(self) -> float:
+        """Estimate of the second frequency moment ``F2 = sum f_i**2``."""
+        row_f2 = (self.table.astype(np.float64) ** 2).sum(axis=1)
+        return float(np.median(row_f2))
+
+    # ------------------------------------------------------------------ #
+    # linearity
+    # ------------------------------------------------------------------ #
+
+    def _check_compatible(self, other: "CountSketch") -> None:
+        if not isinstance(other, CountSketch):
+            raise IncompatibleSketchError(
+                f"cannot combine CountSketch with {type(other).__name__}")
+        if (self.rows, self.width) != (other.rows, other.width):
+            raise IncompatibleSketchError(
+                f"geometry mismatch: {self.rows}x{self.width} vs "
+                f"{other.rows}x{other.width}")
+        if self.seed is None or self.seed != other.seed:
+            raise IncompatibleSketchError(
+                "sketches must share an explicit seed to be combined")
+
+    def merge(self, other: "CountSketch") -> "CountSketch":
+        """Return the sketch of the concatenated streams (self + other)."""
+        self._check_compatible(other)
+        out = self.copy()
+        out.table += other.table
+        return out
+
+    def subtract(self, other: "CountSketch") -> "CountSketch":
+        """Return the sketch of the *difference* stream (self - other).
+
+        Point queries on the result estimate ``f_A(x) - f_B(x)``; this is
+        the primitive behind UnivMon change detection.
+        """
+        self._check_compatible(other)
+        out = self.copy()
+        out.table -= other.table
+        return out
+
+    def copy(self) -> "CountSketch":
+        out = CountSketch.__new__(CountSketch)
+        out.rows = self.rows
+        out.width = self.width
+        out.seed = self.seed
+        out.counter_bytes = self.counter_bytes
+        out.table = self.table.copy()
+        out._hashes = self._hashes  # immutable, shareable
+        return out
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def memory_bytes(self) -> int:
+        return self.rows * self.width * self.counter_bytes
+
+    def update_cost(self) -> UpdateCost:
+        return UpdateCost(hashes=self.rows, counter_updates=self.rows,
+                          memory_words=self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CountSketch(rows={self.rows}, width={self.width}, "
+                f"seed={self.seed})")

@@ -1,0 +1,122 @@
+"""Exact per-key counting — the ground truth every experiment compares to.
+
+Not a sketch in the space-bounded sense (it is the thing sketches avoid),
+but it implements the same interface so harness code can treat it
+uniformly, and it centralises the exact formulas for every statistic the
+paper evaluates: heavy hitters, distinct counts, entropy, frequency
+moments, G-sums, and heavy change between two epochs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.sketches.base import Sketch, UpdateCost
+
+
+class ExactCounter(Sketch):
+    """Exact frequency table over integer keys."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+
+    def update(self, key: int, weight: int = 1) -> None:
+        self.counts[key] += weight
+
+    def update_array(self, keys, weights=None) -> None:
+        if weights is None:
+            self.counts.update(int(k) for k in keys)
+        else:
+            for k, w in zip(keys, weights):
+                self.counts[int(k)] += int(w)
+
+    # ------------------------------------------------------------------ #
+    # exact statistics
+    # ------------------------------------------------------------------ #
+
+    def total(self) -> int:
+        """Total weight ``m``."""
+        return sum(self.counts.values())
+
+    def cardinality(self) -> int:
+        """Number of distinct keys ``n`` (i.e. ``F0``)."""
+        return len(self.counts)
+
+    def frequency(self, key: int) -> int:
+        return self.counts.get(key, 0)
+
+    def heavy_hitters(self, fraction: float) -> List[Tuple[int, int]]:
+        """Keys whose weight is >= ``fraction`` of the total, largest first."""
+        threshold = fraction * self.total()
+        return sorted(((k, c) for k, c in self.counts.items()
+                       if c >= threshold), key=lambda kv: -kv[1])
+
+    def entropy(self, base: float = 2.0) -> float:
+        """Empirical Shannon entropy ``-sum (f/m) log(f/m)``."""
+        m = self.total()
+        if m == 0:
+            return 0.0
+        log_base = math.log(base)
+        return -sum((c / m) * (math.log(c / m) / log_base)
+                    for c in self.counts.values() if c > 0)
+
+    def moment(self, p: float) -> float:
+        """Frequency moment ``F_p = sum f_i**p`` (``F0`` = cardinality)."""
+        if p == 0:
+            return float(self.cardinality())
+        return float(sum(c ** p for c in self.counts.values()))
+
+    def g_sum(self, g: Callable[[float], float]) -> float:
+        """Exact ``G-sum = sum_i g(f_i)`` for any g."""
+        return float(sum(g(c) for c in self.counts.values()))
+
+    def top(self, k: int) -> List[Tuple[int, int]]:
+        return self.counts.most_common(k)
+
+    # ------------------------------------------------------------------ #
+    # two-epoch statistics (change detection ground truth)
+    # ------------------------------------------------------------------ #
+
+    def difference(self, other: "ExactCounter") -> Dict[int, int]:
+        """Signed per-key difference ``f_self(x) - f_other(x)``."""
+        keys = set(self.counts) | set(other.counts)
+        return {k: self.counts.get(k, 0) - other.counts.get(k, 0)
+                for k in keys}
+
+    def heavy_changes(self, other: "ExactCounter",
+                      phi: float) -> List[Tuple[int, int]]:
+        """Keys whose |difference| >= ``phi`` * total absolute change."""
+        diff = self.difference(other)
+        total = sum(abs(d) for d in diff.values())
+        if total == 0:
+            return []
+        threshold = phi * total
+        return sorted(((k, d) for k, d in diff.items()
+                       if abs(d) >= threshold), key=lambda kv: -abs(kv[1]))
+
+    def total_change(self, other: "ExactCounter") -> int:
+        """Total L1 change ``D = sum_x |f_A(x) - f_B(x)|``."""
+        return sum(abs(d) for d in self.difference(other).values())
+
+    # ------------------------------------------------------------------ #
+    # Sketch interface
+    # ------------------------------------------------------------------ #
+
+    def memory_bytes(self) -> int:
+        # 8-byte key + 8-byte count per entry; grows with the stream,
+        # which is exactly why this is the baseline sketches beat.
+        return len(self.counts) * 16
+
+    def update_cost(self) -> UpdateCost:
+        return UpdateCost(hashes=1, counter_updates=1, memory_words=1)
+
+    @classmethod
+    def from_keys(cls, keys: Iterable[int]) -> "ExactCounter":
+        out = cls()
+        for k in keys:
+            out.update(int(k))
+        return out

@@ -1,0 +1,99 @@
+"""HyperLogLog distinct counter (Flajolet et al. 2007).
+
+The constant-relative-error companion to :class:`LinearCounter`: ``2**p``
+6-bit registers, standard bias correction, and linear-counting fallback in
+the small-cardinality regime.  Used as the second distinct-counting
+baseline for the DDoS experiment (Figure 5) and for the ``g(x)=x**0``
+ground-truth cross-checks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, IncompatibleSketchError
+from repro.hashing.tabulation import TabulationHash
+from repro.sketches.base import Sketch, UpdateCost
+
+
+def _alpha(m: int) -> float:
+    """The standard HLL bias-correction constant for ``m`` registers."""
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    return 0.7213 / (1 + 1.079 / m)
+
+
+class HyperLogLog(Sketch):
+    """HyperLogLog with ``2**precision`` registers.
+
+    Parameters
+    ----------
+    precision:
+        ``p`` in [4, 18]; relative error is about ``1.04 / sqrt(2**p)``.
+    """
+
+    __slots__ = ("precision", "registers", "seed", "_hash", "_m")
+
+    def __init__(self, precision: int = 12, seed: Optional[int] = None) -> None:
+        if not 4 <= precision <= 18:
+            raise ConfigurationError(
+                f"precision must be in [4, 18], got {precision}")
+        self.precision = precision
+        self.seed = seed
+        self._m = 1 << precision
+        self.registers = np.zeros(self._m, dtype=np.uint8)
+        self._hash = TabulationHash(seed=seed)
+
+    def update(self, key: int, weight: int = 1) -> None:
+        h = self._hash(key)
+        idx = h >> (64 - self.precision)
+        # Rank = position of the first 1-bit in the remaining bits.
+        rest = h & ((1 << (64 - self.precision)) - 1)
+        rank = (64 - self.precision) - rest.bit_length() + 1
+        if rank > self.registers[idx]:
+            self.registers[idx] = rank
+
+    def update_array(self, keys: np.ndarray) -> None:
+        h = self._hash.hash_array(keys)
+        idx = (h >> np.uint64(64 - self.precision)).astype(np.intp)
+        rest = h & np.uint64((1 << (64 - self.precision)) - 1)
+        # bit_length via log2 is unsafe at 0; use a loop-free formula.
+        rest_f = rest.astype(np.float64)
+        bl = np.zeros(len(rest), dtype=np.int64)
+        nz = rest > 0
+        bl[nz] = np.floor(np.log2(rest_f[nz])).astype(np.int64) + 1
+        rank = (64 - self.precision) - bl + 1
+        np.maximum.at(self.registers, idx, rank.astype(np.uint8))
+
+    def cardinality(self) -> float:
+        m = self._m
+        regs = self.registers.astype(np.float64)
+        raw = _alpha(m) * m * m / np.power(2.0, -regs).sum()
+        if raw <= 2.5 * m:
+            zeros = int((self.registers == 0).sum())
+            if zeros:
+                return float(m * math.log(m / zeros))
+        return float(raw)
+
+    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+        if (self.precision, self.seed) != (other.precision, other.seed) \
+                or self.seed is None:
+            raise IncompatibleSketchError(
+                "HyperLogLogs must share precision and an explicit seed")
+        out = HyperLogLog(self.precision, seed=self.seed)
+        out.registers = np.maximum(self.registers, other.registers)
+        return out
+
+    def memory_bytes(self) -> int:
+        # 6 bits per register in hardware encodings; round up per byte here.
+        return self._m
+
+    def update_cost(self) -> UpdateCost:
+        return UpdateCost(hashes=1, counter_updates=1, memory_words=1)

@@ -1,0 +1,207 @@
+"""Flow size distribution estimation from a counter array (Kumar et al.,
+SIGMETRICS 2004 — "MRAC").
+
+The paper's introduction lists the flow size distribution [29] among the
+metrics management depends on; this is the custom streaming structure
+built for it.  The data plane is minimal — ``m`` counters, one hash, one
+increment per packet — and all intelligence is offline: an EM algorithm
+de-convolves hash collisions out of the observed counter-value histogram
+to recover ``phi[s]`` = number of flows of size ``s``.
+
+EM model (the standard simplification of Kumar's):
+
+- flows land in counters uniformly; the number of flows per counter is
+  Poisson(``lambda = n / m``);
+- a counter holding flows of sizes ``(s_1..s_k)`` shows value ``Σ s_i``;
+- the E-step distributes each observed value ``v`` over the partitions
+  of ``v`` into at most ``max_flows_per_counter`` flow sizes, weighted
+  by the current distribution estimate; the M-step re-estimates ``phi``.
+
+Counters larger than ``max_size`` are attributed to single elephant
+flows (collisions among elephants are negligible at sane load factors),
+which keeps the partition enumeration bounded.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations_with_replacement
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.tabulation import TabulationHash
+from repro.sketches.base import Sketch, UpdateCost
+
+
+def _partitions(value: int, max_parts: int, max_size: int) -> List[Tuple[int, ...]]:
+    """All multisets of at most ``max_parts`` sizes in [1, max_size]
+    summing to ``value`` (value <= max_size assumed)."""
+    out = [(value,)]
+    if max_parts >= 2:
+        for a in range(1, value // 2 + 1):
+            out.append((a, value - a))
+    if max_parts >= 3:
+        for a in range(1, value // 3 + 1):
+            for b in range(a, (value - a) // 2 + 1):
+                c = value - a - b
+                if c >= b:
+                    out.append((a, b, c))
+    return out
+
+
+class MRACSketch(Sketch):
+    """Counter array + EM estimator for the flow size distribution.
+
+    Parameters
+    ----------
+    counters:
+        Array size ``m``; accuracy needs load factor ``n/m`` below ~1.
+    max_size:
+        Largest flow size modelled by EM; larger counters are treated
+        as single elephant flows.
+    max_flows_per_counter:
+        Partition-order cap of the EM (2 or 3; 3 is Kumar's setting).
+    """
+
+    __slots__ = ("m", "seed", "max_size", "max_flows", "em_iterations",
+                 "counters", "_hash")
+
+    def __init__(self, counters: int, seed: Optional[int] = None,
+                 max_size: int = 100, max_flows_per_counter: int = 3,
+                 em_iterations: int = 20) -> None:
+        if counters < 8:
+            raise ConfigurationError(f"counters must be >= 8, got {counters}")
+        if max_flows_per_counter not in (1, 2, 3):
+            raise ConfigurationError(
+                "max_flows_per_counter must be 1, 2 or 3")
+        if max_size < 1:
+            raise ConfigurationError(f"max_size must be >= 1, got {max_size}")
+        self.m = counters
+        self.seed = seed
+        self.max_size = max_size
+        self.max_flows = max_flows_per_counter
+        self.em_iterations = em_iterations
+        self.counters = np.zeros(counters, dtype=np.int64)
+        self._hash = TabulationHash(seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # data plane
+    # ------------------------------------------------------------------ #
+
+    def update(self, key: int, weight: int = 1) -> None:
+        self.counters[self._hash(key) % self.m] += weight
+
+    def update_array(self, keys: np.ndarray,
+                     weights: Optional[np.ndarray] = None) -> None:
+        idx = (self._hash.hash_array(keys) % np.uint64(self.m)).astype(np.intp)
+        if weights is None:
+            np.add.at(self.counters, idx, 1)
+        else:
+            np.add.at(self.counters, idx, weights)
+
+    # ------------------------------------------------------------------ #
+    # offline estimation
+    # ------------------------------------------------------------------ #
+
+    def observed_histogram(self) -> Dict[int, int]:
+        """``value -> #counters`` for non-zero counter values."""
+        values, counts = np.unique(self.counters[self.counters > 0],
+                                   return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def estimate_distribution(self) -> np.ndarray:
+        """EM estimate of ``phi``: index ``s`` (1-based) -> #flows of size s.
+
+        Returns an array of length ``max_size + 1`` (index 0 unused);
+        elephant counters (> max_size) contribute one flow at their
+        clamped size ``max_size``.
+        """
+        hist = self.observed_histogram()
+        phi = np.zeros(self.max_size + 1, dtype=np.float64)
+        elephants = 0.0
+        small_hist = {}
+        for value, count in hist.items():
+            if value > self.max_size:
+                elephants += count
+            else:
+                small_hist[value] = count
+                phi[value] += count  # init: pretend no collisions
+        if not small_hist:
+            phi[self.max_size] += elephants
+            return phi
+
+        partitions = {v: _partitions(v, self.max_flows, self.max_size)
+                      for v in small_hist}
+
+        for _ in range(self.em_iterations):
+            n = phi.sum() + elephants
+            if n <= 0:
+                break
+            lam = n / self.m
+            p = phi / max(phi.sum(), 1e-12)
+            log_p = np.full_like(p, -np.inf)
+            positive = p > 0
+            log_p[positive] = np.log(p[positive])
+            # Poisson(k) factors, conditioned on counter non-empty.
+            log_poisson = [
+                -lam + k * math.log(max(lam, 1e-300)) - math.lgamma(k + 1)
+                for k in range(self.max_flows + 1)
+            ]
+            new_phi = np.zeros_like(phi)
+            for value, count in small_hist.items():
+                weights = []
+                for combo in partitions[value]:
+                    k = len(combo)
+                    log_w = log_poisson[k] + _log_multiset_coeff(combo)
+                    for s in combo:
+                        log_w += log_p[s]
+                    weights.append(log_w)
+                weights = np.array(weights)
+                if np.all(np.isinf(weights)):
+                    # Current phi gives this value probability 0;
+                    # fall back to the singleton explanation.
+                    new_phi[value] += count
+                    continue
+                weights = np.exp(weights - weights.max())
+                weights /= weights.sum()
+                for combo, w in zip(partitions[value], weights):
+                    for s in combo:
+                        new_phi[s] += count * w
+            phi = new_phi
+        phi[self.max_size] += elephants
+        return phi
+
+    def estimate_flow_count(self) -> float:
+        """Total number of flows implied by the EM estimate."""
+        return float(self.estimate_distribution().sum())
+
+    def load_factor(self) -> float:
+        """Occupied fraction of the counter array."""
+        return float((self.counters > 0).mean())
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def memory_bytes(self) -> int:
+        return self.m * 4
+
+    def update_cost(self) -> UpdateCost:
+        return UpdateCost(hashes=1, counter_updates=1, memory_words=1)
+
+
+def _log_multiset_coeff(combo: Tuple[int, ...]) -> float:
+    """log of the multinomial coefficient k! / prod(multiplicities!)."""
+    k = len(combo)
+    coeff = math.lgamma(k + 1)
+    current, run = None, 0
+    for s in combo:
+        if s == current:
+            run += 1
+        else:
+            coeff -= math.lgamma(run + 1)
+            current, run = s, 1
+    coeff -= math.lgamma(run + 1)
+    return coeff

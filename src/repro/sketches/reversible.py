@@ -1,0 +1,221 @@
+"""Reversible sketch via modular hashing (Schweller et al., ToN 2007).
+
+Section 5 of the paper ("Reversibility") asks whether the keys behind
+anomalous buckets can be *recovered* instead of thrown away.  The classic
+answer is modular hashing: split the 32-bit key into ``chunks`` pieces,
+hash each piece independently to a few bits, and concatenate the piece
+hashes into the bucket index.  Recovery then works per piece: for a heavy
+bucket, each index chunk constrains its key piece to the small preimage
+set of that chunk hash, and intersecting candidate sets across several
+independent rows prunes the false combinations.
+
+The price of reversibility is a weaker hash (pieces are hashed
+independently, so structured keys collide more) — the trade-off the
+original paper documents, visible here in the tests.
+
+This implementation recovers exact-key candidates for L1-heavy buckets
+of an insert-only or difference stream, making it a drop-in "which key
+caused this change?" companion to the k-ary change sketch.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, IncompatibleSketchError
+from repro.sketches.base import Sketch, UpdateCost
+
+
+class ReversibleSketch(Sketch):
+    """A reversible counting sketch over 32-bit keys.
+
+    Parameters
+    ----------
+    rows:
+        Independent modular-hash rows; recovery intersects across them.
+    chunk_bits:
+        Bits per key piece (key is split into ``32 / chunk_bits`` pieces).
+    bucket_bits_per_chunk:
+        Bits each piece hash contributes to the bucket index.  The table
+        width is ``2 ** (pieces * bucket_bits_per_chunk)``.
+    """
+
+    def __init__(self, rows: int = 4, chunk_bits: int = 8,
+                 bucket_bits_per_chunk: int = 3,
+                 seed: Optional[int] = None) -> None:
+        if 32 % chunk_bits != 0:
+            raise ConfigurationError(
+                f"chunk_bits {chunk_bits} must divide 32")
+        if not 1 <= bucket_bits_per_chunk <= chunk_bits:
+            raise ConfigurationError(
+                "bucket_bits_per_chunk must be in [1, chunk_bits]")
+        if rows < 1:
+            raise ConfigurationError(f"rows must be >= 1, got {rows}")
+        self.rows = rows
+        self.chunk_bits = chunk_bits
+        self.bucket_bits = bucket_bits_per_chunk
+        self.chunks = 32 // chunk_bits
+        self.width = 1 << (self.chunks * bucket_bits_per_chunk)
+        self.seed = seed
+        rng = random.Random(seed)
+        # Per (row, chunk): a lookup table mapping piece value -> hash.
+        chunk_values = 1 << chunk_bits
+        self._tables = np.empty((rows, self.chunks, chunk_values),
+                                dtype=np.int64)
+        for r in range(rows):
+            for c in range(self.chunks):
+                for v in range(chunk_values):
+                    self._tables[r, c, v] = rng.getrandbits(
+                        bucket_bits_per_chunk)
+        self.table = np.zeros((rows, self.width), dtype=np.int64)
+        # Preimages: per (row, chunk, hash value) -> list of piece values.
+        self._preimages: List[List[Dict[int, List[int]]]] = []
+        for r in range(rows):
+            row_pre = []
+            for c in range(self.chunks):
+                buckets: Dict[int, List[int]] = {}
+                for v in range(chunk_values):
+                    buckets.setdefault(int(self._tables[r, c, v]), []).append(v)
+                row_pre.append(buckets)
+            self._preimages.append(row_pre)
+
+    # ------------------------------------------------------------------ #
+    # hashing
+    # ------------------------------------------------------------------ #
+
+    def _pieces(self, key: int) -> List[int]:
+        mask = (1 << self.chunk_bits) - 1
+        return [(key >> (self.chunk_bits * i)) & mask
+                for i in range(self.chunks)]
+
+    def bucket(self, row: int, key: int) -> int:
+        """The modular-hash bucket of ``key`` in ``row``."""
+        index = 0
+        for c, piece in enumerate(self._pieces(key)):
+            index |= int(self._tables[row, c, piece]) \
+                << (self.bucket_bits * c)
+        return index
+
+    def _buckets_array(self, row: int, keys: np.ndarray) -> np.ndarray:
+        mask = np.uint64((1 << self.chunk_bits) - 1)
+        index = np.zeros(len(keys), dtype=np.int64)
+        for c in range(self.chunks):
+            pieces = ((keys >> np.uint64(self.chunk_bits * c)) & mask) \
+                .astype(np.intp)
+            index |= self._tables[row, c][pieces] << (self.bucket_bits * c)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # stream interface
+    # ------------------------------------------------------------------ #
+
+    def update(self, key: int, weight: int = 1) -> None:
+        for r in range(self.rows):
+            self.table[r, self.bucket(r, key)] += weight
+
+    def update_array(self, keys: np.ndarray,
+                     weights: Optional[np.ndarray] = None) -> None:
+        keys = np.asarray(keys, dtype=np.uint64)
+        if weights is None:
+            weights = np.ones(len(keys), dtype=np.int64)
+        for r in range(self.rows):
+            np.add.at(self.table[r], self._buckets_array(r, keys), weights)
+
+    def query(self, key: int) -> float:
+        """Point estimate (k-ary style unbiased median over rows)."""
+        s = float(self.table[0].sum())
+        w = self.width
+        estimates = [
+            (float(self.table[r, self.bucket(r, key)]) - s / w)
+            / (1.0 - 1.0 / w)
+            for r in range(self.rows)
+        ]
+        return float(np.median(estimates))
+
+    def subtract(self, other: "ReversibleSketch") -> "ReversibleSketch":
+        if not isinstance(other, ReversibleSketch) \
+                or (self.rows, self.chunk_bits, self.bucket_bits, self.seed)\
+                != (other.rows, other.chunk_bits, other.bucket_bits,
+                    other.seed) or self.seed is None:
+            raise IncompatibleSketchError(
+                "reversible sketches must share geometry and explicit seed")
+        out = ReversibleSketch(rows=self.rows, chunk_bits=self.chunk_bits,
+                               bucket_bits_per_chunk=self.bucket_bits,
+                               seed=self.seed)
+        out.table = self.table - other.table
+        return out
+
+    # ------------------------------------------------------------------ #
+    # reversal
+    # ------------------------------------------------------------------ #
+
+    def _heavy_buckets(self, row: int, threshold: float) -> List[int]:
+        return np.nonzero(np.abs(self.table[row]) >= threshold)[0].tolist()
+
+    def _candidates_for_bucket(self, row: int, bucket: int) -> List[int]:
+        """All keys a bucket's modular hash could have come from."""
+        per_chunk: List[List[int]] = []
+        mask = (1 << self.bucket_bits) - 1
+        for c in range(self.chunks):
+            hash_value = (bucket >> (self.bucket_bits * c)) & mask
+            per_chunk.append(
+                self._preimages[row][c].get(hash_value, []))
+        keys = []
+        for combo in itertools.product(*per_chunk):
+            key = 0
+            for c, piece in enumerate(combo):
+                key |= piece << (self.chunk_bits * c)
+            keys.append(key)
+        return keys
+
+    def recover_heavy_keys(self, threshold: float,
+                           verify_rows: Optional[int] = None,
+                           max_buckets: int = 32) -> List[Tuple[int, float]]:
+        """Recover the keys of buckets with |count| >= threshold.
+
+        Enumerate the modular-hash preimages of row 0's heavy buckets and
+        keep the candidates whose buckets are heavy in (all) other rows
+        too — the cross-row intersection that makes reversal sound.
+
+        Returns ``(key, estimate)`` pairs sorted by |estimate|.  Raises
+        ConfigurationError if row 0 has more than ``max_buckets`` heavy
+        buckets (the preimage enumeration would blow up — raise the
+        threshold instead).
+        """
+        verify_rows = self.rows if verify_rows is None else verify_rows
+        heavy0 = self._heavy_buckets(0, threshold)
+        if len(heavy0) > max_buckets:
+            raise ConfigurationError(
+                f"{len(heavy0)} heavy buckets in row 0 exceeds "
+                f"max_buckets={max_buckets}; raise the threshold")
+        recovered: Dict[int, float] = {}
+        for bucket in heavy0:
+            for key in self._candidates_for_bucket(0, bucket):
+                if key in recovered:
+                    continue
+                confirmed = all(
+                    abs(self.table[r, self.bucket(r, key)]) >= threshold
+                    for r in range(1, verify_rows))
+                if confirmed:
+                    recovered[key] = self.query(key)
+        survivors = [(k, est) for k, est in recovered.items()
+                     if abs(est) >= threshold * 0.5]
+        survivors.sort(key=lambda kv: -abs(kv[1]))
+        return survivors
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def memory_bytes(self) -> int:
+        return self.rows * self.width * 4
+
+    def update_cost(self) -> UpdateCost:
+        # One table lookup per (row, chunk) plus one counter per row.
+        return UpdateCost(hashes=self.rows * self.chunks,
+                          counter_updates=self.rows,
+                          memory_words=self.rows * (self.chunks + 1))

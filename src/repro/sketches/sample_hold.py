@@ -1,0 +1,83 @@
+"""Sample-and-hold (Estan & Varghese, SIGCOMM 2002).
+
+The "minimalist" heavy hitter baseline the paper's related-work section
+cites (Sekar et al. showed it rivals sketches given equal resources): each
+packet of an untracked flow is sampled with probability ``p``; once a flow
+is tracked, *every* subsequent packet of that flow is counted exactly.
+
+Counts therefore underestimate by the (geometrically distributed) number
+of packets before sampling; the standard correction adds ``1/p - 1``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sketches.base import Sketch, UpdateCost
+
+
+class SampleAndHold(Sketch):
+    """Sample-and-hold flow table.
+
+    Parameters
+    ----------
+    sample_probability:
+        Per-packet sampling probability for untracked flows.
+    capacity:
+        Maximum number of tracked flows (table slots).  When full, new
+        flows are not admitted (the hardware behaviour).
+    """
+
+    __slots__ = ("sample_probability", "capacity", "seed", "_table", "_rng",
+                 "dropped_admissions")
+
+    def __init__(self, sample_probability: float, capacity: int,
+                 seed: Optional[int] = None) -> None:
+        if not 0.0 < sample_probability <= 1.0:
+            raise ConfigurationError(
+                f"sample_probability must be in (0, 1], got {sample_probability}")
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.sample_probability = sample_probability
+        self.capacity = capacity
+        self.seed = seed
+        self._table: Dict[int, int] = {}
+        self._rng = random.Random(seed)
+        self.dropped_admissions = 0
+
+    def update(self, key: int, weight: int = 1) -> None:
+        table = self._table
+        if key in table:
+            table[key] += weight
+            return
+        if self._rng.random() < self.sample_probability:
+            if len(table) < self.capacity:
+                table[key] = weight
+            else:
+                self.dropped_admissions += 1
+
+    def query(self, key: int) -> float:
+        """Bias-corrected estimate (0 for untracked flows)."""
+        count = self._table.get(key)
+        if count is None:
+            return 0.0
+        return count + (1.0 / self.sample_probability) - 1.0
+
+    def tracked_flows(self) -> List[Tuple[int, float]]:
+        """All tracked ``(key, corrected_estimate)`` pairs, largest first."""
+        corr = (1.0 / self.sample_probability) - 1.0
+        return sorted(((k, c + corr) for k, c in self._table.items()),
+                      key=lambda kv: -kv[1])
+
+    def heavy_hitters(self, threshold: float) -> List[Tuple[int, float]]:
+        """Tracked flows with corrected estimate >= threshold."""
+        return [(k, est) for k, est in self.tracked_flows() if est >= threshold]
+
+    def memory_bytes(self) -> int:
+        # One (key, counter) slot per capacity entry, as in hardware.
+        return self.capacity * 16
+
+    def update_cost(self) -> UpdateCost:
+        return UpdateCost(hashes=1, counter_updates=1, memory_words=1)

@@ -1,0 +1,99 @@
+"""A fixed-capacity top-k tracker keyed by estimate *magnitude*.
+
+Used as the ``Q_j`` heavy hitter set each UnivMon level maintains alongside
+its Count Sketch, and by the Count-Min + heap baseline.  Entries are
+``key -> estimate``; ranking (and eviction) is by ``abs(estimate)`` so the
+same structure works for insert-only streams (estimates ≥ 0) and for
+*difference* streams, where an L2 heavy hitter may have a large negative
+delta.
+
+Implemented as a dict plus a lazily-pruned min-heap so ``offer`` is
+O(log k) amortised even when the same key's estimate keeps changing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class TopK:
+    """Track the ``k`` keys with the largest |estimate| seen so far."""
+
+    __slots__ = ("capacity", "_estimates", "_heap")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._estimates: Dict[int, float] = {}
+        self._heap: List[Tuple[float, int]] = []  # (|estimate|, key), stale ok
+
+    def __len__(self) -> int:
+        return len(self._estimates)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._estimates
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._estimates)
+
+    def offer(self, key: int, estimate: float) -> bool:
+        """Offer ``key`` with a (new) estimate; returns True if retained.
+
+        A key already tracked always stays tracked; its estimate is simply
+        replaced (estimates from a Count Sketch point query can move both
+        up and down as collisions shift).
+        """
+        est = self._estimates
+        rank = abs(estimate)
+        if key in est:
+            est[key] = estimate
+            heapq.heappush(self._heap, (rank, key))
+            return True
+        if len(est) < self.capacity:
+            est[key] = estimate
+            heapq.heappush(self._heap, (rank, key))
+            return True
+        min_key, min_rank = self.min()
+        if rank <= min_rank:
+            return False
+        del est[min_key]
+        est[key] = estimate
+        heapq.heappush(self._heap, (rank, key))
+        return True
+
+    def min(self) -> Tuple[int, float]:
+        """The tracked ``(key, |estimate|)`` with the smallest magnitude."""
+        if not self._estimates:
+            raise KeyError("TopK is empty")
+        est = self._estimates
+        heap = self._heap
+        while heap:
+            rank, key = heap[0]
+            current = est.get(key)
+            if current is not None and abs(current) == rank:
+                return key, rank
+            heapq.heappop(heap)  # stale entry
+        # All heap entries were stale; rebuild from the dict.
+        self._heap = [(abs(v), k) for k, v in est.items()]
+        heapq.heapify(self._heap)
+        rank, key = self._heap[0]
+        return key, rank
+
+    def estimate(self, key: int) -> float:
+        """Tracked (signed) estimate for ``key``; KeyError if not tracked."""
+        return self._estimates[key]
+
+    def items(self) -> List[Tuple[int, float]]:
+        """All tracked ``(key, estimate)`` pairs, largest |estimate| first."""
+        return sorted(self._estimates.items(), key=lambda kv: -abs(kv[1]))
+
+    def keys(self) -> List[int]:
+        return list(self._estimates)
+
+    def memory_bytes(self) -> int:
+        """Data-plane cost: one 8-byte key + one 8-byte counter per slot."""
+        return self.capacity * 16

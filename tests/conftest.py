@@ -1,0 +1,19 @@
+"""Shared fixtures: small deterministic traces and sketches."""
+
+import pytest
+
+from repro.dataplane.trace import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A 8k-packet, 1.5k-flow Zipf trace (5 s) reused across tests."""
+    return generate_trace(SyntheticTraceConfig(
+        packets=8_000, flows=1_500, zipf_skew=1.1, duration=5.0, seed=12345))
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """A very small trace for fast structural tests."""
+    return generate_trace(SyntheticTraceConfig(
+        packets=500, flows=80, zipf_skew=1.2, duration=2.0, seed=99))

@@ -1,0 +1,118 @@
+"""Tests for the estimation apps (one per monitoring task)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.controlplane.apps.cardinality import CardinalityApp
+from repro.controlplane.apps.change import ChangeDetectionApp
+from repro.controlplane.apps.ddos import DDoSApp
+from repro.controlplane.apps.entropy import EntropyApp
+from repro.controlplane.apps.heavy_hitters import HeavyHitterApp
+from repro.controlplane.apps.moments import MomentsApp
+from repro.core.universal import UniversalSketch
+
+
+def sketch_of(keys, seed=3):
+    u = UniversalSketch(levels=6, rows=5, width=512, heap_size=32, seed=seed)
+    u.update_array(np.asarray(keys, dtype=np.uint64))
+    return u
+
+
+@pytest.fixture()
+def skewed_sketch():
+    keys = np.concatenate([
+        np.full(2000, 10, dtype=np.uint64),
+        np.arange(100, 600, dtype=np.uint64),
+    ])
+    return sketch_of(keys)
+
+
+class TestHeavyHitterApp:
+    def test_alpha_validated(self):
+        with pytest.raises(ConfigurationError):
+            HeavyHitterApp(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            HeavyHitterApp(alpha=1.0)
+
+    def test_reports_hitters_and_threshold(self, skewed_sketch):
+        result = HeavyHitterApp(alpha=0.5).on_sketch(skewed_sketch, 0)
+        assert result["keys"] == [10]
+        assert result["threshold"] == pytest.approx(0.5 * 2500)
+
+    def test_no_hitters_when_flat(self):
+        result = HeavyHitterApp(alpha=0.1).on_sketch(
+            sketch_of(np.arange(1000)), 0)
+        assert result["keys"] == []
+
+
+class TestDDoSApp:
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            DDoSApp(threshold_k=0)
+
+    def test_victim_flag(self):
+        sketch = sketch_of(np.arange(2000))
+        assert DDoSApp(threshold_k=1000).on_sketch(sketch, 0)["victim"]
+        assert not DDoSApp(threshold_k=5000).on_sketch(sketch, 0)["victim"]
+
+    def test_distinct_estimate_reported(self):
+        result = DDoSApp(threshold_k=10).on_sketch(
+            sketch_of(np.arange(500)), 0)
+        assert abs(result["distinct_sources"] - 500) / 500 < 0.4
+
+
+class TestChangeDetectionApp:
+    def test_phi_validated(self):
+        with pytest.raises(ConfigurationError):
+            ChangeDetectionApp(phi=0.0)
+
+    def test_first_epoch_not_ready(self, skewed_sketch):
+        app = ChangeDetectionApp(phi=0.1)
+        result = app.on_sketch(skewed_sketch, 0)
+        assert result["ready"] is False
+
+    def test_detects_change_across_epochs(self):
+        app = ChangeDetectionApp(phi=0.3)
+        base = np.arange(300, dtype=np.uint64)
+        app.on_sketch(sketch_of(base, seed=9), 0)
+        surged = np.concatenate([base, np.full(2000, 777, dtype=np.uint64)])
+        result = app.on_sketch(sketch_of(surged, seed=9), 1)
+        assert result["ready"]
+        assert 777 in result["keys"]
+        assert result["total_change"] > 1000
+
+    def test_reset_clears_state(self, skewed_sketch):
+        app = ChangeDetectionApp(phi=0.1)
+        app.on_sketch(skewed_sketch, 0)
+        app.reset()
+        assert app.on_sketch(skewed_sketch, 1)["ready"] is False
+
+
+class TestEntropyApp:
+    def test_reports_entropy_and_m(self):
+        keys = np.repeat(np.arange(16, dtype=np.uint64), 50)
+        result = EntropyApp().on_sketch(sketch_of(keys), 0)
+        assert result["packets"] == 800
+        assert abs(result["entropy"] - 4.0) < 0.3  # uniform over 16 keys
+
+
+class TestCardinalityApp:
+    def test_reports_distinct(self):
+        result = CardinalityApp().on_sketch(sketch_of(np.arange(400)), 0)
+        assert abs(result["distinct"] - 400) / 400 < 0.4
+
+
+class TestMomentsApp:
+    def test_p_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            MomentsApp(fractional_ps=[2.5])
+
+    def test_l1_close_to_truth(self, skewed_sketch):
+        result = MomentsApp().on_sketch(skewed_sketch, 0)
+        assert abs(result["l1"] - result["true_l1"]) / result["true_l1"] < 0.2
+        assert result["f2"] > 0
+
+    def test_fractional_reported(self, skewed_sketch):
+        result = MomentsApp(fractional_ps=(0.5,)).on_sketch(skewed_sketch, 0)
+        assert "f0.5" in result

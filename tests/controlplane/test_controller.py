@@ -1,0 +1,97 @@
+"""Tests for the controller's epoch-driven poll loop."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.controlplane import (
+    CardinalityApp,
+    ChangeDetectionApp,
+    Controller,
+    EntropyApp,
+    HeavyHitterApp,
+)
+from repro.core.universal import UniversalSketch
+from repro.dataplane.trace import SyntheticTraceConfig, generate_trace
+
+
+def make_controller(epoch_seconds=1.0):
+    factory = lambda: UniversalSketch(levels=6, rows=3, width=512,  # noqa
+                                      heap_size=32, seed=5)
+    return Controller(sketch_factory=factory, epoch_seconds=epoch_seconds)
+
+
+class TestConfiguration:
+    def test_epoch_validated(self):
+        with pytest.raises(ConfigurationError):
+            Controller(epoch_seconds=0)
+
+    def test_duplicate_app_rejected(self):
+        c = make_controller()
+        c.register(EntropyApp())
+        with pytest.raises(ConfigurationError):
+            c.register(EntropyApp())
+
+    def test_register_chainable(self):
+        c = make_controller().register(EntropyApp()).register(
+            CardinalityApp())
+        assert len(c.apps) == 2
+
+    def test_default_sketch_factory_works(self):
+        c = Controller()
+        assert c.program.sketch.num_levels == 12
+
+
+class TestPollLoop:
+    def test_epoch_reports_cover_trace(self, small_trace):
+        c = make_controller(epoch_seconds=1.0)
+        c.register(CardinalityApp())
+        reports = c.run_trace(small_trace)
+        assert len(reports) == len(small_trace.epochs(1.0))
+        assert sum(r.packets for r in reports) == len(small_trace)
+
+    def test_every_app_gets_every_epoch(self, small_trace):
+        c = make_controller(epoch_seconds=2.0)
+        c.register(CardinalityApp()).register(EntropyApp())
+        for report in c.run_trace(small_trace):
+            assert set(report.results) == {"cardinality", "entropy"}
+
+    def test_report_indexing(self, small_trace):
+        c = make_controller(epoch_seconds=2.0)
+        c.register(EntropyApp())
+        report = c.run_trace(small_trace)[0]
+        assert report["entropy"]["entropy"] >= 0.0
+
+    def test_sketch_reset_between_epochs(self, small_trace):
+        """Each epoch report must reflect only its own packets."""
+        c = make_controller(epoch_seconds=1.0)
+        c.register(CardinalityApp())
+        reports = c.run_trace(small_trace)
+        per_epoch_distinct = [r["cardinality"]["distinct"] for r in reports]
+        whole_distinct = small_trace.distinct(c.program.key_function)
+        assert all(d < whole_distinct for d in per_epoch_distinct if d > 0)
+
+    def test_change_app_runs_across_epochs(self, small_trace):
+        c = make_controller(epoch_seconds=1.0)
+        c.register(ChangeDetectionApp(phi=0.05))
+        reports = c.run_trace(small_trace)
+        assert reports[0]["change"]["ready"] is False
+        assert all(r["change"]["ready"] for r in reports[1:])
+
+    def test_reset_propagates_to_apps(self, small_trace):
+        c = make_controller(epoch_seconds=2.0)
+        app = ChangeDetectionApp(phi=0.05)
+        c.register(app)
+        c.run_trace(small_trace)
+        c.reset()
+        assert app._previous is None
+
+    def test_heavy_hitter_app_integration(self, small_trace):
+        from repro.eval.groundtruth import GroundTruth
+        c = make_controller(epoch_seconds=10.0)  # one epoch = whole trace
+        c.register(HeavyHitterApp(alpha=0.01))
+        report = c.run_trace(small_trace)[0]
+        truth = GroundTruth(small_trace, c.program.key_function)
+        true_keys = truth.heavy_hitter_keys(0.01)
+        reported = set(report["heavy_hitters"]["keys"])
+        # At this generous width the sets should mostly agree.
+        assert len(true_keys - reported) <= max(1, len(true_keys) // 4)

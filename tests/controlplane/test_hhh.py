@@ -1,0 +1,141 @@
+"""Tests for hierarchical heavy hitters over universal sketches."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.controlplane.hhh import HierarchicalHeavyHitterMonitor
+from repro.dataplane.keys import src_prefix_key
+from repro.dataplane.trace import Trace
+from repro.core.universal import UniversalSketch
+
+
+def factory():
+    return UniversalSketch(levels=6, rows=5, width=1024, heap_size=32,
+                           seed=9)
+
+
+def trace_from_sources(sources):
+    n = len(sources)
+    src = np.asarray(sources, dtype=np.uint32)
+    return Trace(
+        np.linspace(0, 1, n), src,
+        np.full(n, 0x0A000001, dtype=np.uint32),
+        np.full(n, 1000, dtype=np.uint16),
+        np.full(n, 80, dtype=np.uint16),
+        np.full(n, 6, dtype=np.uint8),
+    )
+
+
+class TestPrefixKeys:
+    def test_truncation(self):
+        from repro.dataplane.packet import FiveTuple
+        flow = FiveTuple(0x0B16212C, 1, 2, 3, 6)
+        assert src_prefix_key(8)(flow) == 0x0B000000
+        assert src_prefix_key(16)(flow) == 0x0B160000
+        assert src_prefix_key(32)(flow) == 0x0B16212C
+
+    def test_vector_matches_scalar(self):
+        trace = trace_from_sources(
+            np.array([0x0B16212C, 0xC0A80101], dtype=np.uint32))
+        kf = src_prefix_key(16)
+        vec = kf.of_trace(trace)
+        assert int(vec[0]) == 0x0B160000
+        assert int(vec[1]) == 0xC0A80000
+
+    def test_bad_prefix_len(self):
+        with pytest.raises(ValueError):
+            src_prefix_key(0)
+        with pytest.raises(ValueError):
+            src_prefix_key(33)
+
+
+class TestConstruction:
+    def test_ladder_validated(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalHeavyHitterMonitor(ladder=())
+        with pytest.raises(ConfigurationError):
+            HierarchicalHeavyHitterMonitor(ladder=(16, 8))
+        with pytest.raises(ConfigurationError):
+            HierarchicalHeavyHitterMonitor(ladder=(8, 40))
+
+
+class TestDetection:
+    def test_host_heavy_hitter_reported_once(self):
+        """An elephant host must appear as a /32 HHH, and its ancestors
+        must NOT be reported (discounting removes them)."""
+        rng = np.random.default_rng(1)
+        elephant = np.full(4000, 0xC0A80164, dtype=np.uint32)
+        noise = rng.integers(0x10000000, 0xDF000000, size=4000,
+                             dtype=np.uint32)
+        monitor = HierarchicalHeavyHitterMonitor(sketch_factory=factory)
+        monitor.process_trace(trace_from_sources(
+            np.concatenate([elephant, noise])))
+        items = monitor.hierarchical_heavy_hitters(0.2)
+        assert items, "elephant not found"
+        assert items[0].prefix == 0xC0A80164
+        assert items[0].prefix_len == 32
+        # No coarser prefix should survive discounting.
+        assert all(item.prefix_len == 32 for item in items)
+
+    def test_diffuse_subnet_reported_at_prefix_level(self):
+        """Many small sources inside one /16: no single /32 is heavy,
+        but the /16 aggregate is — the case HHH exists for."""
+        rng = np.random.default_rng(2)
+        subnet = (0x0B160000 | rng.integers(0, 1 << 16, size=4000)) \
+            .astype(np.uint32)
+        noise = rng.integers(0x20000000, 0xDF000000, size=4000,
+                             dtype=np.uint32)
+        monitor = HierarchicalHeavyHitterMonitor(sketch_factory=factory)
+        monitor.process_trace(trace_from_sources(
+            np.concatenate([subnet, noise])))
+        items = monitor.hierarchical_heavy_hitters(0.2)
+        found = {(i.prefix, i.prefix_len) for i in items}
+        assert (0x0B160000, 16) in found
+        assert all(p != 32 or (v >> 16) != 0x0B16 for v, p in found)
+
+    def test_mixed_scenario(self):
+        """An elephant host inside an otherwise-hot /16: both the host
+        (/32) and the residual subnet (/16, discounted) are reported."""
+        rng = np.random.default_rng(3)
+        elephant = np.full(3000, 0x0B16212C, dtype=np.uint32)
+        subnet = (0x0B160000 | rng.integers(0, 1 << 16, size=3000)) \
+            .astype(np.uint32)
+        noise = rng.integers(0x20000000, 0xDF000000, size=4000,
+                             dtype=np.uint32)
+        monitor = HierarchicalHeavyHitterMonitor(sketch_factory=factory)
+        monitor.process_trace(trace_from_sources(
+            np.concatenate([elephant, subnet, noise])))
+        items = monitor.hierarchical_heavy_hitters(0.15)
+        found = {(i.prefix, i.prefix_len) for i in items}
+        assert (0x0B16212C, 32) in found
+        assert (0x0B160000, 16) in found
+        # The /16's discounted mass excludes the elephant.
+        for item in items:
+            if (item.prefix, item.prefix_len) == (0x0B160000, 16):
+                assert item.discounted < item.estimate - 2000
+
+    def test_empty_monitor(self):
+        monitor = HierarchicalHeavyHitterMonitor(sketch_factory=factory)
+        assert monitor.hierarchical_heavy_hitters(0.1) == []
+
+    def test_cidr_rendering(self):
+        rng = np.random.default_rng(4)
+        elephant = np.full(2000, 0xC0A80164, dtype=np.uint32)
+        monitor = HierarchicalHeavyHitterMonitor(sketch_factory=factory)
+        monitor.process_trace(trace_from_sources(elephant))
+        items = monitor.hierarchical_heavy_hitters(0.5)
+        assert items[0].cidr() == "192.168.1.100/32"
+
+    def test_memory_sums_ladder(self):
+        monitor = HierarchicalHeavyHitterMonitor(sketch_factory=factory)
+        assert monitor.memory_bytes() == 4 * factory().memory_bytes()
+
+    def test_per_packet_path(self):
+        monitor = HierarchicalHeavyHitterMonitor(sketch_factory=factory)
+        trace = trace_from_sources(np.full(100, 0x01020304,
+                                           dtype=np.uint32))
+        for packet in trace:
+            monitor.update_packet(packet)
+        items = monitor.hierarchical_heavy_hitters(0.5)
+        assert items and items[0].prefix == 0x01020304

@@ -1,0 +1,100 @@
+"""Tests for the analytic bounds — and empirical checks that the
+implementations honour their own theory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.bounds import (
+    count_min_error,
+    count_min_geometry_for,
+    count_sketch_error,
+    count_sketch_width_for,
+    hyperloglog_std_error,
+    linear_counting_std_error,
+    universal_sketch_levels,
+)
+
+
+class TestFormulas:
+    def test_count_sketch_error_shrinks_with_width(self):
+        assert count_sketch_error(1024, 5, l2=1000) < \
+            count_sketch_error(64, 5, l2=1000)
+
+    def test_count_sketch_error_validates(self):
+        with pytest.raises(ConfigurationError):
+            count_sketch_error(0, 5, 10)
+
+    def test_count_sketch_width_for(self):
+        assert count_sketch_width_for(0.1, l2=100) == 100
+        with pytest.raises(ConfigurationError):
+            count_sketch_width_for(0, 1)
+
+    def test_count_min_error_formula(self):
+        assert count_min_error(1024, 3, l1=10_000) == \
+            pytest.approx(np.e * 10_000 / 1024)
+
+    def test_count_min_geometry(self):
+        rows, width = count_min_geometry_for(epsilon=0.01, delta=0.01)
+        assert rows == 5  # ceil(ln 100)
+        assert width == 272  # ceil(e / 0.01)
+
+    def test_linear_counting_error_grows_with_load(self):
+        assert linear_counting_std_error(4096, 8000) > \
+            linear_counting_std_error(4096, 1000)
+
+    def test_hll_error_halves_per_two_precision_bits(self):
+        assert hyperloglog_std_error(12) == \
+            pytest.approx(hyperloglog_std_error(14) * 2)
+
+    def test_universal_levels_rule(self):
+        assert universal_sketch_levels(64, 64) == 1
+        assert universal_sketch_levels(8192, 64) == 8
+        with pytest.raises(ConfigurationError):
+            universal_sketch_levels(0, 64)
+
+
+class TestImplementationHonoursTheory:
+    def test_count_sketch_within_bound(self):
+        """Empirical |error| should fall under the analytic bound for
+        almost all point queries."""
+        from repro.sketches.countsketch import CountSketch
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2000, size=30_000).astype(np.uint64)
+        counts = np.bincount(keys.astype(int), minlength=2000)
+        l2 = float(np.sqrt((counts.astype(float) ** 2).sum()))
+        cs = CountSketch(rows=5, width=1024, seed=1)
+        cs.update_array(keys)
+        bound = count_sketch_error(1024, 5, l2, confidence=0.95)
+        probe = np.arange(0, 2000, 13, dtype=np.uint64)
+        errors = np.abs(cs.query_many(probe) - counts[probe.astype(int)])
+        violations = (errors > bound).mean()
+        assert violations < 0.05
+
+    def test_count_min_within_bound(self):
+        from repro.sketches.countmin import CountMinSketch
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 3000, size=30_000).astype(np.uint64)
+        counts = np.bincount(keys.astype(int), minlength=3000)
+        cm = CountMinSketch(rows=3, width=1024, seed=2)
+        cm.update_array(keys)
+        bound = count_min_error(1024, 3, l1=len(keys))
+        probe = np.arange(0, 3000, 17, dtype=np.uint64)
+        over = cm.query_many(probe) - counts[probe.astype(int)]
+        assert (over > bound).mean() < 0.06  # delta = e**-3 ~ 5%
+
+    def test_hll_within_three_sigma(self):
+        from repro.sketches.hyperloglog import HyperLogLog
+        hll = HyperLogLog(precision=12, seed=3)
+        n = 20_000
+        hll.update_array(np.arange(n, dtype=np.uint64))
+        sigma = hyperloglog_std_error(12)
+        assert abs(hll.cardinality() - n) / n < 4 * sigma
+
+    def test_linear_counter_within_bound(self):
+        from repro.sketches.bitmap import LinearCounter
+        lc = LinearCounter(bits=8192, seed=4)
+        n = 3000
+        lc.update_array(np.arange(n, dtype=np.uint64))
+        sigma = linear_counting_std_error(8192, n)
+        assert abs(lc.cardinality() - n) / n < 5 * sigma + 0.01

@@ -1,0 +1,121 @@
+"""Tests for the g-function library and the Stream-PolyLog screen."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotSketchableError
+from repro.core.gfunctions import (
+    ABS,
+    CARDINALITY,
+    ENTROPY_NATS,
+    ENTROPY_SUM,
+    IDENTITY,
+    SQUARE,
+    GFunction,
+    is_stream_polylog,
+    make_moment,
+    require_stream_polylog,
+)
+
+
+class TestStockFunctions:
+    def test_identity(self):
+        assert IDENTITY(5) == 5.0
+        assert IDENTITY(0) == 0.0
+
+    def test_square(self):
+        assert SQUARE(3) == 9.0
+
+    def test_abs(self):
+        assert ABS(-4) == 4.0
+
+    def test_cardinality_convention(self):
+        """x**0 with 0**0 = 0: counts presence, not value."""
+        assert CARDINALITY(0) == 0.0
+        assert CARDINALITY(1) == 1.0
+        assert CARDINALITY(734) == 1.0
+
+    def test_entropy_sum_base2(self):
+        assert ENTROPY_SUM(0) == 0.0
+        assert ENTROPY_SUM(1) == 0.0
+        assert ENTROPY_SUM(8) == pytest.approx(24.0)  # 8*log2(8)
+
+    def test_entropy_sum_nats(self):
+        assert ENTROPY_NATS(math.e) == pytest.approx(math.e)
+
+    def test_applied_to_magnitude(self):
+        assert IDENTITY.applied_to_magnitude(-7) == 7.0
+        assert ENTROPY_SUM.applied_to_magnitude(-8) == pytest.approx(24.0)
+
+    def test_all_stock_functions_pass_screen(self):
+        for g in (IDENTITY, SQUARE, ABS, CARDINALITY, ENTROPY_SUM,
+                  ENTROPY_NATS):
+            assert is_stream_polylog(g.fn), g.name
+
+
+class TestScreen:
+    def test_rejects_nonzero_at_zero(self):
+        assert not is_stream_polylog(lambda x: x + 1)
+
+    def test_rejects_decreasing(self):
+        assert not is_stream_polylog(lambda x: -x)
+
+    def test_rejects_nonmonotone(self):
+        assert not is_stream_polylog(
+            lambda x: x * (1000 - x) if x < 1000 else 0)
+
+    def test_rejects_super_quadratic(self):
+        assert not is_stream_polylog(lambda x: x ** 3)
+        assert not is_stream_polylog(lambda x: x ** 2.5)
+
+    def test_accepts_boundary_square(self):
+        assert is_stream_polylog(lambda x: x * x)
+
+    def test_accepts_sublinear(self):
+        assert is_stream_polylog(lambda x: math.sqrt(x) if x > 0 else 0.0)
+
+    def test_require_raises_for_bad_claim(self):
+        bad = GFunction("cube", lambda x: x ** 3, stream_polylog=True)
+        with pytest.raises(NotSketchableError):
+            require_stream_polylog(bad)
+
+    def test_require_raises_for_claimed_false(self):
+        g = GFunction("fine_but_disowned", lambda x: float(x),
+                      stream_polylog=False)
+        with pytest.raises(NotSketchableError):
+            require_stream_polylog(g)
+
+    def test_require_passes_stock(self):
+        require_stream_polylog(IDENTITY)  # no raise
+
+
+class TestMakeMoment:
+    def test_rejects_negative(self):
+        with pytest.raises(NotSketchableError):
+            make_moment(-1)
+
+    @pytest.mark.parametrize("p", [0.25, 0.5, 1.0, 1.5, 2.0])
+    def test_in_range_is_polylog(self, p):
+        g = make_moment(p)
+        assert g.stream_polylog
+        assert is_stream_polylog(g.fn)
+
+    def test_above_two_flagged(self):
+        g = make_moment(2.5)
+        assert not g.stream_polylog
+
+    def test_values(self):
+        g = make_moment(0.5)
+        assert g(4) == pytest.approx(2.0)
+        assert g(0) == 0.0
+
+    @given(st.floats(min_value=0.0, max_value=2.0),
+           st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    @settings(max_examples=100)
+    def test_property_moment_nonnegative_monotone_pointwise(self, p, x):
+        g = make_moment(p)
+        assert g(x) >= 0.0
+        assert g(x + 1.0) >= g(x) - 1e-9

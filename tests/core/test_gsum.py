@@ -1,0 +1,169 @@
+"""Tests for the Recursive Sum estimator (Algorithm 2) and its wrappers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import NotSketchableError
+from repro.core.gfunctions import CARDINALITY, GFunction, IDENTITY
+from repro.core.gsum import (
+    estimate_cardinality,
+    estimate_entropy,
+    estimate_f2,
+    estimate_gsum,
+    estimate_l1,
+    estimate_l2,
+    estimate_moment,
+    g_core,
+    heavy_changes,
+)
+from repro.core.universal import UniversalSketch
+from repro.sketches.exact import ExactCounter
+
+
+def build_sketch(keys, seed=1, levels=8, width=1024, heap=64, rows=5):
+    u = UniversalSketch(levels=levels, rows=rows, width=width,
+                        heap_size=heap, seed=seed)
+    u.update_array(np.asarray(keys, dtype=np.uint64))
+    return u
+
+
+@pytest.fixture(scope="module")
+def zipf_keys():
+    rng = np.random.default_rng(7)
+    ranks = np.arange(1, 2001)
+    probs = ranks ** -1.2
+    probs /= probs.sum()
+    return rng.choice(ranks, size=20_000, p=probs).astype(np.uint64)
+
+
+@pytest.fixture(scope="module")
+def zipf_sketch(zipf_keys):
+    return build_sketch(zipf_keys)
+
+
+@pytest.fixture(scope="module")
+def zipf_exact(zipf_keys):
+    c = ExactCounter()
+    c.update_array(zipf_keys)
+    return c
+
+
+class TestGSumCore:
+    def test_l1_close_to_stream_length(self, zipf_sketch, zipf_keys):
+        est = estimate_l1(zipf_sketch)
+        assert abs(est - len(zipf_keys)) / len(zipf_keys) < 0.15
+
+    def test_cardinality(self, zipf_sketch, zipf_exact):
+        est = estimate_cardinality(zipf_sketch)
+        true = zipf_exact.cardinality()
+        assert abs(est - true) / true < 0.25
+
+    def test_entropy(self, zipf_sketch, zipf_exact):
+        est = estimate_entropy(zipf_sketch, base=2.0)
+        true = zipf_exact.entropy(base=2.0)
+        assert abs(est - true) / true < 0.1
+
+    def test_entropy_other_base(self, zipf_sketch, zipf_exact):
+        est = estimate_entropy(zipf_sketch, base=math.e)
+        true = zipf_exact.entropy(base=math.e)
+        assert abs(est - true) / true < 0.1
+
+    def test_f2_and_l2(self, zipf_sketch, zipf_exact):
+        true_f2 = zipf_exact.moment(2)
+        assert abs(estimate_f2(zipf_sketch) - true_f2) / true_f2 < 0.2
+        assert abs(estimate_l2(zipf_sketch) - math.sqrt(true_f2)) \
+            / math.sqrt(true_f2) < 0.1
+
+    def test_fractional_moment(self, zipf_sketch, zipf_exact):
+        true = zipf_exact.moment(0.5)
+        est = estimate_moment(zipf_sketch, 0.5)
+        assert abs(est - true) / true < 0.3
+
+    def test_rejects_unsketchable_g(self, zipf_sketch):
+        cube = GFunction("cube_test", lambda x: x ** 3)
+        with pytest.raises(NotSketchableError):
+            estimate_gsum(zipf_sketch, cube)
+
+    def test_moment_above_two_rejected(self, zipf_sketch):
+        with pytest.raises(NotSketchableError):
+            estimate_moment(zipf_sketch, 2.6)
+
+    def test_empty_sketch_estimates_zero(self):
+        u = UniversalSketch(levels=4, rows=3, width=64, heap_size=8, seed=1)
+        assert estimate_cardinality(u) == 0.0
+        assert estimate_l1(u) == 0.0
+        assert estimate_entropy(u) == 0.0
+
+
+class TestRecursionExactRegime:
+    def test_exact_when_heaps_hold_everything(self):
+        """With heap >= distinct keys per level, Algorithm 2 is exact
+        up to Count Sketch noise (here zero: huge width, few keys)."""
+        keys = np.repeat(np.arange(20, dtype=np.uint64), 5)
+        u = build_sketch(keys, levels=6, width=4096, heap=64)
+        assert estimate_cardinality(u) == pytest.approx(20, abs=0.5)
+        assert estimate_l1(u) == pytest.approx(100, abs=1.0)
+
+    def test_single_key_stream(self):
+        u = build_sketch(np.full(50, 9, dtype=np.uint64),
+                         levels=5, width=512, heap=8)
+        assert estimate_cardinality(u) == pytest.approx(1, abs=0.1)
+        assert estimate_entropy(u) == pytest.approx(0.0, abs=0.05)
+
+
+class TestGCore:
+    def test_threshold_filtering(self):
+        keys = np.concatenate([np.full(900, 1, dtype=np.uint64),
+                               np.full(100, 2, dtype=np.uint64)])
+        u = build_sketch(keys, levels=5, width=1024, heap=16)
+        assert {k for k, _ in g_core(u, 0.5)} == {1}
+        assert {k for k, _ in g_core(u, 0.05)} == {1, 2}
+
+    def test_custom_total(self):
+        keys = np.full(100, 3, dtype=np.uint64)
+        u = build_sketch(keys, levels=4, width=256, heap=8)
+        # With an inflated total, nothing crosses the threshold.
+        assert g_core(u, 0.5, total=1e9) == []
+
+
+class TestHeavyChanges:
+    def test_detects_injected_change(self):
+        rng = np.random.default_rng(3)
+        base = rng.integers(0, 500, size=8000).astype(np.uint64)
+        epoch_a = base
+        epoch_b = np.concatenate([base, np.full(2000, 777, dtype=np.uint64)])
+        a = build_sketch(epoch_a, seed=5, levels=6, width=1024, heap=32)
+        b = build_sketch(epoch_b, seed=5, levels=6, width=1024, heap=32)
+        changes, total = heavy_changes(b, a, phi=0.3)
+        assert total > 1000
+        assert 777 in {k for k, _ in changes}
+
+    def test_identical_epochs_report_nothing(self):
+        keys = np.arange(500, dtype=np.uint64)
+        a = build_sketch(keys, seed=6, levels=5, width=512, heap=16)
+        b = build_sketch(keys, seed=6, levels=5, width=512, heap=16)
+        changes, total = heavy_changes(a, b, phi=0.05)
+        assert changes == []
+        assert total == 0.0
+
+    def test_decrease_detected_with_sign(self):
+        a = build_sketch(np.full(1000, 5, dtype=np.uint64), seed=7,
+                         levels=5, width=512, heap=16)
+        b = build_sketch(np.full(100, 5, dtype=np.uint64), seed=7,
+                         levels=5, width=512, heap=16)
+        changes, _ = heavy_changes(b, a, phi=0.3)
+        assert changes and changes[0][0] == 5
+        assert changes[0][1] < 0  # traffic dropped
+
+
+class TestUnbiasedness:
+    def test_cardinality_unbiased_over_seeds(self):
+        """Algorithm 2 is an unbiased estimator: mean over seeds ~ truth."""
+        keys = np.arange(600, dtype=np.uint64)  # 600 distinct, flat
+        estimates = []
+        for seed in range(40):
+            u = build_sketch(keys, seed=seed, levels=6, width=512, heap=48)
+            estimates.append(estimate_cardinality(u))
+        assert abs(np.mean(estimates) - 600) / 600 < 0.15

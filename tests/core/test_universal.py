@@ -1,0 +1,183 @@
+"""Tests for the universal sketch data plane (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, IncompatibleSketchError
+from repro.core.universal import UniversalSketch
+
+
+def make(levels=6, width=256, heap=16, seed=1, rows=3):
+    return UniversalSketch(levels=levels, rows=rows, width=width,
+                           heap_size=heap, seed=seed)
+
+
+class TestConstruction:
+    def test_levels_plus_one_instances(self):
+        u = make(levels=6)
+        assert len(u.levels) == 7
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniversalSketch(levels=-1)
+
+    def test_for_memory_budget_fits(self):
+        budget = 512 * 1024
+        u = UniversalSketch.for_memory_budget(budget, levels=8, rows=5,
+                                              heap_size=64, seed=1)
+        assert u.memory_bytes() <= budget
+        assert u.memory_bytes() > 0.8 * budget  # not wildly undersized
+
+    def test_for_memory_budget_too_small(self):
+        with pytest.raises(ConfigurationError):
+            UniversalSketch.for_memory_budget(1024, levels=16, rows=5,
+                                              heap_size=64)
+
+    def test_levels_for_rule(self):
+        assert UniversalSketch.levels_for(64, heap_size=64) == 1
+        # 8192/64 = 128 -> log2 = 7 -> +1
+        assert UniversalSketch.levels_for(8192, heap_size=64) == 8
+
+    def test_deterministic_given_seed(self):
+        a, b = make(seed=5), make(seed=5)
+        for k in range(50):
+            a.update(k)
+            b.update(k)
+        for la, lb in zip(a.levels, b.levels):
+            assert np.array_equal(la.sketch.table, lb.sketch.table)
+
+
+class TestDataPlane:
+    def test_level_zero_sees_everything(self):
+        u = make()
+        for k in range(100):
+            u.update(k)
+        assert u.levels[0].packets == 100
+        assert u.total_weight == 100
+
+    def test_substream_sizes_decrease(self):
+        u = make(levels=5, width=512)
+        u.update_array(np.arange(4000, dtype=np.uint64))
+        sizes = [lvl.packets for lvl in u.levels]
+        assert sizes[0] == 4000
+        assert all(sizes[i] >= sizes[i + 1] for i in range(5))
+        # Level 3 expects 4000/8 = 500; allow wide slack.
+        assert 250 < sizes[3] < 850
+
+    def test_bulk_matches_scalar_counters(self):
+        a, b = make(seed=6), make(seed=6)
+        keys = np.array([7, 7, 9, 1, 7, 3], dtype=np.uint64)
+        a.update_array(keys)
+        for k in keys.tolist():
+            b.update(int(k))
+        for la, lb in zip(a.levels, b.levels):
+            assert np.array_equal(la.sketch.table, lb.sketch.table)
+            assert la.packets == lb.packets
+
+    def test_weighted_updates(self):
+        u = make()
+        u.update(1, 10)
+        assert u.total_weight == 10
+
+    @given(st.lists(st.integers(0, 1 << 32), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_property_packet_count_conserved(self, keys):
+        u = make(seed=7)
+        u.update_array(np.array(keys, dtype=np.uint64))
+        assert u.packets == len(keys)
+        assert u.levels[0].packets == len(keys)
+
+
+class TestHeavyHitters:
+    def test_detects_elephant(self):
+        u = make(levels=6, width=512, heap=16, seed=8, rows=5)
+        keys = np.concatenate([
+            np.full(3000, 424242, dtype=np.uint64),
+            np.arange(1000, dtype=np.uint64),
+        ])
+        u.update_array(keys)
+        hh = u.heavy_hitters(0.5)
+        assert [k for k, _ in hh] == [424242]
+
+    def test_no_heavy_hitters_in_uniform(self):
+        u = make(levels=6, width=512, seed=9)
+        u.update_array(np.arange(2000, dtype=np.uint64))
+        assert u.heavy_hitters(0.01) == []
+
+
+class TestLinearity:
+    def test_merge_counts_add(self):
+        a, b = make(seed=10), make(seed=10)
+        a.update(5, 10)
+        b.update(5, 7)
+        merged = a.merge(b)
+        assert merged.total_weight == 17
+        assert merged.levels[0].sketch.query(5) == pytest.approx(17)
+
+    def test_merge_heaps_requeried(self):
+        a, b = make(seed=11), make(seed=11)
+        a.update(5, 10)
+        b.update(9, 20)
+        merged = a.merge(b)
+        q0 = dict(merged.levels[0].heavy_hitters())
+        assert q0[5] == pytest.approx(10)
+        assert q0[9] == pytest.approx(20)
+
+    def test_subtract_gives_difference(self):
+        a, b = make(seed=12), make(seed=12)
+        a.update(1, 100)
+        b.update(1, 30)
+        b.update(2, 40)
+        diff = a.subtract(b)
+        assert diff.levels[0].sketch.query(1) == pytest.approx(70)
+        assert diff.levels[0].sketch.query(2) == pytest.approx(-40)
+        assert diff.total_weight == 30  # signed: 100 - (30 + 40)
+
+    def test_merge_requires_matching_config(self):
+        with pytest.raises(IncompatibleSketchError):
+            make(seed=1).merge(make(seed=2))
+        with pytest.raises(IncompatibleSketchError):
+            make(levels=5).merge(make(levels=6))
+        with pytest.raises(IncompatibleSketchError):
+            UniversalSketch(levels=4).merge(UniversalSketch(levels=4))
+
+    def test_merge_commutes_on_estimates(self):
+        a, b = make(seed=13), make(seed=13)
+        a.update_array(np.arange(0, 500, dtype=np.uint64))
+        b.update_array(np.arange(300, 800, dtype=np.uint64))
+        ab, ba = a.merge(b), b.merge(a)
+        assert np.array_equal(ab.levels[0].sketch.table,
+                              ba.levels[0].sketch.table)
+        assert ab.total_weight == ba.total_weight
+
+    def test_merged_statistics_match_union_stream(self):
+        """Merging epoch sketches == sketching the concatenated stream."""
+        whole = make(seed=14, levels=8, width=512, heap=32)
+        part1 = make(seed=14, levels=8, width=512, heap=32)
+        part2 = make(seed=14, levels=8, width=512, heap=32)
+        keys = np.random.default_rng(0).integers(
+            0, 3000, size=6000).astype(np.uint64)
+        whole.update_array(keys)
+        part1.update_array(keys[:3000])
+        part2.update_array(keys[3000:])
+        merged = part1.merge(part2)
+        for lw, lm in zip(whole.levels, merged.levels):
+            assert np.array_equal(lw.sketch.table, lm.sketch.table)
+
+
+class TestAccounting:
+    def test_memory_is_sum_of_levels(self):
+        u = make(levels=4)
+        assert u.memory_bytes() == sum(l.memory_bytes() for l in u.levels)
+
+    def test_update_cost_bounded_by_two_levels(self):
+        """Expected counter work is < 2 levels' worth regardless of depth."""
+        u = make(levels=16, rows=5)
+        cost = u.update_cost()
+        assert cost.counter_updates <= 2 * 5
+        assert cost.hashes >= 16  # at least the sampling stack
+
+    def test_repr_mentions_geometry(self):
+        assert "levels=6" in repr(make())

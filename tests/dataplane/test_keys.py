@@ -1,0 +1,72 @@
+"""Tests for flow-key extraction and its scalar/vector consistency."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.keys import (
+    KEY_FUNCTIONS,
+    decode_src_dst,
+    dst_ip_key,
+    five_tuple_key,
+    src_dst_key,
+    src_ip_key,
+)
+from repro.dataplane.packet import FiveTuple, Packet
+from repro.dataplane.trace import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(SyntheticTraceConfig(
+        packets=800, flows=150, duration=1.0, seed=5))
+
+
+class TestScalarKeys:
+    def test_src_dst_fields(self):
+        ft = FiveTuple(0xAABBCCDD, 0x11223344, 1000, 80, 6)
+        assert src_ip_key(ft) == 0xAABBCCDD
+        assert dst_ip_key(ft) == 0x11223344
+
+    def test_pair_packs_both(self):
+        ft = FiveTuple(0xAABBCCDD, 0x11223344, 1000, 80, 6)
+        key = src_dst_key(ft)
+        assert decode_src_dst(key) == (0xAABBCCDD, 0x11223344)
+
+    def test_five_tuple_distinguishes_ports(self):
+        a = FiveTuple(1, 2, 1000, 80, 6)
+        b = FiveTuple(1, 2, 1001, 80, 6)
+        assert five_tuple_key(a) != five_tuple_key(b)
+
+    def test_five_tuple_distinguishes_proto(self):
+        a = FiveTuple(1, 2, 1000, 80, 6)
+        b = FiveTuple(1, 2, 1000, 80, 17)
+        assert five_tuple_key(a) != five_tuple_key(b)
+
+    def test_accepts_packet_or_flow(self):
+        ft = FiveTuple(7, 8, 9, 10, 6)
+        assert src_ip_key(Packet(flow=ft)) == src_ip_key(ft)
+
+    def test_keys_fit_in_uint64(self):
+        ft = FiveTuple(0xFFFFFFFF, 0xFFFFFFFF, 65535, 65535, 255)
+        for kf in KEY_FUNCTIONS.values():
+            assert 0 <= kf(ft) < (1 << 64)
+
+
+class TestVectorScalarConsistency:
+    @pytest.mark.parametrize("name", list(KEY_FUNCTIONS))
+    def test_vector_matches_scalar(self, trace, name):
+        kf = KEY_FUNCTIONS[name]
+        vec = kf.of_trace(trace)
+        assert vec.dtype == np.uint64
+        for i in range(0, len(trace), 37):
+            assert kf(trace.packet(i)) == int(vec[i])
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(KEY_FUNCTIONS) == {"src_ip", "dst_ip", "src_dst",
+                                      "five_tuple"}
+
+    def test_reversibility_flags(self):
+        assert src_ip_key.reversible
+        assert not five_tuple_key.reversible

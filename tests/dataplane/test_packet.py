@@ -1,0 +1,83 @@
+"""Tests for packets, 5-tuples, and IPv4 helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.dataplane.packet import (
+    PROTO_TCP,
+    FiveTuple,
+    Packet,
+    format_ipv4,
+    parse_ipv4,
+)
+
+
+class TestIPv4Helpers:
+    def test_parse_known(self):
+        assert parse_ipv4("0.0.0.0") == 0
+        assert parse_ipv4("255.255.255.255") == 0xFFFFFFFF
+        assert parse_ipv4("10.0.0.1") == 0x0A000001
+        assert parse_ipv4("192.168.1.1") == 0xC0A80101
+
+    def test_format_known(self):
+        assert format_ipv4(0x0A000001) == "10.0.0.1"
+        assert format_ipv4(0) == "0.0.0.0"
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1",
+                                     "a.b.c.d", "-1.0.0.0", ""])
+    def test_parse_rejects_junk(self, bad):
+        with pytest.raises(TraceFormatError):
+            parse_ipv4(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(TraceFormatError):
+            format_ipv4(-1)
+        with pytest.raises(TraceFormatError):
+            format_ipv4(1 << 32)
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    @settings(max_examples=200)
+    def test_property_roundtrip(self, value):
+        assert parse_ipv4(format_ipv4(value)) == value
+
+
+class TestFiveTuple:
+    def test_from_strings(self):
+        ft = FiveTuple.from_strings("10.0.0.1", "10.0.0.2", 1234, 80,
+                                    PROTO_TCP)
+        assert ft.src_ip == 0x0A000001
+        assert ft.dst_ip == 0x0A000002
+        assert ft.src_port == 1234 and ft.dst_port == 80
+
+    def test_reversed(self):
+        ft = FiveTuple(1, 2, 3, 4, 6)
+        rev = ft.reversed()
+        assert rev == FiveTuple(2, 1, 4, 3, 6)
+        assert rev.reversed() == ft
+
+    def test_str_rendering(self):
+        ft = FiveTuple.from_strings("10.0.0.1", "10.0.0.2", 1234, 80, 6)
+        text = str(ft)
+        assert "10.0.0.1:1234" in text and "proto=6" in text
+
+    def test_hashable_for_dict_keys(self):
+        counts = {FiveTuple(1, 2, 3, 4, 6): 1}
+        counts[FiveTuple(1, 2, 3, 4, 6)] += 1
+        assert counts[FiveTuple(1, 2, 3, 4, 6)] == 2
+
+
+class TestPacket:
+    def test_defaults(self):
+        p = Packet(flow=FiveTuple(1, 2, 3, 4, 6))
+        assert p.timestamp == 0.0 and p.size == 64
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(TraceFormatError):
+            Packet(flow=FiveTuple(1, 2, 3, 4, 6), size=-1)
+
+    def test_frozen(self):
+        p = Packet(flow=FiveTuple(1, 2, 3, 4, 6))
+        with pytest.raises(AttributeError):
+            p.size = 100

@@ -1,0 +1,54 @@
+"""Tests for the named workload profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dataplane.keys import src_ip_key
+from repro.dataplane.profiles import PROFILES, profile
+from repro.dataplane.trace import generate_trace
+
+
+class TestProfiles:
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profile("campus")
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_all_profiles_generate(self, name):
+        trace = generate_trace(profile(name, duration=2.0, seed=1))
+        assert len(trace) > 0
+        assert trace.duration <= 2.0
+
+    def test_duration_scaling(self):
+        short = profile("backbone", duration=5.0)
+        long = profile("backbone", duration=20.0)
+        assert long.packets == 4 * short.packets
+        assert long.flows == pytest.approx(2 * short.flows, rel=0.01)
+
+    def test_seed_passthrough(self):
+        assert profile("backbone", seed=42).seed == 42
+
+    def test_datacenter_skewier_than_ixp(self):
+        """The defining difference: datacenter elephants vs IXP fan-in."""
+        def top_share(name):
+            trace = generate_trace(profile(name, duration=5.0, seed=3))
+            keys = trace.key_array(src_ip_key)
+            _, counts = np.unique(keys, return_counts=True)
+            return counts.max() / len(keys)
+        assert top_share("datacenter") > 2 * top_share("ixp")
+
+    def test_ixp_most_flows(self):
+        traces = {
+            name: generate_trace(profile(name, duration=5.0, seed=4))
+            for name in ("backbone", "ixp", "enterprise")
+        }
+        distinct = {name: t.distinct(src_ip_key)
+                    for name, t in traces.items()}
+        assert distinct["ixp"] > distinct["backbone"] > \
+            distinct["enterprise"]
+
+    def test_base_profiles_are_immutable(self):
+        before = PROFILES["backbone"].packets
+        profile("backbone", duration=50.0)
+        assert PROFILES["backbone"].packets == before

@@ -1,0 +1,180 @@
+"""Tests for the trace container and the synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.dataplane.keys import dst_ip_key, src_ip_key
+from repro.dataplane.packet import Packet, FiveTuple
+from repro.dataplane.trace import (
+    ChangeEvent,
+    DDoSEvent,
+    SyntheticTraceConfig,
+    Trace,
+    generate_epoch_pair,
+    generate_trace,
+)
+
+
+class TestTraceContainer:
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(TraceFormatError):
+            Trace(np.zeros(3), np.zeros(2), np.zeros(3), np.zeros(3),
+                  np.zeros(3), np.zeros(3))
+
+    def test_len_iter_packet(self, tiny_trace):
+        assert len(tiny_trace) == 500
+        first = tiny_trace.packet(0)
+        assert isinstance(first, Packet)
+        assert next(iter(tiny_trace)) == first
+
+    def test_sorted_by_time(self, tiny_trace):
+        ts = tiny_trace.timestamps
+        assert np.all(np.diff(ts) >= 0)
+
+    def test_duration(self, tiny_trace):
+        assert 0 < tiny_trace.duration <= 2.0
+
+    def test_empty_trace(self):
+        empty = Trace.empty()
+        assert len(empty) == 0
+        assert empty.duration == 0.0
+        assert empty.epochs(5.0) == []
+
+    def test_slice_time_bounds(self, tiny_trace):
+        sliced = tiny_trace.slice_time(0.5, 1.0)
+        assert np.all(sliced.timestamps >= 0.5)
+        assert np.all(sliced.timestamps < 1.0)
+
+    def test_epochs_partition_packets(self, small_trace):
+        epochs = small_trace.epochs(1.0)
+        assert sum(len(e) for e in epochs) == len(small_trace)
+
+    def test_epochs_bad_duration(self, tiny_trace):
+        with pytest.raises(ConfigurationError):
+            tiny_trace.epochs(0)
+
+    def test_concat_resorts(self):
+        a = generate_trace(SyntheticTraceConfig(packets=50, flows=10,
+                                                duration=1.0, seed=1))
+        b = generate_trace(SyntheticTraceConfig(packets=50, flows=10,
+                                                duration=1.0, seed=2))
+        both = Trace.concat([b, a])
+        assert len(both) == 100
+        assert np.all(np.diff(both.timestamps) >= 0)
+
+    def test_from_packets_roundtrip(self):
+        packets = [Packet(flow=FiveTuple(i, i + 1, 10, 80, 6),
+                          timestamp=float(i), size=100 + i)
+                   for i in range(5)]
+        trace = Trace.from_packets(packets)
+        assert len(trace) == 5
+        assert trace.packet(3) == packets[3]
+
+    def test_key_array_and_distinct(self, tiny_trace):
+        keys = tiny_trace.key_array(src_ip_key)
+        assert len(keys) == len(tiny_trace)
+        assert tiny_trace.distinct(src_ip_key) == len(np.unique(keys))
+
+
+class TestGenerator:
+    def test_packet_count_matches_config(self):
+        trace = generate_trace(SyntheticTraceConfig(
+            packets=2000, flows=300, duration=4.0, seed=3))
+        assert abs(len(trace) - 2000) <= 2  # segment rounding
+
+    def test_rejects_degenerate_config(self):
+        with pytest.raises(ConfigurationError):
+            generate_trace(SyntheticTraceConfig(packets=0, flows=10))
+
+    def test_deterministic_per_seed(self):
+        cfg = SyntheticTraceConfig(packets=400, flows=50, seed=9)
+        a, b = generate_trace(cfg), generate_trace(cfg)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.timestamps, b.timestamps)
+
+    def test_seeds_give_different_traces(self):
+        a = generate_trace(SyntheticTraceConfig(packets=400, flows=50, seed=1))
+        b = generate_trace(SyntheticTraceConfig(packets=400, flows=50, seed=2))
+        assert not np.array_equal(a.src, b.src)
+
+    def test_zipf_skew_concentrates_traffic(self):
+        """Higher skew => top flow takes a larger share."""
+        def top_share(skew):
+            trace = generate_trace(SyntheticTraceConfig(
+                packets=20_000, flows=2000, zipf_skew=skew, seed=4))
+            keys = trace.key_array(src_ip_key)
+            _, counts = np.unique(keys, return_counts=True)
+            return counts.max() / len(keys)
+        assert top_share(1.6) > top_share(0.8)
+
+    def test_with_seed_helper(self):
+        cfg = SyntheticTraceConfig(seed=1)
+        assert cfg.with_seed(5).seed == 5
+        assert cfg.seed == 1  # frozen original untouched
+
+
+class TestDDoSEvents:
+    def test_burst_adds_fresh_sources(self):
+        base_cfg = SyntheticTraceConfig(packets=5000, flows=800,
+                                        duration=10.0, seed=5)
+        attacked_cfg = SyntheticTraceConfig(
+            packets=5000, flows=800, duration=10.0, seed=5,
+            ddos_events=(DDoSEvent(start=5.0, end=10.0, num_sources=2000),))
+        base = generate_trace(base_cfg)
+        attacked = generate_trace(attacked_cfg)
+        d_base = base.slice_time(5, 10).distinct(src_ip_key)
+        d_attacked = attacked.slice_time(5, 10).distinct(src_ip_key)
+        assert d_attacked > d_base + 1500
+
+    def test_burst_confined_to_window(self):
+        cfg = SyntheticTraceConfig(
+            packets=5000, flows=800, duration=10.0, seed=6,
+            ddos_events=(DDoSEvent(start=5.0, end=10.0, num_sources=2000),))
+        trace = generate_trace(cfg)
+        early = trace.slice_time(0, 5)
+        assert early.distinct(src_ip_key) < 1200  # no attack sources early
+
+    def test_victim_receives_burst(self):
+        victim = 0x0B0B0B0B
+        cfg = SyntheticTraceConfig(
+            packets=2000, flows=300, duration=10.0, seed=7,
+            ddos_events=(DDoSEvent(start=0.0, end=10.0, num_sources=500,
+                                   victim=victim),))
+        trace = generate_trace(cfg)
+        counts = dict(zip(*np.unique(trace.key_array(dst_ip_key),
+                                     return_counts=True)))
+        assert counts.get(victim, 0) >= 900  # 500 sources x 2 packets
+
+    def test_invalid_window_rejected(self):
+        cfg = SyntheticTraceConfig(
+            packets=100, flows=10, duration=10.0, seed=8,
+            ddos_events=(DDoSEvent(start=5.0, end=5.0, num_sources=10),))
+        with pytest.raises(ConfigurationError):
+            generate_trace(cfg)
+
+
+class TestChangeEvents:
+    def test_epoch_pair_changes_flow_volumes(self):
+        a, b = generate_epoch_pair(packets=20_000, flows=3000,
+                                   zipf_skew=1.1, num_changes=10,
+                                   change_factor=12.0, seed=9,
+                                   rank_lo=5, rank_hi=60)
+        from repro.eval.groundtruth import GroundTruth
+        ga, gb = GroundTruth(a, src_ip_key), GroundTruth(b, src_ip_key)
+        total_change = gb.total_change(ga)
+        # Injected surges should dominate the multinomial noise floor.
+        heavy = gb.heavy_change_keys(ga, phi=0.03)
+        assert len(heavy) >= 2
+        assert total_change > 2000
+
+    def test_change_event_in_full_generator(self):
+        cfg = SyntheticTraceConfig(
+            packets=10_000, flows=1000, duration=10.0, seed=10,
+            change_events=(ChangeEvent(time=5.0, num_flows=6, factor=15.0,
+                                       rank_lo=3, rank_hi=30),))
+        trace = generate_trace(cfg)
+        assert abs(len(trace) - 10_000) <= 2
+        # Both halves have traffic.
+        assert len(trace.slice_time(0, 5)) > 3000
+        assert len(trace.slice_time(5, 10)) > 3000

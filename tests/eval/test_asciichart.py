@@ -1,0 +1,69 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.asciichart import chart_sweep, render_chart
+from repro.eval.runner import SweepPoint, aggregate
+
+
+class TestRenderChart:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_chart({})
+        with pytest.raises(ConfigurationError):
+            render_chart({"a": []})
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [(0, 0), (1, 1)] for i in range(9)}
+        with pytest.raises(ConfigurationError):
+            render_chart(series)
+
+    def test_log_x_needs_positive(self):
+        with pytest.raises(ConfigurationError):
+            render_chart({"a": [(0.0, 1.0), (1.0, 2.0)]}, log_x=True)
+
+    def test_contains_marks_and_legend(self):
+        out = render_chart({"err": [(1, 0.5), (2, 0.1)]}, width=30,
+                           height=8, title="T")
+        assert out.startswith("T")
+        assert "o" in out
+        assert "o=err" in out
+
+    def test_extremes_land_on_borders(self):
+        out = render_chart({"a": [(1, 0.0), (10, 1.0)]}, width=20,
+                           height=5)
+        lines = [l for l in out.splitlines() if "|" in l]
+        # max y (1.0) on the first grid row, min y on the last.
+        assert "o" in lines[0]
+        assert "o" in lines[-1]
+
+    def test_axis_labels_rendered(self):
+        out = render_chart({"a": [(1, 2), (3, 4)]}, x_label="kb",
+                           y_label="err")
+        assert "x: kb" in out and "y: err" in out
+
+    def test_flat_series_does_not_crash(self):
+        out = render_chart({"a": [(1, 5.0), (2, 5.0)]})
+        assert "o" in out
+
+    def test_two_series_distinct_marks(self):
+        out = render_chart({"a": [(1, 1), (2, 2)],
+                            "b": [(1, 2), (2, 1)]})
+        assert "o=a" in out and "x=b" in out
+
+
+class TestChartSweep:
+    def test_charts_medians(self):
+        points = [
+            SweepPoint(x=32, metrics={"err": aggregate([0.5, 0.6])}),
+            SweepPoint(x=2048, metrics={"err": aggregate([0.05])}),
+        ]
+        out = chart_sweep(points, ["err"], title="fig")
+        assert out.startswith("fig")
+        assert "o=err" in out
+
+    def test_missing_metric_skipped(self):
+        points = [SweepPoint(x=32, metrics={"err": aggregate([0.5])})]
+        out = chart_sweep(points, ["err", "missing"])
+        assert "missing" not in out

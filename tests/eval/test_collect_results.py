@@ -1,0 +1,60 @@
+"""Tests for the EXPERIMENTS.md result-splicing script."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / \
+    "collect_results.py"
+
+
+@pytest.fixture(scope="module")
+def collect():
+    spec = importlib.util.spec_from_file_location("collect_results",
+                                                  _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSplice:
+    def test_marker_replaced_with_table(self, collect, tmp_path,
+                                        monkeypatch):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig4_heavy_hitters.txt").write_text("THE TABLE\nrow")
+        monkeypatch.setattr(collect, "RESULTS", results)
+        out = collect.splice("before\n<!-- RESULT:fig4 -->\nafter")
+        assert "THE TABLE" in out
+        assert "<!-- RESULT:fig4 -->" in out  # marker survives
+        assert out.index("THE TABLE") < out.index("after")
+
+    def test_idempotent(self, collect, tmp_path, monkeypatch):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig4_heavy_hitters.txt").write_text("v1")
+        monkeypatch.setattr(collect, "RESULTS", results)
+        once = collect.splice("<!-- RESULT:fig4 -->")
+        (results / "fig4_heavy_hitters.txt").write_text("v2")
+        twice = collect.splice(once)
+        assert "v2" in twice and "v1" not in twice
+        assert twice.count("```text") == 1
+
+    def test_missing_file_yields_placeholder(self, collect, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setattr(collect, "RESULTS", tmp_path / "nope")
+        out = collect.splice("<!-- RESULT:fig5 -->")
+        assert "run pytest benchmarks/" in out
+
+    def test_unknown_marker_untouched(self, collect):
+        text = "<!-- RESULT:mystery -->"
+        assert collect.splice(text) == text
+
+    def test_repo_experiments_markers_all_known(self, collect):
+        """Every marker in the real EXPERIMENTS.md must have a source."""
+        experiments = collect.EXPERIMENTS.read_text()
+        import re
+        for match in re.finditer(r"<!-- RESULT:([\w-]+) -->", experiments):
+            assert match.group(1) in collect.SOURCES, match.group(1)

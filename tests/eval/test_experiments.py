@@ -1,0 +1,102 @@
+"""Fast sanity runs of the figure experiments (tiny workloads).
+
+These verify the experiment *harness* (workload wiring, paired seeds,
+metric plumbing) and the coarse qualitative shapes; the full-size
+reproductions live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.eval.experiments import (
+    DEFAULT_WORKLOAD,
+    WorkloadSpec,
+    ablation_heap_size,
+    ablation_levels,
+    fig4_heavy_hitters,
+    fig5_ddos,
+    fig6_change_detection,
+    fig7_entropy,
+    overhead_cycles,
+)
+
+TINY = WorkloadSpec(packets=4_000, flows=800, zipf_skew=1.1)
+
+
+class TestFig4:
+    def test_reports_both_systems(self):
+        points = fig4_heavy_hitters(memory_kb=[256], runs=2, workload=TINY)
+        metrics = points[0].metrics
+        assert set(metrics) == {"univmon_fp", "univmon_fn",
+                                "opensketch_fp", "opensketch_fn"}
+
+    def test_low_error_at_generous_memory(self):
+        points = fig4_heavy_hitters(memory_kb=[1024], runs=3, workload=TINY)
+        m = points[0].metrics
+        assert m["univmon_fn"].median <= 0.25
+        assert m["opensketch_fn"].median <= 0.25
+
+
+class TestFig5:
+    def test_detection_and_error_reported(self):
+        points = fig5_ddos(memory_kb=[512], runs=2, workload=TINY,
+                           attack_sources=1500)
+        m = points[0].metrics
+        assert set(m) == {"univmon_err", "opensketch_err",
+                          "univmon_detect_err", "opensketch_detect_err"}
+        assert m["opensketch_err"].median < 0.2  # bitmap is accurate here
+
+    def test_univmon_error_reasonable(self):
+        points = fig5_ddos(memory_kb=[1024], runs=3, workload=TINY,
+                           attack_sources=1500)
+        assert points[0].metrics["univmon_err"].median < 0.4
+
+
+class TestFig6:
+    def test_univmon_detects_changes(self):
+        points = fig6_change_detection(memory_kb=[512], runs=3,
+                                       workload=TINY, num_changes=8,
+                                       change_factor=12.0)
+        m = points[0].metrics
+        assert m["univmon_fn"].median <= 0.5
+        assert m["univmon_fp"].median <= 0.5
+
+
+class TestFig7:
+    def test_univmon_beats_coarse_sampling_eventually(self):
+        points = fig7_entropy(memory_kb=[512], runs=3, workload=TINY)
+        m = points[0].metrics
+        assert m["univmon_err"].median < 0.15
+        assert m["sampling_err"].median < 0.5
+
+
+class TestOverhead:
+    def test_suite_ratio_below_one(self):
+        """The paper's headline: one UnivMon instance costs less than the
+        suite of custom sketches it replaces."""
+        result = overhead_cycles(workload=TINY, epochs=2)
+        assert result.ratio < 1.0
+
+    def test_per_task_breakdown_sums(self):
+        result = overhead_cycles(workload=TINY, epochs=2)
+        assert sum(result.opensketch_per_task_cycles.values()) == \
+            pytest.approx(result.opensketch_suite_cycles)
+
+    def test_hh_is_dominant_opensketch_cost(self):
+        """The hierarchical HH task dominates the custom suite's cost —
+        the structural reason UnivMon wins on the suite."""
+        result = overhead_cycles(workload=TINY, epochs=2)
+        per = result.opensketch_per_task_cycles
+        assert per["hh"] > per["change"] > per["ddos"]
+
+
+class TestAblations:
+    def test_levels_sweep_shapes(self):
+        points = ablation_levels(level_counts=[2, 10], runs=2, workload=TINY)
+        few, many = points[0].metrics, points[1].metrics
+        # Too few levels biases F0 badly; enough levels fixes it.
+        assert many["f0_err"].median < few["f0_err"].median
+
+    def test_heap_sweep_runs(self):
+        points = ablation_heap_size(heap_sizes=[16, 64], runs=2,
+                                    workload=TINY)
+        assert all("f0_err" in p.metrics for p in points)

@@ -1,0 +1,79 @@
+"""Tests for ground truth computation and the op-cost model."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.keys import src_ip_key
+from repro.eval.cost import DEFAULT_COST_MODEL, CostModel
+from repro.eval.groundtruth import GroundTruth
+from repro.sketches.base import UpdateCost
+
+
+class TestGroundTruth:
+    def test_totals(self, small_trace):
+        gt = GroundTruth(small_trace, src_ip_key)
+        assert gt.total == len(small_trace)
+        assert gt.distinct == small_trace.distinct(src_ip_key)
+
+    def test_heavy_hitters_actually_heavy(self, small_trace):
+        gt = GroundTruth(small_trace, src_ip_key)
+        alpha = 0.01
+        threshold = alpha * gt.total
+        for key in gt.heavy_hitter_keys(alpha):
+            assert gt.frequency(key) >= threshold
+
+    def test_entropy_bounds(self, small_trace):
+        import math
+        gt = GroundTruth(small_trace, src_ip_key)
+        assert 0 <= gt.entropy() <= math.log2(gt.distinct)
+
+    def test_moment_one_is_total(self, small_trace):
+        gt = GroundTruth(small_trace, src_ip_key)
+        assert gt.moment(1) == gt.total
+
+    def test_g_sum_identity_is_total(self, small_trace):
+        gt = GroundTruth(small_trace, src_ip_key)
+        assert gt.g_sum(lambda x: x) == gt.total
+
+    def test_change_truth_between_epochs(self, small_trace):
+        epochs = small_trace.epochs(2.5)
+        a, b = GroundTruth(epochs[0], src_ip_key), \
+            GroundTruth(epochs[1], src_ip_key)
+        d = b.total_change(a)
+        assert d > 0
+        heavy = b.heavy_change_keys(a, phi=0.01)
+        # Every reported heavy change must actually exceed the threshold.
+        diff = b.counter.difference(a.counter)
+        for key in heavy:
+            assert abs(diff[key]) >= 0.01 * d
+
+    def test_union_keys_covers_both(self, small_trace):
+        epochs = small_trace.epochs(2.5)
+        a, b = GroundTruth(epochs[0], src_ip_key), \
+            GroundTruth(epochs[1], src_ip_key)
+        union = set(b.union_keys(a).tolist())
+        assert set(a.counter.counts) <= union
+        assert set(b.counter.counts) <= union
+
+
+class TestCostModel:
+    def test_cycles_linear_in_ops(self):
+        model = CostModel(cycles_per_hash=10, cycles_per_counter_update=2,
+                          cycles_per_memory_word=5)
+        cost = UpdateCost(hashes=3, counter_updates=4, memory_words=6)
+        assert model.cycles(cost) == 30 + 8 + 30
+
+    def test_cycles_per_packet(self):
+        model = DEFAULT_COST_MODEL
+        cost = UpdateCost(hashes=10, counter_updates=10, memory_words=10)
+        assert model.cycles_per_packet(cost, 10) == \
+            pytest.approx(model.cycles(cost) / 10)
+
+    def test_zero_packets_guarded(self):
+        assert DEFAULT_COST_MODEL.cycles_per_packet(UpdateCost(), 0) == 0.0
+
+    def test_update_cost_addition_and_scaling(self):
+        a = UpdateCost(hashes=1, counter_updates=2, memory_words=3)
+        b = UpdateCost(hashes=10, counter_updates=20, memory_words=30)
+        assert a + b == UpdateCost(11, 22, 33)
+        assert a.scaled(4) == UpdateCost(4, 8, 12)

@@ -1,0 +1,78 @@
+"""Tests for the detection/error metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    detection_rates,
+    f1_score,
+    precision_recall,
+    relative_error,
+)
+
+
+class TestDetectionRates:
+    def test_perfect_detection(self):
+        assert detection_rates({1, 2}, {1, 2}) == (0.0, 0.0)
+
+    def test_all_missed(self):
+        fp, fn = detection_rates({1, 2}, set())
+        assert (fp, fn) == (0.0, 1.0)
+
+    def test_all_spurious(self):
+        fp, fn = detection_rates(set(), {1, 2})
+        assert (fp, fn) == (1.0, 0.0)
+
+    def test_partial(self):
+        fp, fn = detection_rates({1, 2, 3, 4}, {3, 4, 5})
+        assert fp == pytest.approx(1 / 3)
+        assert fn == pytest.approx(2 / 4)
+
+    def test_accepts_iterables(self):
+        assert detection_rates([1, 1, 2], iter([2])) == (0.0, 0.5)
+
+    @given(st.sets(st.integers(0, 50)), st.sets(st.integers(0, 50)))
+    @settings(max_examples=100)
+    def test_property_rates_in_unit_interval(self, truth, reported):
+        fp, fn = detection_rates(truth, reported)
+        assert 0.0 <= fp <= 1.0 and 0.0 <= fn <= 1.0
+
+
+class TestPrecisionRecallF1:
+    def test_complements(self):
+        truth, reported = {1, 2, 3}, {2, 3, 4}
+        fp, fn = detection_rates(truth, reported)
+        precision, recall = precision_recall(truth, reported)
+        assert precision == pytest.approx(1 - fp)
+        assert recall == pytest.approx(1 - fn)
+
+    def test_f1_perfect(self):
+        assert f1_score({1}, {1}) == 1.0
+
+    def test_f1_both_empty_is_one(self):
+        assert f1_score(set(), set()) == 1.0
+
+    def test_f1_disjoint_is_zero(self):
+        assert f1_score({1}, {2}) == 0.0
+
+    @given(st.sets(st.integers(0, 30), min_size=1),
+           st.sets(st.integers(0, 30), min_size=1))
+    @settings(max_examples=100)
+    def test_property_f1_bounds(self, truth, reported):
+        assert 0.0 <= f1_score(truth, reported) <= 1.0
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(10, 10) == 0.0
+
+    def test_symmetric_magnitude(self):
+        assert relative_error(8, 10) == pytest.approx(0.2)
+        assert relative_error(12, 10) == pytest.approx(0.2)
+
+    def test_zero_truth_falls_back_to_absolute(self):
+        assert relative_error(3, 0) == 3.0
+
+    def test_negative_truth_uses_magnitude(self):
+        assert relative_error(-8, -10) == pytest.approx(0.2)

@@ -1,0 +1,67 @@
+"""Tests for the median/std sweep runner and table formatting."""
+
+import pytest
+
+from repro.eval.runner import SweepPoint, TrialStats, aggregate, format_table, run_sweep
+
+
+class TestAggregate:
+    def test_median_and_std(self):
+        stats = aggregate([1.0, 2.0, 3.0])
+        assert stats.median == 2.0
+        assert stats.std == pytest.approx(0.8165, abs=1e-3)
+        assert stats.runs == 3
+
+    def test_single_value(self):
+        stats = aggregate([5.0])
+        assert stats.median == 5.0 and stats.std == 0.0
+
+    def test_str_format(self):
+        assert "±" in str(aggregate([1.0, 2.0]))
+
+
+class TestRunSweep:
+    def test_runs_trial_per_x_and_seed(self):
+        calls = []
+
+        def trial(x, seed):
+            calls.append((x, seed))
+            return {"metric": x + seed}
+
+        points = run_sweep([1, 2], trial, runs=3, base_seed=100)
+        assert len(calls) == 6
+        assert {s for _, s in calls} == {100, 101, 102}
+        assert len(points) == 2
+        assert points[0].metrics["metric"].runs == 3
+
+    def test_paired_seeds_across_x(self):
+        """Same run index gets the same seed at every x (paired trials)."""
+        seen = {}
+
+        def trial(x, seed):
+            seen.setdefault(x, []).append(seed)
+            return {"m": 0.0}
+
+        run_sweep([10, 20], trial, runs=4)
+        assert seen[10] == seen[20]
+
+    def test_multiple_metrics_collected(self):
+        points = run_sweep([1], lambda x, s: {"a": 1.0, "b": 2.0}, runs=2)
+        assert set(points[0].metrics) == {"a", "b"}
+
+
+class TestFormatTable:
+    def test_contains_all_rows_and_metrics(self):
+        points = [
+            SweepPoint(x=128, metrics={"err": aggregate([0.1, 0.2])}),
+            SweepPoint(x=256, metrics={"err": aggregate([0.05])}),
+        ]
+        table = format_table(points, ["err"], x_label="kb", title="T")
+        assert table.startswith("T")
+        assert "128" in table and "256" in table
+        assert "err" in table
+
+    def test_missing_metric_rendered_as_dash(self):
+        points = [SweepPoint(x=1, metrics={})]
+        table = format_table(points, ["missing"])
+        assert "-" in table

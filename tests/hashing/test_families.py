@@ -1,0 +1,161 @@
+"""Unit + statistical tests for the polynomial hash families."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hashing.families import (
+    MERSENNE_PRIME_61,
+    BucketHash,
+    PairwiseHash,
+    PolynomialHash,
+    SignHash,
+    _mod_mersenne,
+)
+
+KEYS = st.integers(min_value=0, max_value=MERSENNE_PRIME_61 - 1)
+
+
+class TestModMersenne:
+    def test_small_values_unchanged(self):
+        assert _mod_mersenne(0) == 0
+        assert _mod_mersenne(12345) == 12345
+
+    def test_prime_maps_to_zero(self):
+        assert _mod_mersenne(MERSENNE_PRIME_61) == 0
+
+    def test_matches_builtin_mod(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            x = rng.getrandbits(120)
+            assert _mod_mersenne(x) == x % MERSENNE_PRIME_61
+
+    @given(st.integers(min_value=0, max_value=(1 << 122) - 1))
+    @settings(max_examples=200)
+    def test_property_matches_builtin(self, x):
+        assert _mod_mersenne(x) == x % MERSENNE_PRIME_61
+
+
+class TestPolynomialHash:
+    def test_deterministic_given_seed(self):
+        a, b = PolynomialHash(k=3, seed=7), PolynomialHash(k=3, seed=7)
+        for x in (0, 1, 42, 1 << 40):
+            assert a(x) == b(x)
+
+    def test_different_seeds_differ(self):
+        a, b = PolynomialHash(k=2, seed=1), PolynomialHash(k=2, seed=2)
+        outputs_a = [a(x) for x in range(64)]
+        outputs_b = [b(x) for x in range(64)]
+        assert outputs_a != outputs_b
+
+    def test_output_in_field(self):
+        h = PolynomialHash(k=4, seed=3)
+        for x in range(100):
+            assert 0 <= h(x) < MERSENNE_PRIME_61
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialHash(k=0)
+
+    def test_hash_many_matches_scalar(self):
+        h = PolynomialHash(k=2, seed=5)
+        xs = [3, 1 << 33, 999]
+        assert h.hash_many(xs) == [h(x) for x in xs]
+
+    def test_hash_array_matches_scalar(self):
+        h = PolynomialHash(k=3, seed=11)
+        xs = np.array([0, 1, 2, 1 << 50, 123456789], dtype=np.uint64)
+        out = h.hash_array(xs)
+        assert out.dtype == np.uint64
+        for x, v in zip(xs.tolist(), out.tolist()):
+            assert h(int(x)) == int(v)
+
+    def test_degree_matches_k(self):
+        h = PolynomialHash(k=5, seed=9)
+        assert len(h.coefficients) == 5
+        assert h.coefficients[-1] != 0
+
+    @given(KEYS, KEYS)
+    @settings(max_examples=100)
+    def test_property_pairwise_collision_unlikely(self, x, y):
+        # For a fixed random function, distinct inputs rarely collide.
+        h = PairwiseHash(seed=13)
+        if x != y:
+            # p(collision) = 1/p; treat any collision as failure.
+            assert h(x) != h(y)
+
+
+class TestPairwiseIndependence:
+    def test_uniformity_of_low_bit(self):
+        """The low bit of a pairwise hash should be ~ Bernoulli(1/2)."""
+        h = PairwiseHash(seed=21)
+        bits = [h(x) & 1 for x in range(4000)]
+        mean = sum(bits) / len(bits)
+        assert 0.45 < mean < 0.55
+
+    def test_pairwise_joint_distribution_over_draws(self):
+        """True pairwise independence: over random function draws, the
+        joint low-bit distribution of two fixed points is uniform on
+        {0,1}**2 (each cell probability ~= 1/4)."""
+        x, y = 17, 961748941
+        joint = np.zeros((2, 2), dtype=int)
+        for seed in range(2000):
+            h = PairwiseHash(seed=seed)
+            joint[h(x) & 1, h(y) & 1] += 1
+        fractions = joint / joint.sum()
+        assert np.all(np.abs(fractions - 0.25) < 0.04)
+
+
+class TestBucketHash:
+    def test_range(self):
+        h = BucketHash(width=17, seed=1)
+        assert all(0 <= h(x) < 17 for x in range(500))
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            BucketHash(width=0)
+
+    def test_roughly_uniform(self):
+        width = 16
+        h = BucketHash(width=width, seed=2)
+        counts = np.bincount([h(x) for x in range(width * 500)],
+                             minlength=width)
+        # Each bucket expects 500; allow generous slack.
+        assert counts.min() > 350 and counts.max() < 650
+
+    def test_array_matches_scalar(self):
+        h = BucketHash(width=101, seed=3)
+        xs = np.arange(50, dtype=np.uint64)
+        assert [h(int(x)) for x in xs] == h.hash_array(xs).tolist()
+
+
+class TestSignHash:
+    def test_values_are_signs(self):
+        s = SignHash(seed=4)
+        assert set(s(x) for x in range(200)) <= {-1, 1}
+
+    def test_balanced(self):
+        s = SignHash(seed=5)
+        total = sum(s(x) for x in range(5000))
+        assert abs(total) < 300  # ~ sqrt(5000) * 4
+
+    def test_array_matches_scalar(self):
+        s = SignHash(seed=6)
+        xs = np.arange(100, dtype=np.uint64)
+        assert [s(int(x)) for x in xs] == s.hash_array(xs).tolist()
+
+    def test_deterministic(self):
+        a, b = SignHash(seed=8), SignHash(seed=8)
+        assert [a(x) for x in range(50)] == [b(x) for x in range(50)]
+
+
+class TestSharedRng:
+    def test_functions_from_one_rng_are_distinct(self):
+        rng = random.Random(0)
+        h1 = PairwiseHash(rng=rng)
+        h2 = PairwiseHash(rng=rng)
+        assert [h1(x) for x in range(32)] != [h2(x) for x in range(32)]

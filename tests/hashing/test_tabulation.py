@@ -1,0 +1,76 @@
+"""Tests for simple tabulation hashing."""
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.tabulation import TabulationHash
+
+KEYS64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestTabulationHash:
+    def test_deterministic_given_seed(self):
+        a, b = TabulationHash(seed=1), TabulationHash(seed=1)
+        for x in (0, 1, 0xDEADBEEF, (1 << 64) - 1):
+            assert a(x) == b(x)
+
+    def test_seeds_differ(self):
+        a, b = TabulationHash(seed=1), TabulationHash(seed=2)
+        assert [a(x) for x in range(64)] != [b(x) for x in range(64)]
+
+    def test_output_is_64_bit(self):
+        h = TabulationHash(seed=3)
+        for x in range(200):
+            assert 0 <= h(x) < (1 << 64)
+
+    def test_handles_keys_above_64_bits_by_masking(self):
+        h = TabulationHash(seed=4)
+        assert h(1 << 64) == h(0)
+        assert h((1 << 64) + 5) == h(5)
+
+    def test_array_matches_scalar(self):
+        h = TabulationHash(seed=5)
+        xs = np.array([0, 1, 255, 256, 0xFFFFFFFFFFFFFFFF, 12345678901234],
+                      dtype=np.uint64)
+        assert [h(int(x)) for x in xs] == h.hash_array(xs).tolist()
+
+    @given(KEYS64)
+    @settings(max_examples=150)
+    def test_property_array_matches_scalar(self, x):
+        h = TabulationHash(seed=6)
+        arr = np.array([x], dtype=np.uint64)
+        assert h.hash_array(arr)[0] == h(x)
+
+    def test_bucket_in_range(self):
+        h = TabulationHash(seed=7)
+        assert all(0 <= h.bucket(x, 13) < 13 for x in range(300))
+
+    def test_sign_in_pm_one(self):
+        h = TabulationHash(seed=8)
+        values = {h.sign(x) for x in range(300)}
+        assert values == {-1, 1}
+
+    def test_avalanche_single_byte_change(self):
+        """Changing one input byte should flip about half the output bits."""
+        h = TabulationHash(seed=9)
+        flips = []
+        for x in range(500):
+            diff = h(x) ^ h(x ^ 0xFF)
+            flips.append(bin(diff).count("1"))
+        mean = sum(flips) / len(flips)
+        assert 24 < mean < 40  # ideal: 32
+
+    def test_uniform_buckets(self):
+        h = TabulationHash(seed=10)
+        width = 32
+        counts = np.bincount([h.bucket(x, width) for x in range(width * 300)],
+                             minlength=width)
+        assert counts.min() > 180 and counts.max() < 440
+
+    def test_shared_rng_yields_distinct_functions(self):
+        rng = random.Random(0)
+        h1, h2 = TabulationHash(rng=rng), TabulationHash(rng=rng)
+        assert any(h1(x) != h2(x) for x in range(16))

@@ -1,0 +1,81 @@
+"""Tests for the switch topology and ingress assignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.topology import NetworkTopology
+
+
+class TestConstruction:
+    def test_line(self):
+        topo = NetworkTopology.line(4)
+        assert topo.switches == ["s0", "s1", "s2", "s3"]
+        assert topo.path("s0", "s3") == ["s0", "s1", "s2", "s3"]
+
+    def test_star(self):
+        topo = NetworkTopology.star(3)
+        assert "core" in topo.switches
+        assert topo.path("edge0", "edge2") == ["edge0", "core", "edge2"]
+
+    def test_fat_tree_pod(self):
+        topo = NetworkTopology.fat_tree_pod(edge=4)
+        path = topo.path("tor0", "tor3")
+        assert len(path) == 3  # tor - agg - tor
+
+    def test_weighted_paths(self):
+        topo = NetworkTopology()
+        for n in "abc":
+            topo.add_switch(n)
+        topo.add_link("a", "b", weight=10.0)
+        topo.add_link("a", "c", weight=1.0)
+        topo.add_link("c", "b", weight=1.0)
+        assert topo.path("a", "b") == ["a", "c", "b"]
+
+
+class TestErrors:
+    def test_unknown_switch(self):
+        topo = NetworkTopology.line(2)
+        with pytest.raises(TopologyError):
+            topo.path("s0", "nope")
+
+    def test_no_path(self):
+        topo = NetworkTopology()
+        topo.add_switch("a")
+        topo.add_switch("b")
+        with pytest.raises(TopologyError):
+            topo.path("a", "b")
+
+    def test_ingress_on_empty_topology(self, tiny_trace):
+        with pytest.raises(TopologyError):
+            NetworkTopology().ingress_assignment(tiny_trace)
+
+
+class TestIngressAssignment:
+    def test_partitions_all_packets(self, small_trace):
+        topo = NetworkTopology.star(4)
+        shares = topo.ingress_assignment(small_trace)
+        assert set(shares) == set(topo.switches)
+        assert sum(len(t) for t in shares.values()) == len(small_trace)
+
+    def test_prefix_affinity(self, small_trace):
+        """All packets of one source /16 land on one switch."""
+        topo = NetworkTopology.line(3)
+        shares = topo.ingress_assignment(small_trace, seed=1)
+        prefix_owner = {}
+        for name, share in shares.items():
+            for prefix in np.unique(share.src >> np.uint32(16)):
+                assert prefix_owner.setdefault(int(prefix), name) == name
+
+    def test_deterministic_per_seed(self, small_trace):
+        topo = NetworkTopology.line(3)
+        a = topo.ingress_assignment(small_trace, seed=5)
+        b = topo.ingress_assignment(small_trace, seed=5)
+        for name in topo.switches:
+            assert len(a[name]) == len(b[name])
+
+    def test_roughly_balanced(self, small_trace):
+        topo = NetworkTopology.star(4)
+        shares = topo.ingress_assignment(small_trace, seed=2)
+        sizes = [len(t) for t in shares.values()]
+        assert min(sizes) > 0.1 * max(sizes)

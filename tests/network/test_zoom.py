@@ -1,0 +1,111 @@
+"""Tests for adaptive zoom-in monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.trace import Trace
+from repro.network.zoom import LADDER, ZoomMonitor, _truncate_scalar
+from repro.core.universal import UniversalSketch
+
+
+def factory():
+    return UniversalSketch(levels=5, rows=3, width=512, heap_size=32, seed=4)
+
+
+def trace_from_sources(sources):
+    n = len(sources)
+    src = np.asarray(sources, dtype=np.uint32)
+    return Trace(
+        np.linspace(0, 1, n),
+        src,
+        np.full(n, 0x0A000001, dtype=np.uint32),
+        np.full(n, 1000, dtype=np.uint16),
+        np.full(n, 80, dtype=np.uint16),
+        np.full(n, 6, dtype=np.uint8),
+    )
+
+
+HOT_PREFIX = 0x0B000000  # 11.0.0.0/8 will be the hot region
+
+
+def hot_trace(count=3000, cold=500, seed=0):
+    rng = np.random.default_rng(seed)
+    hot = HOT_PREFIX | rng.integers(0, 1 << 24, size=count)
+    cold_srcs = rng.integers(0x20000000, 0xDF000000, size=cold)
+    return trace_from_sources(np.concatenate([hot, cold_srcs]))
+
+
+class TestTruncation:
+    def test_truncate_scalar(self):
+        assert _truncate_scalar(0x0B123456, 8) == 0x0B000000
+        assert _truncate_scalar(0x0B123456, 16) == 0x0B120000
+        assert _truncate_scalar(0x0B123456, 32) == 0x0B123456
+
+
+class TestGranularity:
+    def test_starts_coarse(self):
+        mon = ZoomMonitor(sketch_factory=factory)
+        assert mon.granularity_of(0x0B123456) == 8
+        assert mon.monitored_regions() == []
+
+    def test_initial_keys_are_slash8(self):
+        mon = ZoomMonitor(sketch_factory=factory)
+        keys = mon.keys_for(hot_trace())
+        assert set(int(k) & 0x00FFFFFF for k in np.unique(keys)) == {0}
+
+    def test_zooms_into_hot_prefix(self):
+        mon = ZoomMonitor(sketch_factory=factory, zoom_fraction=0.3)
+        mon.process_epoch(hot_trace(seed=1))
+        assert (HOT_PREFIX, 8) in mon.refined
+        assert mon.granularity_of(HOT_PREFIX | 0x123456) == 16
+
+    def test_second_epoch_keys_are_finer_in_hot_region(self):
+        mon = ZoomMonitor(sketch_factory=factory, zoom_fraction=0.3)
+        mon.process_epoch(hot_trace(seed=2))
+        keys = mon.keys_for(hot_trace(seed=3))
+        hot_keys = {int(k) for k in np.unique(keys)
+                    if (int(k) >> 24) == 0x0B}
+        # The hot /8 now appears as many /16 keys, not one /8 key.
+        assert len(hot_keys) > 10
+
+    def test_progressive_zoom_descends_ladder(self):
+        """If one /16 inside the hot /8 stays hot, zoom reaches /24."""
+        rng = np.random.default_rng(5)
+        hot16 = 0x0B0C0000
+        srcs = hot16 | rng.integers(0, 1 << 16, size=4000)
+        trace = trace_from_sources(srcs.astype(np.uint32))
+        mon = ZoomMonitor(sketch_factory=factory, zoom_fraction=0.3)
+        mon.process_epoch(trace)
+        assert mon.granularity_of(hot16 | 5) == 16
+        mon.process_epoch(trace)
+        assert mon.granularity_of(hot16 | 5) == 24
+
+    def test_cold_regions_unzoom(self):
+        mon = ZoomMonitor(sketch_factory=factory, zoom_fraction=0.3)
+        mon.process_epoch(hot_trace(seed=6))
+        assert mon.refined
+        # Next epoch: traffic moves elsewhere entirely.
+        rng = np.random.default_rng(7)
+        other = trace_from_sources(
+            (0x20000000 | rng.integers(0, 1 << 24, size=2000)).astype(np.uint32))
+        mon.process_epoch(other)
+        assert (HOT_PREFIX, 8) not in mon.refined
+
+    def test_epoch_counter_advances(self):
+        mon = ZoomMonitor(sketch_factory=factory)
+        mon.process_epoch(hot_trace())
+        mon.process_epoch(hot_trace())
+        assert mon.epoch == 2
+
+    def test_sealed_sketch_returned(self):
+        mon = ZoomMonitor(sketch_factory=factory)
+        trace = hot_trace()
+        sealed = mon.process_epoch(trace)
+        assert sealed.total_weight == len(trace)
+
+    def test_empty_epoch_no_adapt(self):
+        mon = ZoomMonitor(sketch_factory=factory)
+        sealed = mon.process_epoch(trace_from_sources(
+            np.array([], dtype=np.uint32)))
+        assert sealed.total_weight == 0
+        assert mon.refined == set()

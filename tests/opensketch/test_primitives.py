@@ -1,0 +1,103 @@
+"""Tests for the OpenSketch three-stage pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dataplane.keys import dst_ip_key, src_ip_key
+from repro.dataplane.trace import SyntheticTraceConfig, generate_trace
+from repro.opensketch.primitives import (
+    ClassificationStage,
+    CountingStage,
+    HashingStage,
+    MeasurementPipeline,
+    PrefixRule,
+)
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.exact import ExactCounter
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(SyntheticTraceConfig(
+        packets=1000, flows=200, duration=2.0, seed=31))
+
+
+class TestPrefixRule:
+    def test_field_validated(self):
+        with pytest.raises(ConfigurationError):
+            PrefixRule(field="sport", value=0, prefix_len=8)
+
+    def test_prefix_len_validated(self):
+        with pytest.raises(ConfigurationError):
+            PrefixRule(field="src", value=0, prefix_len=33)
+
+    def test_mask_values(self):
+        assert PrefixRule("src", 0, 0).mask() == 0
+        assert PrefixRule("src", 0, 32).mask() == 0xFFFFFFFF
+        assert PrefixRule("src", 0, 8).mask() == 0xFF000000
+
+    def test_matches_array(self, trace):
+        # Build a rule from an actual packet's /8 and check it matches it.
+        target = int(trace.src[0])
+        rule = PrefixRule("src", target, 8)
+        mask = rule.matches_array(trace)
+        assert mask[0]
+        expected = (trace.src.astype(np.int64) >> 24) == (target >> 24)
+        assert np.array_equal(mask, expected)
+
+
+class TestClassification:
+    def test_empty_rules_match_all(self, trace):
+        stage = ClassificationStage()
+        assert stage.select(trace).all()
+
+    def test_or_semantics(self, trace):
+        r1 = PrefixRule("src", int(trace.src[0]), 32)
+        r2 = PrefixRule("src", int(trace.src[1]), 32)
+        mask = ClassificationStage([r1, r2]).select(trace)
+        assert mask.sum() >= 2
+
+
+class TestPipeline:
+    def test_counts_match_exact(self, trace):
+        exact = ExactCounter()
+        pipeline = MeasurementPipeline(
+            HashingStage(src_ip_key), CountingStage(exact))
+        pipeline.process_trace(trace)
+        assert exact.total() == len(trace)
+        assert pipeline.packets_matched == len(trace)
+
+    def test_classification_scopes_counting(self, trace):
+        target = int(trace.dst[0])
+        rule = PrefixRule("dst", target, 32)
+        exact = ExactCounter()
+        pipeline = MeasurementPipeline(
+            HashingStage(src_ip_key), CountingStage(exact),
+            ClassificationStage([rule]))
+        pipeline.process_trace(trace)
+        expected = int((trace.dst == np.uint32(target)).sum())
+        assert exact.total() == expected
+        assert pipeline.packets_matched == expected
+        assert pipeline.packets_processed == len(trace)
+
+    def test_scalar_path(self):
+        exact = ExactCounter()
+        pipeline = MeasurementPipeline(
+            HashingStage(src_ip_key), CountingStage(exact))
+        pipeline.process_key(7)
+        assert exact.total() == 1
+
+    def test_memory_and_cost_delegate(self):
+        cm = CountMinSketch(rows=3, width=64, seed=1)
+        pipeline = MeasurementPipeline(
+            HashingStage(src_ip_key), CountingStage(cm))
+        assert pipeline.memory_bytes() == cm.memory_bytes()
+        assert pipeline.update_cost() == cm.update_cost()
+
+    def test_bulk_sketch_used_when_available(self, trace):
+        cm = CountMinSketch(rows=3, width=256, seed=2)
+        pipeline = MeasurementPipeline(
+            HashingStage(src_ip_key), CountingStage(cm))
+        pipeline.process_trace(trace)
+        assert cm.l1_estimate() == len(trace)

@@ -1,0 +1,79 @@
+"""Tests for the OpenSketch superspreader task."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dataplane.keys import src_dst_key
+from repro.opensketch.superspreader import SuperSpreaderTask
+
+
+def pair(src: int, dst: int) -> int:
+    return (src << 32) | dst
+
+
+class TestConstruction:
+    def test_requires_seed(self):
+        with pytest.raises(ConfigurationError):
+            SuperSpreaderTask()
+
+    def test_source_extraction(self):
+        assert SuperSpreaderTask.source_of(pair(0xC0A80101, 7)) == 0xC0A80101
+
+
+class TestDetection:
+    def test_scanner_detected(self):
+        task = SuperSpreaderTask(seed=1)
+        scanner = 0x0A000001
+        for dst in range(500):
+            task.update(pair(scanner, dst))
+        # Normal host: few destinations, many packets each.
+        normal = 0x0A000002
+        for _ in range(50):
+            for dst in range(3):
+                task.update(pair(normal, dst))
+        spreaders = {src for src, _ in task.superspreaders(100)}
+        assert scanner in spreaders
+        assert normal not in spreaders
+
+    def test_repeat_contacts_not_counted(self):
+        task = SuperSpreaderTask(seed=2)
+        src = 0x0B000001
+        for _ in range(1000):
+            task.update(pair(src, 42))  # same destination over and over
+        assert task.distinct_destinations(src) <= 2
+
+    def test_estimate_tracks_truth(self):
+        task = SuperSpreaderTask(seed=3)
+        src = 0x0C000001
+        for dst in range(300):
+            task.update(pair(src, dst))
+        est = task.distinct_destinations(src)
+        assert abs(est - 300) / 300 < 0.15
+
+    def test_bulk_path(self):
+        task = SuperSpreaderTask(seed=4)
+        keys = np.array([pair(1, d) for d in range(200)], dtype=np.uint64)
+        task.update_array(keys)
+        assert task.distinct_destinations(1) > 150
+
+    def test_weight_ignored(self):
+        """Contact uniqueness, not bytes, drives superspreaders."""
+        task = SuperSpreaderTask(seed=5)
+        task.update(pair(9, 1), weight=10_000)
+        assert task.distinct_destinations(9) <= 2
+
+    def test_no_superspreaders_in_normal_traffic(self):
+        rng = np.random.default_rng(6)
+        task = SuperSpreaderTask(seed=7)
+        # 200 hosts each contacting <= 5 destinations.
+        for src in range(200):
+            for dst in rng.integers(0, 5, size=5):
+                task.update(pair(src + 1, int(dst)))
+        assert task.superspreaders(50) == []
+
+    def test_memory_accounts_all_parts(self):
+        task = SuperSpreaderTask(rows=3, width=1024, bloom_bits=1 << 12,
+                                 heap_size=16, seed=8)
+        assert task.memory_bytes() == \
+            (1 << 12) // 8 + 3 * 1024 * 4 + 16 * 16

@@ -1,0 +1,141 @@
+"""Tests for Count-Min: never-underestimate, conservative update, merge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, IncompatibleSketchError
+from repro.sketches.countmin import CountMinSketch
+
+
+class TestConstruction:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(rows=0, width=8)
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(rows=2, width=0)
+
+
+class TestQueries:
+    def test_exact_when_sparse(self):
+        cm = CountMinSketch(rows=3, width=512, seed=1)
+        for k in range(10):
+            cm.update(k, k + 1)
+        for k in range(10):
+            assert cm.query(k) == k + 1
+
+    def test_never_underestimates(self):
+        cm = CountMinSketch(rows=3, width=16, seed=2)  # tiny: collisions
+        true = {k: (k % 7) + 1 for k in range(200)}
+        for k, c in true.items():
+            cm.update(k, c)
+        for k, c in true.items():
+            assert cm.query(k) >= c
+
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(1, 50)),
+                    min_size=1, max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_property_overestimate_only(self, updates):
+        cm = CountMinSketch(rows=3, width=32, seed=3)
+        true = {}
+        for key, w in updates:
+            cm.update(key, w)
+            true[key] = true.get(key, 0) + w
+        for key, c in true.items():
+            assert cm.query(key) >= c
+
+    def test_error_bounded_by_l1_over_width(self):
+        """CM guarantee: overestimate <= e/width * L1 w.h.p."""
+        width = 256
+        cm = CountMinSketch(rows=5, width=width, seed=4)
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 5000, size=20_000).astype(np.uint64)
+        cm.update_array(keys)
+        l1 = len(keys)
+        counts = {}
+        for k in keys.tolist():
+            counts[k] = counts.get(k, 0) + 1
+        sample = list(counts.items())[:200]
+        bound = 2.72 * l1 / width
+        violations = sum(1 for k, c in sample if cm.query(k) - c > bound)
+        assert violations <= 2  # delta = e^-rows is tiny; allow slack
+
+    def test_query_many_matches_scalar(self):
+        cm = CountMinSketch(rows=3, width=64, seed=6)
+        keys = np.array([5, 9, 5, 123, 5], dtype=np.uint64)
+        cm.update_array(keys)
+        out = cm.query_many(np.array([5, 9, 123, 7], dtype=np.uint64))
+        assert out.tolist() == [cm.query(5), cm.query(9),
+                                cm.query(123), cm.query(7)]
+
+    def test_l1_estimate_exact_for_positive_streams(self):
+        cm = CountMinSketch(rows=3, width=64, seed=7)
+        cm.update(1, 10)
+        cm.update(2, 5)
+        assert cm.l1_estimate() == 15
+
+
+class TestConservativeUpdate:
+    def test_at_most_plain_estimates(self):
+        plain = CountMinSketch(rows=3, width=16, seed=8)
+        cons = CountMinSketch(rows=3, width=16, seed=8, conservative=True)
+        rng = np.random.default_rng(9)
+        keys = rng.integers(0, 300, size=3000).tolist()
+        for k in keys:
+            plain.update(int(k))
+            cons.update(int(k))
+        counts = {}
+        for k in keys:
+            counts[k] = counts.get(k, 0) + 1
+        for k, c in counts.items():
+            assert c <= cons.query(int(k)) <= plain.query(int(k))
+
+    def test_bulk_path_falls_back_to_scalar(self):
+        a = CountMinSketch(rows=3, width=32, seed=10, conservative=True)
+        b = CountMinSketch(rows=3, width=32, seed=10, conservative=True)
+        keys = np.array([1, 2, 1, 3, 1], dtype=np.uint64)
+        a.update_array(keys)
+        for k in keys.tolist():
+            b.update(int(k))
+        assert np.array_equal(a.table, b.table)
+
+    def test_conservative_not_mergeable(self):
+        a = CountMinSketch(rows=3, width=16, seed=1, conservative=True)
+        b = CountMinSketch(rows=3, width=16, seed=1, conservative=True)
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(b)
+
+    def test_conservative_costs_extra_reads(self):
+        plain = CountMinSketch(rows=3, width=16, seed=1)
+        cons = CountMinSketch(rows=3, width=16, seed=1, conservative=True)
+        assert cons.update_cost().memory_words > \
+            plain.update_cost().memory_words
+
+
+class TestMerge:
+    def test_merge_equals_concatenation(self):
+        a = CountMinSketch(rows=3, width=64, seed=11)
+        b = CountMinSketch(rows=3, width=64, seed=11)
+        c = CountMinSketch(rows=3, width=64, seed=11)
+        a.update(1, 4)
+        b.update(1, 6)
+        b.update(2, 2)
+        c.update(1, 10)
+        c.update(2, 2)
+        assert np.array_equal(a.merge(b).table, c.table)
+
+    def test_merge_checks(self):
+        a = CountMinSketch(rows=3, width=64, seed=11)
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(CountMinSketch(rows=3, width=64, seed=12))
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(CountMinSketch(rows=2, width=64, seed=11))
+
+
+class TestAccounting:
+    def test_memory_bytes(self):
+        assert CountMinSketch(rows=3, width=100).memory_bytes() == 1200
+
+    def test_update_cost_hashes(self):
+        assert CountMinSketch(rows=4, width=8).update_cost().hashes == 4

@@ -1,0 +1,162 @@
+"""Tests for the distinct counters: LinearCounter, HyperLogLog, Bloom."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, IncompatibleSketchError
+from repro.sketches.bitmap import LinearCounter
+from repro.sketches.bloom import BloomFilter
+from repro.sketches.hyperloglog import HyperLogLog
+
+
+class TestLinearCounter:
+    def test_rejects_tiny_bitmaps(self):
+        with pytest.raises(ConfigurationError):
+            LinearCounter(bits=4)
+
+    def test_empty_cardinality_zero(self):
+        lc = LinearCounter(bits=1024, seed=1)
+        assert lc.cardinality() == 0.0
+
+    def test_duplicates_do_not_inflate(self):
+        lc = LinearCounter(bits=1024, seed=1)
+        for _ in range(100):
+            lc.update(42)
+        assert lc.cardinality() < 3
+
+    def test_accuracy_in_linear_regime(self):
+        lc = LinearCounter(bits=8192, seed=2)
+        n = 2000
+        lc.update_array(np.arange(n, dtype=np.uint64))
+        assert abs(lc.cardinality() - n) / n < 0.05
+
+    def test_bulk_matches_scalar(self):
+        a = LinearCounter(bits=256, seed=3)
+        b = LinearCounter(bits=256, seed=3)
+        keys = np.array([1, 2, 3, 2, 1], dtype=np.uint64)
+        a.update_array(keys)
+        for k in keys.tolist():
+            b.update(int(k))
+        assert np.array_equal(a._bitmap, b._bitmap)
+
+    def test_saturation_reported(self):
+        lc = LinearCounter(bits=64, seed=4)
+        lc.update_array(np.arange(5000, dtype=np.uint64))
+        assert lc.saturated()
+        assert lc.cardinality() > 0  # diverging estimator clamped
+
+    def test_merge_is_union(self):
+        a = LinearCounter(bits=2048, seed=5)
+        b = LinearCounter(bits=2048, seed=5)
+        a.update_array(np.arange(0, 300, dtype=np.uint64))
+        b.update_array(np.arange(200, 500, dtype=np.uint64))
+        merged = a.merge(b)
+        assert abs(merged.cardinality() - 500) / 500 < 0.1
+
+    def test_merge_requires_seed_match(self):
+        with pytest.raises(IncompatibleSketchError):
+            LinearCounter(bits=256, seed=1).merge(LinearCounter(bits=256, seed=2))
+
+    def test_memory_is_bits_over_8(self):
+        assert LinearCounter(bits=1024).memory_bytes() == 128
+
+
+class TestHyperLogLog:
+    def test_precision_validated(self):
+        with pytest.raises(ConfigurationError):
+            HyperLogLog(precision=3)
+        with pytest.raises(ConfigurationError):
+            HyperLogLog(precision=19)
+
+    def test_empty_is_zero(self):
+        assert HyperLogLog(precision=8, seed=1).cardinality() == 0.0
+
+    @pytest.mark.parametrize("n", [100, 5_000, 50_000])
+    def test_relative_error_within_bound(self, n):
+        hll = HyperLogLog(precision=12, seed=2)
+        hll.update_array(np.arange(n, dtype=np.uint64))
+        est = hll.cardinality()
+        # sigma = 1.04/sqrt(2**12) ~ 1.6%; allow 5 sigma.
+        assert abs(est - n) / n < 0.09
+
+    def test_duplicates_do_not_inflate(self):
+        hll = HyperLogLog(precision=10, seed=3)
+        for _ in range(10_000):
+            hll.update(7)
+        assert hll.cardinality() < 3
+
+    def test_bulk_matches_scalar(self):
+        a = HyperLogLog(precision=8, seed=4)
+        b = HyperLogLog(precision=8, seed=4)
+        keys = np.arange(2000, dtype=np.uint64)
+        a.update_array(keys)
+        for k in keys.tolist():
+            b.update(int(k))
+        assert np.array_equal(a.registers, b.registers)
+
+    def test_merge_is_union(self):
+        a = HyperLogLog(precision=12, seed=5)
+        b = HyperLogLog(precision=12, seed=5)
+        a.update_array(np.arange(0, 6000, dtype=np.uint64))
+        b.update_array(np.arange(4000, 10_000, dtype=np.uint64))
+        est = a.merge(b).cardinality()
+        assert abs(est - 10_000) / 10_000 < 0.09
+
+    def test_merge_compat(self):
+        with pytest.raises(IncompatibleSketchError):
+            HyperLogLog(precision=8, seed=1).merge(HyperLogLog(precision=9, seed=1))
+
+    @given(st.sets(st.integers(0, 1 << 50), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_property_estimate_scales_with_truth(self, keys):
+        hll = HyperLogLog(precision=12, seed=6)
+        for k in keys:
+            hll.update(k)
+        est = hll.cardinality()
+        assert 0.5 * len(keys) <= est <= 2.0 * len(keys)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(bits=4096, num_hashes=4, seed=1)
+        keys = list(range(0, 400, 3))
+        for k in keys:
+            bf.add(k)
+        assert all(k in bf for k in keys)
+
+    def test_false_positive_rate_roughly_as_designed(self):
+        bf = BloomFilter.for_capacity(1000, fp_rate=0.01, seed=2)
+        for k in range(1000):
+            bf.add(k)
+        fps = sum(1 for k in range(10_000, 20_000) if k in bf)
+        assert fps / 10_000 < 0.05
+
+    def test_add_if_new_counts_first_insertions(self):
+        bf = BloomFilter(bits=8192, num_hashes=4, seed=3)
+        new = sum(1 for k in [1, 2, 1, 3, 2, 1] if bf.add_if_new(k))
+        assert new == 3
+
+    def test_for_capacity_validates(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter.for_capacity(0)
+        with pytest.raises(ConfigurationError):
+            BloomFilter.for_capacity(10, fp_rate=1.5)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(bits=4)
+        with pytest.raises(ConfigurationError):
+            BloomFilter(bits=64, num_hashes=0)
+
+    def test_fill_ratio_monotone(self):
+        bf = BloomFilter(bits=1024, num_hashes=2, seed=4)
+        r0 = bf.fill_ratio()
+        bf.add(1)
+        r1 = bf.fill_ratio()
+        bf.add(2)
+        assert r0 <= r1 <= bf.fill_ratio()
+
+    def test_memory_bytes(self):
+        assert BloomFilter(bits=1024).memory_bytes() == 128

@@ -1,0 +1,130 @@
+"""Tests for the k-ary change-detection sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, IncompatibleSketchError
+from repro.sketches.kary import KArySketch, total_change
+
+
+class TestConstruction:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            KArySketch(rows=0, width=8)
+        with pytest.raises(ConfigurationError):
+            KArySketch(rows=2, width=1)
+
+
+class TestQueries:
+    def test_unbiased_estimate_sparse(self):
+        ks = KArySketch(rows=5, width=512, seed=1)
+        for k in range(10):
+            ks.update(k, 100 * (k + 1))
+        for k in range(10):
+            assert abs(ks.query(k) - 100 * (k + 1)) < 30
+
+    def test_total(self):
+        ks = KArySketch(rows=3, width=16, seed=2)
+        ks.update(1, 5)
+        ks.update(2, 7)
+        assert ks.total() == 12
+
+    def test_query_many_matches_scalar(self):
+        ks = KArySketch(rows=3, width=64, seed=3)
+        keys = np.array([1, 5, 1, 7], dtype=np.uint64)
+        ks.update_array(keys)
+        probe = np.array([1, 5, 7, 99], dtype=np.uint64)
+        out = ks.query_many(probe)
+        for k, v in zip(probe.tolist(), out.tolist()):
+            assert ks.query(int(k)) == pytest.approx(v)
+
+    def test_bulk_matches_scalar(self):
+        a = KArySketch(rows=3, width=32, seed=4)
+        b = KArySketch(rows=3, width=32, seed=4)
+        keys = np.array([9, 9, 3, 2, 9], dtype=np.uint64)
+        a.update_array(keys)
+        for k in keys.tolist():
+            b.update(int(k))
+        assert np.array_equal(a.table, b.table)
+
+    def test_unbiasedness_over_seeds(self):
+        """The (v - S/w)/(1 - 1/w) correction makes estimates unbiased."""
+        estimates = []
+        for seed in range(200):
+            ks = KArySketch(rows=1, width=8, seed=seed)
+            ks.update(1, 50)
+            for k in range(2, 40):
+                ks.update(k, 10)
+            estimates.append(ks.query(1))
+        assert abs(np.mean(estimates) - 50) < 12
+
+    def test_f2_estimate_reasonable(self):
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 200, size=8000).astype(np.uint64)
+        ks = KArySketch(rows=5, width=1024, seed=6)
+        ks.update_array(keys)
+        counts = np.bincount(keys.astype(int))
+        true_f2 = float((counts.astype(float) ** 2).sum())
+        assert abs(ks.f2_estimate() - true_f2) / true_f2 < 0.2
+
+
+class TestChangeDetection:
+    def test_subtract_recovers_delta(self):
+        a = KArySketch(rows=5, width=256, seed=7)
+        b = KArySketch(rows=5, width=256, seed=7)
+        a.update(1, 100)
+        a.update(2, 50)
+        b.update(1, 10)
+        b.update(2, 50)
+        diff = a.subtract(b)
+        assert diff.query(1) == pytest.approx(90, abs=10)
+        assert abs(diff.query(2)) < 10
+
+    def test_total_change_upper_approximates(self):
+        a = KArySketch(rows=5, width=512, seed=8)
+        b = KArySketch(rows=5, width=512, seed=8)
+        a.update(1, 100)
+        b.update(2, 60)
+        diff = a.subtract(b)
+        d = total_change(diff)
+        assert 150 <= d <= 161  # true D = 160; collisions only reduce
+
+    def test_compat_checks(self):
+        a = KArySketch(rows=3, width=16, seed=1)
+        with pytest.raises(IncompatibleSketchError):
+            a.subtract(KArySketch(rows=3, width=16, seed=2))
+        with pytest.raises(IncompatibleSketchError):
+            a.merge(KArySketch(rows=4, width=16, seed=1))
+        with pytest.raises(IncompatibleSketchError):
+            KArySketch(rows=3, width=16).subtract(KArySketch(rows=3, width=16))
+
+    def test_merge_adds_streams(self):
+        a = KArySketch(rows=3, width=32, seed=9)
+        b = KArySketch(rows=3, width=32, seed=9)
+        a.update(4, 3)
+        b.update(4, 4)
+        assert a.merge(b).query(4) == pytest.approx(7, abs=2)
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(1, 20)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_property_subtract_then_query_zero_for_equal_streams(self, ups):
+        a = KArySketch(rows=3, width=64, seed=10)
+        b = KArySketch(rows=3, width=64, seed=10)
+        for k, w in ups:
+            a.update(k, w)
+            b.update(k, w)
+        diff = a.subtract(b)
+        assert diff.table.sum() == 0
+        assert total_change(diff) == 0.0
+
+
+class TestAccounting:
+    def test_memory(self):
+        assert KArySketch(rows=5, width=100).memory_bytes() == 2000
+
+    def test_update_cost(self):
+        cost = KArySketch(rows=5, width=100).update_cost()
+        assert cost.hashes == 5 and cost.counter_updates == 5

@@ -1,0 +1,270 @@
+"""Tests for AMS, sample-and-hold, the sampled entropy estimator, and
+the exact counter."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, IncompatibleSketchError
+from repro.sketches.ams import AMSSketch
+from repro.sketches.entropy_sampling import SampledEntropyEstimator, _x_estimate
+from repro.sketches.exact import ExactCounter
+from repro.sketches.sample_hold import SampleAndHold
+
+
+class TestAMS:
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            AMSSketch(groups=0)
+
+    def test_f2_single_key(self):
+        ams = AMSSketch(groups=5, copies=16, seed=1)
+        ams.update(7, 10)
+        assert ams.f2_estimate() == pytest.approx(100.0)
+        assert ams.l2_estimate() == pytest.approx(10.0)
+
+    def test_f2_accuracy_on_uniform(self):
+        ams = AMSSketch(groups=7, copies=32, seed=2)
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 100, size=5000)
+        for k in keys.tolist():
+            ams.update(int(k))
+        counts = np.bincount(keys)
+        true_f2 = float((counts.astype(float) ** 2).sum())
+        assert abs(ams.f2_estimate() - true_f2) / true_f2 < 0.3
+
+    def test_merge(self):
+        a = AMSSketch(groups=3, copies=8, seed=4)
+        b = AMSSketch(groups=3, copies=8, seed=4)
+        a.update(1, 3)
+        b.update(1, 4)
+        assert a.merge(b).l2_estimate() == pytest.approx(7.0)
+
+    def test_merge_compat(self):
+        with pytest.raises(IncompatibleSketchError):
+            AMSSketch(seed=1).merge(AMSSketch(seed=2))
+
+    def test_update_array_matches_scalar_totals(self):
+        a = AMSSketch(groups=2, copies=4, seed=5)
+        b = AMSSketch(groups=2, copies=4, seed=5)
+        keys = np.array([1, 2, 1], dtype=np.uint64)
+        a.update_array(keys)
+        for k in keys.tolist():
+            b.update(int(k))
+        assert np.array_equal(a.counters, b.counters)
+
+
+class TestSampleAndHold:
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            SampleAndHold(sample_probability=0.0, capacity=10)
+        with pytest.raises(ConfigurationError):
+            SampleAndHold(sample_probability=0.5, capacity=0)
+
+    def test_probability_one_tracks_everything(self):
+        sh = SampleAndHold(sample_probability=1.0, capacity=100, seed=1)
+        for k in [1, 1, 2, 1]:
+            sh.update(k)
+        assert sh.query(1) == pytest.approx(3.0)  # correction is 0 at p=1
+        assert sh.query(2) == pytest.approx(1.0)
+
+    def test_untracked_flow_is_zero(self):
+        sh = SampleAndHold(sample_probability=1.0, capacity=10, seed=1)
+        assert sh.query(99) == 0.0
+
+    def test_capacity_enforced(self):
+        sh = SampleAndHold(sample_probability=1.0, capacity=2, seed=1)
+        for k in [1, 2, 3, 4]:
+            sh.update(k)
+        assert len(sh.tracked_flows()) == 2
+        assert sh.dropped_admissions == 2
+
+    def test_heavy_hitters_found_with_sampling(self):
+        sh = SampleAndHold(sample_probability=0.05, capacity=500, seed=2)
+        for _ in range(2000):
+            sh.update(42)  # elephant
+        for k in range(100, 300):
+            sh.update(k)  # mice
+        hh = sh.heavy_hitters(threshold=1000)
+        assert [k for k, _ in hh] == [42]
+        est = sh.query(42)
+        assert abs(est - 2000) / 2000 < 0.05
+
+    def test_memory_is_capacity_slots(self):
+        assert SampleAndHold(0.1, capacity=100).memory_bytes() == 1600
+
+
+class TestSampledEntropy:
+    def test_x_estimate_convention(self):
+        assert _x_estimate(0, math.log(2)) == 0.0
+        assert _x_estimate(1, math.log(2)) == 0.0  # 1*log1 - 0*log0
+        assert _x_estimate(2, math.log(2)) == pytest.approx(2.0)
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            SampledEntropyEstimator(stream_length=0, num_samples=5)
+        with pytest.raises(ConfigurationError):
+            SampledEntropyEstimator(stream_length=10, num_samples=0)
+
+    def test_rejects_overlong_stream(self):
+        est = SampledEntropyEstimator(stream_length=2, num_samples=1, seed=1)
+        est.update(1)
+        est.update(2)
+        with pytest.raises(ConfigurationError):
+            est.update(3)
+
+    def test_uniform_stream_entropy(self):
+        """Entropy of a uniform stream over n keys is log2(n)."""
+        n, reps = 64, 32
+        stream = [k for k in range(n) for _ in range(reps)]
+        est = SampledEntropyEstimator(stream_length=len(stream),
+                                      num_samples=800, seed=2)
+        for k in stream:
+            est.update(k)
+        assert abs(est.entropy_estimate() - 6.0) < 0.35
+
+    def test_constant_stream_entropy_near_zero(self):
+        m = 500
+        est = SampledEntropyEstimator(stream_length=m, num_samples=600, seed=3)
+        for _ in range(m):
+            est.update(7)
+        assert abs(est.entropy_estimate()) < 0.15
+
+    def test_skewed_stream_matches_exact(self):
+        rng = np.random.default_rng(4)
+        stream = rng.zipf(1.3, size=4000) % 500
+        est = SampledEntropyEstimator(stream_length=len(stream),
+                                      num_samples=1500, seed=5)
+        exact = ExactCounter()
+        for k in stream.tolist():
+            est.update(int(k))
+            exact.update(int(k))
+        assert abs(est.entropy_estimate() - exact.entropy()) < 0.4
+
+    def test_memory_scales_with_samples(self):
+        est = SampledEntropyEstimator(stream_length=100, num_samples=50)
+        assert est.memory_bytes() == 800
+
+
+class TestExactCounter:
+    def test_totals_and_frequencies(self):
+        c = ExactCounter()
+        for k in [1, 1, 2]:
+            c.update(k)
+        assert c.total() == 3
+        assert c.cardinality() == 2
+        assert c.frequency(1) == 2
+        assert c.frequency(99) == 0
+
+    def test_heavy_hitters_threshold(self):
+        c = ExactCounter()
+        c.update(1, 90)
+        c.update(2, 10)
+        assert c.heavy_hitters(0.5) == [(1, 90)]
+        assert set(k for k, _ in c.heavy_hitters(0.05)) == {1, 2}
+
+    def test_entropy_uniform(self):
+        c = ExactCounter()
+        for k in range(8):
+            c.update(k, 5)
+        assert c.entropy(base=2.0) == pytest.approx(3.0)
+
+    def test_entropy_constant_zero(self):
+        c = ExactCounter()
+        c.update(1, 100)
+        assert c.entropy() == 0.0
+
+    def test_entropy_empty_zero(self):
+        assert ExactCounter().entropy() == 0.0
+
+    def test_moments(self):
+        c = ExactCounter()
+        c.update(1, 3)
+        c.update(2, 4)
+        assert c.moment(0) == 2.0
+        assert c.moment(1) == 7.0
+        assert c.moment(2) == 25.0
+
+    def test_g_sum_arbitrary(self):
+        c = ExactCounter()
+        c.update(1, 2)
+        c.update(2, 3)
+        assert c.g_sum(lambda x: x * x) == 13.0
+
+    def test_difference_and_heavy_changes(self):
+        a, b = ExactCounter(), ExactCounter()
+        a.update(1, 100)
+        a.update(2, 10)
+        b.update(1, 10)
+        b.update(3, 5)
+        diff = a.difference(b)
+        assert diff == {1: 90, 2: 10, 3: -5}
+        assert a.total_change(b) == 105
+        heavy = a.heavy_changes(b, phi=0.5)
+        assert heavy == [(1, 90)]
+
+    def test_heavy_changes_no_change(self):
+        a, b = ExactCounter(), ExactCounter()
+        a.update(1, 5)
+        b.update(1, 5)
+        assert a.heavy_changes(b, 0.1) == []
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_property_entropy_bounds(self, keys):
+        c = ExactCounter.from_keys(keys)
+        h = c.entropy(base=2.0)
+        assert -1e-9 <= h <= math.log2(c.cardinality()) + 1e-9
+
+    def test_top(self):
+        c = ExactCounter()
+        c.update(1, 5)
+        c.update(2, 9)
+        c.update(3, 1)
+        assert c.top(2) == [(2, 9), (1, 5)]
+
+
+class TestAMSStrictIndependence:
+    def test_four_wise_variant_f2(self):
+        ams = AMSSketch(groups=5, copies=16, seed=9,
+                        strict_independence=True)
+        ams.update(7, 10)
+        assert ams.f2_estimate() == pytest.approx(100.0)
+
+    def test_four_wise_bulk_matches_scalar(self):
+        a = AMSSketch(groups=2, copies=4, seed=10, strict_independence=True)
+        b = AMSSketch(groups=2, copies=4, seed=10, strict_independence=True)
+        keys = np.array([1, 5, 1], dtype=np.uint64)
+        a.update_array(keys)
+        for k in keys.tolist():
+            b.update(int(k))
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_variants_not_mergeable(self):
+        import pytest as _pytest
+        a = AMSSketch(seed=1, strict_independence=True)
+        b = AMSSketch(seed=1, strict_independence=False)
+        with _pytest.raises(IncompatibleSketchError):
+            a.merge(b)
+
+    def test_variance_within_textbook_bound(self):
+        """Var(z^2) <= 2*F2^2 for 4-wise signs: the relative std of the
+        median-of-means estimate over seeds should respect it."""
+        rng = np.random.default_rng(11)
+        keys = rng.integers(0, 50, size=2000).astype(np.uint64)
+        counts = np.bincount(keys.astype(int))
+        true_f2 = float((counts.astype(float) ** 2).sum())
+        estimates = []
+        for seed in range(25):
+            ams = AMSSketch(groups=5, copies=16, seed=seed,
+                            strict_independence=True)
+            ams.update_array(keys)
+            estimates.append(ams.f2_estimate())
+        rel_std = np.std(estimates) / true_f2
+        # std of a mean of 16 copies ~ sqrt(2/16) ~ 0.35; median of 5
+        # groups tightens further. Allow generous slack.
+        assert rel_std < 0.35
+        assert abs(np.median(estimates) - true_f2) / true_f2 < 0.25

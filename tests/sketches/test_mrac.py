@@ -1,0 +1,121 @@
+"""Tests for the MRAC flow-size-distribution estimator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sketches.mrac import MRACSketch, _log_multiset_coeff, _partitions
+
+
+class TestPartitions:
+    def test_singletons_only(self):
+        assert _partitions(5, 1, 100) == [(5,)]
+
+    def test_pairs(self):
+        parts = _partitions(4, 2, 100)
+        assert (4,) in parts and (1, 3) in parts and (2, 2) in parts
+        assert (3, 1) not in parts  # canonical ordering only
+
+    def test_triples(self):
+        parts = _partitions(6, 3, 100)
+        assert (1, 2, 3) in parts and (2, 2, 2) in parts and (1, 1, 4) in parts
+
+    def test_all_sum_to_value(self):
+        for v in (1, 5, 9):
+            for combo in _partitions(v, 3, 100):
+                assert sum(combo) == v
+                assert list(combo) == sorted(combo)
+
+    def test_multiset_coefficient(self):
+        import math
+        assert _log_multiset_coeff((1, 2, 3)) == pytest.approx(math.log(6))
+        assert _log_multiset_coeff((2, 2)) == pytest.approx(0.0)
+        assert _log_multiset_coeff((1, 1, 2)) == pytest.approx(math.log(3))
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MRACSketch(counters=4)
+        with pytest.raises(ConfigurationError):
+            MRACSketch(counters=64, max_flows_per_counter=4)
+        with pytest.raises(ConfigurationError):
+            MRACSketch(counters=64, max_size=0)
+
+
+class TestDataPlane:
+    def test_bulk_matches_scalar(self):
+        a = MRACSketch(counters=64, seed=1)
+        b = MRACSketch(counters=64, seed=1)
+        keys = np.array([1, 2, 1, 9, 1], dtype=np.uint64)
+        a.update_array(keys)
+        for k in keys.tolist():
+            b.update(int(k))
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_counter_sum_is_packet_count(self):
+        sketch = MRACSketch(counters=256, seed=2)
+        sketch.update_array(np.arange(1000, dtype=np.uint64))
+        assert sketch.counters.sum() == 1000
+
+    def test_load_factor(self):
+        sketch = MRACSketch(counters=128, seed=3)
+        assert sketch.load_factor() == 0.0
+        sketch.update(1)
+        assert sketch.load_factor() == pytest.approx(1 / 128)
+
+
+class TestEstimation:
+    @staticmethod
+    def _stream(flow_sizes, seed=0):
+        """Keys for a stream with the given per-flow sizes."""
+        rng = np.random.default_rng(seed)
+        keys = []
+        for i, size in enumerate(flow_sizes):
+            keys.extend([i * 2654435761 % (1 << 32)] * size)
+        keys = np.array(keys, dtype=np.uint64)
+        rng.shuffle(keys)
+        return keys
+
+    def test_no_collision_regime_is_exact(self):
+        """At tiny load the histogram IS the distribution."""
+        sizes = [1] * 20 + [2] * 10 + [5] * 4
+        sketch = MRACSketch(counters=4096, seed=4, max_size=20)
+        sketch.update_array(self._stream(sizes))
+        phi = sketch.estimate_distribution()
+        assert phi[1] == pytest.approx(20, abs=2)
+        assert phi[2] == pytest.approx(10, abs=2)
+        assert phi[5] == pytest.approx(4, abs=1)
+
+    def test_em_corrects_collisions(self):
+        """At moderate load, raw histogram over-reports large values and
+        under-reports size-1; EM must recover most of the truth."""
+        rng = np.random.default_rng(5)
+        sizes = ([1] * 600 + [2] * 200 + [3] * 80 + [4] * 40 + [8] * 10)
+        sketch = MRACSketch(counters=1024, seed=6, max_size=30,
+                            em_iterations=25)
+        sketch.update_array(self._stream(sizes, seed=5))
+        phi = sketch.estimate_distribution()
+        raw = sketch.observed_histogram()
+        # EM's size-1 estimate must beat the raw histogram's.
+        assert abs(phi[1] - 600) < abs(raw.get(1, 0) - 600)
+        assert abs(phi[1] - 600) / 600 < 0.15
+        # Total flow count recovered within 10%.
+        assert abs(sketch.estimate_flow_count() - len(sizes)) \
+            / len(sizes) < 0.1
+
+    def test_elephants_clamped_not_lost(self):
+        sketch = MRACSketch(counters=512, seed=7, max_size=10)
+        sketch.update(42, 5000)  # one elephant far above max_size
+        phi = sketch.estimate_distribution()
+        assert phi[10] >= 1.0
+        assert phi.sum() == pytest.approx(1.0)
+
+    def test_empty_sketch(self):
+        sketch = MRACSketch(counters=64, seed=8)
+        assert sketch.estimate_flow_count() == 0.0
+
+    def test_memory_and_cost(self):
+        sketch = MRACSketch(counters=256)
+        assert sketch.memory_bytes() == 1024
+        assert sketch.update_cost().hashes == 1

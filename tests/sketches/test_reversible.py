@@ -1,0 +1,122 @@
+"""Tests for the reversible sketch (§5 "Reversibility" extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, IncompatibleSketchError
+from repro.sketches.reversible import ReversibleSketch
+
+
+def make(seed=1, rows=4):
+    return ReversibleSketch(rows=rows, chunk_bits=8,
+                            bucket_bits_per_chunk=3, seed=seed)
+
+
+class TestConstruction:
+    def test_chunk_bits_must_divide_32(self):
+        with pytest.raises(ConfigurationError):
+            ReversibleSketch(chunk_bits=7)
+
+    def test_bucket_bits_bounded(self):
+        with pytest.raises(ConfigurationError):
+            ReversibleSketch(chunk_bits=8, bucket_bits_per_chunk=9)
+
+    def test_rows_validated(self):
+        with pytest.raises(ConfigurationError):
+            ReversibleSketch(rows=0)
+
+    def test_width_is_product_of_chunk_hashes(self):
+        rs = make()
+        assert rs.width == 1 << (4 * 3)
+
+
+class TestModularHashing:
+    def test_bucket_deterministic(self):
+        a, b = make(seed=3), make(seed=3)
+        for key in (0, 1, 0xDEADBEEF, 0xFFFFFFFF):
+            assert a.bucket(0, key) == b.bucket(0, key)
+
+    def test_bucket_in_range(self):
+        rs = make()
+        for key in range(0, 1 << 16, 997):
+            assert 0 <= rs.bucket(0, key) < rs.width
+
+    def test_bulk_matches_scalar(self):
+        a, b = make(seed=4), make(seed=4)
+        keys = np.array([1, 0xAABBCCDD, 1, 99], dtype=np.uint64)
+        a.update_array(keys)
+        for k in keys.tolist():
+            b.update(int(k))
+        assert np.array_equal(a.table, b.table)
+
+
+class TestQueries:
+    def test_point_query_sparse(self):
+        rs = make(seed=5)
+        rs.update(0x0A000001, 500)
+        rs.update(0x0A000002, 100)
+        assert abs(rs.query(0x0A000001) - 500) < 30
+        assert abs(rs.query(0x0A000002) - 100) < 30
+
+
+class TestRecovery:
+    def test_recovers_heavy_key_exactly(self):
+        rs = make(seed=6)
+        heavy_key = 0xC0A80164  # 192.168.1.100
+        rs.update(heavy_key, 5000)
+        rng = np.random.default_rng(0)
+        rs.update_array(rng.integers(0, 1 << 32, size=3000,
+                                     dtype=np.uint64))
+        recovered = rs.recover_heavy_keys(threshold=2500)
+        assert recovered, "nothing recovered"
+        assert recovered[0][0] == heavy_key
+        assert abs(recovered[0][1] - 5000) / 5000 < 0.2
+
+    def test_recovers_multiple_heavy_keys(self):
+        rs = make(seed=7)
+        keys = [0x01020304, 0xA0B0C0D0, 0x7F000001]
+        for k in keys:
+            rs.update(k, 4000)
+        rng = np.random.default_rng(1)
+        rs.update_array(rng.integers(0, 1 << 32, size=2000,
+                                     dtype=np.uint64))
+        recovered = {k for k, _ in rs.recover_heavy_keys(threshold=2000)}
+        assert set(keys) <= recovered
+
+    def test_nothing_heavy_nothing_recovered(self):
+        rs = make(seed=8)
+        rs.update_array(np.arange(1000, dtype=np.uint64))
+        assert rs.recover_heavy_keys(threshold=500) == []
+
+    def test_too_many_heavy_buckets_rejected(self):
+        rs = make(seed=9)
+        for k in range(200):
+            rs.update(k * 7919, 100)
+        with pytest.raises(ConfigurationError):
+            rs.recover_heavy_keys(threshold=1, max_buckets=4)
+
+    def test_recovery_on_difference_stream(self):
+        """The §5 use case: which key caused the change?"""
+        a, b = make(seed=10), make(seed=10)
+        shared = np.random.default_rng(2).integers(
+            0, 1 << 32, size=2000, dtype=np.uint64)
+        a.update_array(shared)
+        b.update_array(shared)
+        b.update(0x08080808, 3000)  # the change
+        diff = b.subtract(a)
+        recovered = diff.recover_heavy_keys(threshold=1500)
+        assert recovered and recovered[0][0] == 0x08080808
+
+    def test_subtract_compat(self):
+        with pytest.raises(IncompatibleSketchError):
+            make(seed=1).subtract(make(seed=2))
+
+
+class TestAccounting:
+    def test_memory(self):
+        rs = make()
+        assert rs.memory_bytes() == 4 * rs.width * 4
+
+    def test_update_cost_counts_chunk_lookups(self):
+        rs = make(rows=4)
+        assert rs.update_cost().hashes == 4 * 4

@@ -1,0 +1,138 @@
+"""Tests for the magnitude-ranked TopK tracker (the Q_j heaps)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sketches.topk import TopK
+
+
+class TestBasics:
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            TopK(0)
+
+    def test_insert_until_capacity(self):
+        t = TopK(3)
+        for k in range(3):
+            assert t.offer(k, k + 1.0)
+        assert len(t) == 3
+
+    def test_eviction_of_minimum(self):
+        t = TopK(2)
+        t.offer(1, 10.0)
+        t.offer(2, 20.0)
+        assert t.offer(3, 15.0)  # evicts key 1
+        assert 1 not in t
+        assert set(t.keys()) == {2, 3}
+
+    def test_rejects_smaller_than_min_when_full(self):
+        t = TopK(2)
+        t.offer(1, 10.0)
+        t.offer(2, 20.0)
+        assert not t.offer(3, 5.0)
+        assert set(t.keys()) == {1, 2}
+
+    def test_existing_key_always_updates(self):
+        t = TopK(2)
+        t.offer(1, 10.0)
+        t.offer(2, 20.0)
+        assert t.offer(1, 3.0)  # smaller, but key already tracked
+        assert t.estimate(1) == 3.0
+
+    def test_estimate_keyerror_for_untracked(self):
+        t = TopK(2)
+        with pytest.raises(KeyError):
+            t.estimate(5)
+
+    def test_min_on_empty_raises(self):
+        with pytest.raises(KeyError):
+            TopK(2).min()
+
+    def test_items_sorted_by_magnitude_desc(self):
+        t = TopK(4)
+        t.offer(1, 5.0)
+        t.offer(2, -50.0)
+        t.offer(3, 20.0)
+        keys = [k for k, _ in t.items()]
+        assert keys == [2, 3, 1]
+
+    def test_contains_and_iter(self):
+        t = TopK(3)
+        t.offer(7, 1.0)
+        assert 7 in t and list(t) == [7]
+
+
+class TestMagnitudeRanking:
+    def test_negative_estimates_ranked_by_abs(self):
+        """Difference-stream semantics: a large negative delta is heavy."""
+        t = TopK(2)
+        t.offer(1, -100.0)
+        t.offer(2, 10.0)
+        assert not t.offer(3, 5.0)       # |5| < |10|
+        assert t.offer(4, -20.0)         # |-20| > |10| evicts key 2
+        assert set(t.keys()) == {1, 4}
+        assert t.estimate(1) == -100.0   # sign preserved
+
+    def test_min_returns_magnitude(self):
+        t = TopK(3)
+        t.offer(1, -7.0)
+        t.offer(2, 3.0)
+        key, rank = t.min()
+        assert key == 2 and rank == 3.0
+
+
+class TestStaleHeapEntries:
+    def test_min_correct_after_many_updates_of_same_key(self):
+        t = TopK(2)
+        t.offer(1, 1.0)
+        t.offer(2, 2.0)
+        for est in range(3, 50):
+            t.offer(1, float(est))  # key 1 keeps growing
+        key, rank = t.min()
+        assert key == 2 and rank == 2.0
+
+    def test_rebuild_path_when_all_entries_stale(self):
+        t = TopK(2)
+        t.offer(1, 5.0)
+        t.offer(2, 6.0)
+        # Overwrite both with new estimates, staling every heap entry,
+        # then drain the heap of fresh copies via repeated min() checks.
+        t.offer(1, 7.0)
+        t.offer(2, 8.0)
+        key, rank = t.min()
+        assert key == 1 and rank == 7.0
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(0, 30),
+                              st.floats(min_value=-1000, max_value=1000,
+                                        allow_nan=False)),
+                    min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_invariant_and_min_correct(self, offers):
+        t = TopK(5)
+        for key, est in offers:
+            t.offer(key, est)
+        assert 0 < len(t) <= 5
+        key, rank = t.min()
+        assert rank == min(abs(v) for _, v in t.items())
+        assert key in t
+
+    @given(st.lists(st.tuples(st.integers(0, 1000),
+                              st.floats(min_value=0.1, max_value=1e6)),
+                    min_size=6, max_size=200,
+                    unique_by=(lambda kv: kv[0], lambda kv: kv[1])))
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_keys_keeps_the_largest(self, offers):
+        """With unique keys and estimates, TopK retains the k largest."""
+        t = TopK(5)
+        for key, est in offers:
+            t.offer(key, est)
+        expected = {k for k, _ in
+                    sorted(offers, key=lambda kv: -kv[1])[:5]}
+        assert set(t.keys()) == expected
+
+    def test_memory_bytes_fixed_by_capacity(self):
+        assert TopK(64).memory_bytes() == 64 * 16

@@ -1,0 +1,118 @@
+"""Tests for the ``univmon`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "univmon" in capsys.readouterr().out
+
+    def test_experiment_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestGenerate:
+    def test_csv_generation(self, tmp_path, capsys):
+        out = tmp_path / "trace.csv"
+        code = main(["generate", "--out", str(out), "--packets", "500",
+                     "--flows", "50", "--duration", "2", "--seed", "1"])
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_pcap_generation(self, tmp_path):
+        out = tmp_path / "trace.pcap"
+        assert main(["generate", "--out", str(out), "--packets", "200",
+                     "--flows", "30"]) == 0
+        from repro.dataplane.pcap import load_pcap
+        assert len(load_pcap(out)) == 200
+
+    def test_ddos_injection(self, tmp_path):
+        out = tmp_path / "ddos.csv"
+        assert main(["generate", "--out", str(out), "--packets", "500",
+                     "--flows", "50", "--duration", "10",
+                     "--ddos-at", "5", "--ddos-sources", "300"]) == 0
+        from repro.dataplane.csvtrace import load_csv
+        from repro.dataplane.keys import src_ip_key
+        trace = load_csv(out)
+        assert trace.slice_time(5, 10).distinct(src_ip_key) > 250
+
+
+class TestRun:
+    def test_end_to_end_monitoring(self, tmp_path, capsys):
+        out = tmp_path / "trace.csv"
+        main(["generate", "--out", str(out), "--packets", "2000",
+              "--flows", "200", "--duration", "4", "--seed", "2"])
+        code = main(["run", "--trace", str(out), "--epoch", "2",
+                     "--tasks", "hh,ddos,change,entropy,cardinality",
+                     "--memory-kb", "256"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "epoch 0" in output and "epoch 1" in output
+        assert "entropy:" in output
+        assert "ddos:" in output
+        assert "cardinality:" in output
+
+    def test_unknown_task_rejected(self, tmp_path, capsys):
+        out = tmp_path / "trace.csv"
+        main(["generate", "--out", str(out), "--packets", "100",
+              "--flows", "10"])
+        assert main(["run", "--trace", str(out), "--tasks", "magic"]) == 2
+
+
+class TestExperimentCommand:
+    def test_quick_fig7(self, capsys):
+        assert main(["experiment", "fig7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "univmon_err" in out
+
+    def test_quick_overhead(self, capsys):
+        assert main(["experiment", "overhead", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+
+
+class TestPollCommand:
+    def test_poll_against_live_agent(self, tmp_path, capsys):
+        """End-to-end: agent thread + `univmon poll` over a real socket."""
+        from repro.controlplane.rpc import SwitchAgent
+        from repro.dataplane.keys import src_ip_key
+        from repro.dataplane.switch import MonitoredSwitch
+        from repro.dataplane.trace import SyntheticTraceConfig, generate_trace
+        from repro.core.universal import UniversalSketch
+
+        switch = MonitoredSwitch("s1")
+        switch.attach(
+            "univmon",
+            lambda: UniversalSketch(levels=5, rows=3, width=256,
+                                    heap_size=16, seed=3),
+            src_ip_key)
+        trace = generate_trace(SyntheticTraceConfig(
+            packets=800, flows=100, duration=1.0, seed=5))
+        switch.process_trace(trace)
+        with SwitchAgent(switch) as agent:
+            host, port = agent.address
+            code = main(["poll", "--host", host, "--port", str(port),
+                         "--alpha", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distinct sources" in out
+        assert "entropy" in out
+
+
+class TestPlotFlag:
+    def test_experiment_plot_renders_chart(self, capsys):
+        assert main(["experiment", "fig7", "--quick", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "o=univmon_err" in out  # the chart legend
+        assert "|" in out              # the chart frame

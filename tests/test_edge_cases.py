@@ -1,0 +1,108 @@
+"""Edge-case and robustness tests that cut across modules."""
+
+import numpy as np
+import pytest
+
+from repro.controlplane import CardinalityApp, Controller, EntropyApp
+from repro.core.gsum import estimate_cardinality, estimate_entropy
+from repro.core.universal import UniversalSketch
+from repro.dataplane.keys import src_ip_key
+from repro.dataplane.trace import (
+    SyntheticTraceConfig,
+    Trace,
+    generate_trace,
+)
+
+
+class TestEmptyAndTinyInputs:
+    def test_controller_with_gappy_trace(self):
+        """Epochs with zero packets must produce valid (empty) reports."""
+        early = generate_trace(SyntheticTraceConfig(
+            packets=200, flows=30, duration=1.0, seed=1))
+        late = generate_trace(SyntheticTraceConfig(
+            packets=200, flows=30, duration=1.0, seed=2))
+        late = Trace(late.timestamps + 5.0, late.src, late.dst,
+                     late.sport, late.dport, late.proto, late.size)
+        gappy = Trace.concat([early, late])
+        controller = Controller(
+            sketch_factory=lambda: UniversalSketch(
+                levels=4, rows=3, width=64, heap_size=8, seed=1),
+            epoch_seconds=1.0)
+        controller.register(CardinalityApp())
+        reports = controller.run_trace(gappy)
+        assert sum(r.packets for r in reports) == 400
+        empty = [r for r in reports if r.packets == 0]
+        assert empty, "expected gap epochs"
+        for report in empty:
+            assert report["cardinality"]["distinct"] == 0.0
+
+    def test_single_packet_trace(self):
+        sketch = UniversalSketch(levels=4, rows=3, width=64, heap_size=8,
+                                 seed=1)
+        sketch.update(42)
+        assert sketch.heavy_hitters(0.5) == [(42, pytest.approx(1.0))]
+        assert estimate_cardinality(sketch) == pytest.approx(1.0, abs=0.1)
+        assert estimate_entropy(sketch) == pytest.approx(0.0, abs=0.01)
+
+    def test_zero_weight_update_is_noop_on_counters(self):
+        a = UniversalSketch(levels=3, rows=3, width=64, heap_size=8, seed=2)
+        b = UniversalSketch(levels=3, rows=3, width=64, heap_size=8, seed=2)
+        a.update(5, 0)
+        for la, lb in zip(a.levels, b.levels):
+            assert np.array_equal(la.sketch.table, lb.sketch.table)
+
+
+class TestKeySpaceExtremes:
+    def test_max_uint32_keys(self):
+        sketch = UniversalSketch(levels=4, rows=3, width=64, heap_size=8,
+                                 seed=3)
+        sketch.update(0xFFFFFFFF, 10)
+        assert sketch.levels[0].sketch.query(0xFFFFFFFF) == \
+            pytest.approx(10.0)
+
+    def test_64_bit_keys_supported(self):
+        """src-dst pair keys use the full 64-bit space."""
+        sketch = UniversalSketch(levels=4, rows=3, width=64, heap_size=8,
+                                 seed=4)
+        big_key = (0xFFFFFFFF << 32) | 0xFFFFFFFE
+        sketch.update(big_key, 7)
+        assert sketch.levels[0].sketch.query(big_key) == pytest.approx(7.0)
+
+    def test_key_zero_is_a_valid_key(self):
+        sketch = UniversalSketch(levels=4, rows=3, width=64, heap_size=8,
+                                 seed=5)
+        sketch.update(0, 5)
+        assert sketch.levels[0].sketch.query(0) == pytest.approx(5.0)
+        assert (0, pytest.approx(5.0)) in sketch.heavy_hitters(0.5)
+
+
+class TestMemoryBudgetHonesty:
+    @pytest.mark.parametrize("kb", [32, 64, 256, 1024])
+    def test_for_memory_budget_never_exceeds(self, kb):
+        sketch = UniversalSketch.for_memory_budget(
+            kb * 1024, levels=8, rows=5, heap_size=32, seed=1)
+        assert sketch.memory_bytes() <= kb * 1024
+
+    def test_experiment_sizer_never_exceeds(self):
+        from repro.eval.experiments import _univmon_for
+        for kb in (32, 128, 512, 2048):
+            sketch = _univmon_for(kb * 1024, flows=5000, seed=1)
+            assert sketch.memory_bytes() <= kb * 1024
+
+
+class TestDeterminismAcrossProcessBoundaries:
+    def test_sketch_state_depends_only_on_seed_and_stream(self):
+        """Two sketches built in different orders but same seed/stream
+        must be byte-identical — the property remote polling relies on."""
+        keys = np.arange(500, dtype=np.uint64)
+        a = UniversalSketch(levels=5, rows=3, width=128, heap_size=16,
+                            seed=77)
+        other = UniversalSketch(levels=9, rows=5, width=64, heap_size=8,
+                                seed=1)  # interleaved unrelated work
+        other.update_array(keys)
+        b = UniversalSketch(levels=5, rows=3, width=128, heap_size=16,
+                            seed=77)
+        a.update_array(keys)
+        b.update_array(keys)
+        for la, lb in zip(a.levels, b.levels):
+            assert np.array_equal(la.sketch.table, lb.sketch.table)

@@ -1,0 +1,125 @@
+"""End-to-end integration tests: one universal sketch, every task.
+
+The paper's central claim, exercised literally: a *single* data-plane
+sketch supports heavy hitters, DDoS detection, change detection, and
+entropy estimation with accuracy comparable to the per-task custom
+sketches, at comparable memory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controlplane import (
+    CardinalityApp,
+    ChangeDetectionApp,
+    Controller,
+    DDoSApp,
+    EntropyApp,
+    HeavyHitterApp,
+)
+from repro.dataplane.keys import src_ip_key
+from repro.dataplane.trace import (
+    DDoSEvent,
+    SyntheticTraceConfig,
+    generate_trace,
+)
+from repro.eval.groundtruth import GroundTruth
+from repro.eval.metrics import detection_rates, relative_error
+from repro.core.universal import UniversalSketch
+
+BUDGET = 512 * 1024
+
+
+@pytest.fixture(scope="module")
+def story_trace():
+    """20 s of traffic: steady-state, then a DDoS burst in [10, 15)."""
+    return generate_trace(SyntheticTraceConfig(
+        packets=60_000, flows=6_000, zipf_skew=1.1, duration=20.0, seed=77,
+        ddos_events=(DDoSEvent(start=10.0, end=15.0, num_sources=5000,
+                               packets_per_source=2),),
+    ))
+
+
+@pytest.fixture(scope="module")
+def reports(story_trace):
+    factory = lambda: UniversalSketch.for_memory_budget(  # noqa: E731
+        BUDGET, levels=8, rows=5, heap_size=64, seed=13)
+    controller = Controller(sketch_factory=factory,
+                            key_function=src_ip_key, epoch_seconds=5.0)
+    controller.register(HeavyHitterApp(alpha=0.005))
+    controller.register(DDoSApp(threshold_k=6000))
+    controller.register(ChangeDetectionApp(phi=0.05))
+    controller.register(EntropyApp())
+    controller.register(CardinalityApp())
+    return controller.run_trace(story_trace), story_trace
+
+
+class TestSingleSketchManyTasks:
+    def test_four_epochs_reported(self, reports):
+        rs, _ = reports
+        assert len(rs) == 4
+        for r in rs:
+            assert set(r.results) == {"heavy_hitters", "ddos", "change",
+                                      "entropy", "cardinality"}
+
+    def test_heavy_hitters_match_truth_per_epoch(self, reports):
+        rs, trace = reports
+        for r, epoch in zip(rs, trace.epochs(5.0)):
+            truth = GroundTruth(epoch, src_ip_key)
+            true_keys = truth.heavy_hitter_keys(0.005)
+            fp, fn = detection_rates(true_keys,
+                                     set(r["heavy_hitters"]["keys"]))
+            assert fn <= 0.2, f"epoch {r.epoch_index}: fn={fn}"
+            assert fp <= 0.2, f"epoch {r.epoch_index}: fp={fp}"
+
+    def test_ddos_fires_exactly_during_attack(self, reports):
+        rs, _ = reports
+        flags = [r["ddos"]["victim"] for r in rs]
+        # Attack spans [10, 15) = epoch 2 only.
+        assert flags == [False, False, True, False]
+
+    def test_cardinality_tracks_truth(self, reports):
+        rs, trace = reports
+        for r, epoch in zip(rs, trace.epochs(5.0)):
+            true_distinct = epoch.distinct(src_ip_key)
+            err = relative_error(r["cardinality"]["distinct"], true_distinct)
+            assert err < 0.3, f"epoch {r.epoch_index}: err={err}"
+
+    def test_entropy_tracks_truth(self, reports):
+        rs, trace = reports
+        for r, epoch in zip(rs, trace.epochs(5.0)):
+            truth = GroundTruth(epoch, src_ip_key)
+            err = relative_error(r["entropy"]["entropy"], truth.entropy())
+            assert err < 0.15, f"epoch {r.epoch_index}: err={err}"
+
+    def test_change_app_spikes_at_attack_boundaries(self, reports):
+        """Total change must peak when the attack starts and stops."""
+        rs, _ = reports
+        changes = [r["change"]["total_change"] for r in rs]
+        assert changes[2] > 2 * changes[1]  # attack onset
+        assert changes[3] > 2 * changes[1]  # attack teardown
+
+    def test_memory_budget_respected(self):
+        u = UniversalSketch.for_memory_budget(BUDGET, levels=8, rows=5,
+                                              heap_size=64, seed=13)
+        assert u.memory_bytes() <= BUDGET
+
+
+class TestSketchMergeAcrossEpochs:
+    def test_daywide_view_from_epoch_sketches(self, story_trace):
+        """Merging all epoch sketches == monitoring the whole trace."""
+        factory = lambda: UniversalSketch(  # noqa: E731
+            levels=8, rows=5, width=2048, heap_size=64, seed=21)
+        epoch_sketches = []
+        for epoch in story_trace.epochs(5.0):
+            u = factory()
+            u.update_array(epoch.key_array(src_ip_key))
+            epoch_sketches.append(u)
+        merged = epoch_sketches[0]
+        for u in epoch_sketches[1:]:
+            merged = merged.merge(u)
+        whole = factory()
+        whole.update_array(story_trace.key_array(src_ip_key))
+        assert merged.total_weight == whole.total_weight
+        np.testing.assert_array_equal(merged.levels[0].sketch.table,
+                                      whole.levels[0].sketch.table)

@@ -1,0 +1,38 @@
+"""Package-level checks: public exports, version, and the README-style
+doctest in the package docstring."""
+
+import doctest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_classes_importable_from_top_level(self):
+        # The names a downstream user will reach for first.
+        for name in ("UniversalSketch", "Controller", "Trace",
+                     "generate_trace", "MonitoredSwitch",
+                     "NetworkTopology"):
+            assert name in repro.__all__
+
+    def test_exceptions_share_base(self):
+        assert issubclass(repro.ConfigurationError, repro.ReproError)
+        assert issubclass(repro.IncompatibleSketchError, repro.ReproError)
+        assert issubclass(repro.NotSketchableError, repro.ReproError)
+        assert issubclass(repro.TraceFormatError, repro.ReproError)
+        assert issubclass(repro.TopologyError, repro.ReproError)
+
+
+class TestDocstringExample:
+    def test_package_doctest(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.attempted >= 3
+        assert results.failed == 0

@@ -1,0 +1,130 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin down the *algebraic* invariants the system leans on — the
+linearity that makes distributed merging and change detection exact,
+threshold monotonicity of G-core, serialization round-trips, and trace
+epoch partitioning — over randomly generated streams.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import serialization
+from repro.core.gsum import g_core, heavy_changes
+from repro.core.universal import UniversalSketch
+
+streams = st.lists(st.integers(0, 200), min_size=1, max_size=120)
+
+
+def sketch_of(keys, seed=11):
+    u = UniversalSketch(levels=4, rows=3, width=64, heap_size=16, seed=seed)
+    u.update_array(np.array(keys, dtype=np.uint64))
+    return u
+
+
+class TestLinearity:
+    @given(streams, streams)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_concatenation(self, a, b):
+        merged = sketch_of(a).merge(sketch_of(b))
+        whole = sketch_of(a + b)
+        for lm, lw in zip(merged.levels, whole.levels):
+            assert np.array_equal(lm.sketch.table, lw.sketch.table)
+        assert merged.total_weight == whole.total_weight
+
+    @given(streams, streams)
+    @settings(max_examples=40, deadline=None)
+    def test_subtract_then_add_back_is_identity(self, a, b):
+        sa, sb = sketch_of(a), sketch_of(b)
+        restored = sa.subtract(sb).merge(sb)
+        for lr, la in zip(restored.levels, sa.levels):
+            assert np.array_equal(lr.sketch.table, la.sketch.table)
+
+    @given(streams)
+    @settings(max_examples=30, deadline=None)
+    def test_self_subtraction_is_empty(self, a):
+        diff = sketch_of(a).subtract(sketch_of(a))
+        assert diff.total_weight == 0
+        for level in diff.levels:
+            assert not level.sketch.table.any()
+
+
+class TestGCore:
+    @given(streams, st.floats(min_value=0.01, max_value=0.4),
+           st.floats(min_value=1.5, max_value=4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_monotone(self, keys, fraction, factor):
+        """Raising the threshold can only shrink the reported set."""
+        sketch = sketch_of(keys)
+        low = {k for k, _ in g_core(sketch, fraction)}
+        high = {k for k, _ in g_core(sketch, min(fraction * factor, 0.99))}
+        assert high <= low
+
+    @given(streams)
+    @settings(max_examples=30, deadline=None)
+    def test_reported_estimates_meet_threshold(self, keys):
+        sketch = sketch_of(keys)
+        threshold = 0.2 * sketch.total_weight
+        for _key, est in g_core(sketch, 0.2):
+            assert abs(est) >= threshold
+
+
+class TestHeavyChanges:
+    @given(streams, streams)
+    @settings(max_examples=30, deadline=None)
+    def test_direction_symmetry(self, a, b):
+        """Swapping epochs flips delta signs but keeps keys and |D|."""
+        sa, sb = sketch_of(a), sketch_of(b)
+        fwd, d_fwd = heavy_changes(sb, sa, phi=0.2)
+        rev, d_rev = heavy_changes(sa, sb, phi=0.2)
+        assert d_fwd == pytest.approx(d_rev, rel=0.3, abs=2.0)
+        fwd_map = dict(fwd)
+        rev_map = dict(rev)
+        shared = set(fwd_map) & set(rev_map)
+        for key in shared:
+            assert fwd_map[key] == pytest.approx(-rev_map[key], abs=1e-6)
+
+
+class TestSerializationRoundTrip:
+    @given(streams, st.integers(0, 1 << 30))
+    @settings(max_examples=30, deadline=None)
+    def test_universal_roundtrip_any_stream(self, keys, seed):
+        original = sketch_of(keys, seed=seed)
+        back = serialization.loads(serialization.dumps(original))
+        assert back.total_weight == original.total_weight
+        for lo, lb in zip(original.levels, back.levels):
+            assert np.array_equal(lo.sketch.table, lb.sketch.table)
+
+
+class TestTraceInvariants:
+    @given(st.integers(50, 400), st.integers(5, 60),
+           st.floats(min_value=0.3, max_value=2.0),
+           st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_generation_invariants(self, packets, flows, skew, seed):
+        from repro.dataplane.trace import SyntheticTraceConfig, generate_trace
+        trace = generate_trace(SyntheticTraceConfig(
+            packets=packets, flows=flows, zipf_skew=skew, duration=3.0,
+            seed=seed))
+        assert abs(len(trace) - packets) <= 2
+        assert np.all(np.diff(trace.timestamps) >= 0)
+        assert np.all(trace.timestamps >= 0)
+        assert np.all(trace.timestamps <= 3.0)
+
+    @given(st.floats(min_value=0.2, max_value=3.0), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_epochs_partition(self, epoch_seconds, seed):
+        from repro.dataplane.trace import SyntheticTraceConfig, generate_trace
+        trace = generate_trace(SyntheticTraceConfig(
+            packets=300, flows=30, duration=4.0, seed=seed))
+        epochs = trace.epochs(epoch_seconds)
+        assert sum(len(e) for e in epochs) == len(trace)
+        # Epochs are disjoint in time and ordered.
+        for i, epoch in enumerate(epochs):
+            if len(epoch) == 0:
+                continue
+            lo = trace.timestamps[0] + i * epoch_seconds
+            assert np.all(epoch.timestamps >= lo - 1e-9)
+            assert np.all(epoch.timestamps < lo + epoch_seconds + 1e-9)
