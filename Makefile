@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick results examples lint clean
+.PHONY: install test bench bench-quick bench-smoke results examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,6 +20,14 @@ bench:
 bench-quick:
 	REPRO_BENCH_QUICK=1 REPRO_BENCH_RUNS=4 \
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+# Ingest-path smoke: asserts the bulk-update speedup floors over the
+# np.add.at baseline and the BatchIngest rates on a small trace, and
+# refreshes benchmarks/results/BENCH_throughput.json.
+bench-smoke:
+	REPRO_BENCH_QUICK=1 PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest benchmarks/bench_throughput.py -q -s \
+	    -k "speedup or batch_ingest"
 
 results:
 	$(PYTHON) benchmarks/collect_results.py

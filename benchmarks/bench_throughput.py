@@ -4,12 +4,24 @@ pytest-benchmark timings for the bulk (vectorised) update path over a
 shared 30k-packet trace, plus the per-packet scalar path on a sample.
 These are the numbers a deployment would size against; they complement
 the op-cost model with real CPython timings.
+
+The ``test_speedup_*`` tests additionally pin the vectorised-ingest
+rewrite against verbatim copies of the original ``np.add.at`` bulk
+path (sketches constructed *outside* the timed region in both cases)
+and enforce the release floors: >= 3x for ``CountSketch.update_array``
+and >= 2x for ``UniversalSketch.update_array``.  Results are written to
+``benchmarks/results/BENCH_throughput.json``.
 """
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.dataplane.keys import src_ip_key
+from repro.dataplane.replay import BatchIngest
 from repro.core.universal import UniversalSketch
 from repro.opensketch.tasks import (
     ChangeDetectionTask,
@@ -24,9 +36,146 @@ from repro.sketches.hyperloglog import HyperLogLog
 from repro.sketches.kary import KArySketch
 
 
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_results_json():
+    """Persist whatever the speedup/ingest tests measured, even on a
+    partial run."""
+    yield
+    if _RESULTS:
+        results_dir = Path(__file__).parent / "results"
+        results_dir.mkdir(exist_ok=True)
+        (results_dir / "BENCH_throughput.json").write_text(
+            json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
 @pytest.fixture(scope="module")
 def keys(bench_trace):
     return bench_trace.key_array(src_ip_key)
+
+
+# --------------------------------------------------------------------- #
+# Verbatim pre-rewrite bulk paths (the np.add.at baseline).  These are
+# frozen copies of the original implementations so the speedup floor is
+# measured against the real thing, not a strawman.
+# --------------------------------------------------------------------- #
+
+
+def _baseline_countsketch_update(sketch, keys, weights=None):
+    if weights is None:
+        weights = np.ones(len(keys), dtype=np.int64)
+    for r, h in enumerate(sketch._hashes):
+        v = h.hash_array(keys)
+        sign = np.where(v >> np.uint64(63), 1, -1).astype(np.int64)
+        buckets = (v % np.uint64(sketch.width)).astype(np.intp)
+        np.add.at(sketch.table[r], buckets, sign * weights)
+
+
+def _baseline_deepest_levels(sampler, keys):
+    n = len(keys)
+    if sampler.levels == 0:
+        return np.zeros(n, dtype=np.int64)
+    bits = np.empty((sampler.levels, n), dtype=bool)
+    for j, h in enumerate(sampler._hashes):
+        bits[j] = (h.hash_array(keys) & np.uint64(1)).astype(bool)
+    all_true = bits.all(axis=0)
+    first_zero = np.argmin(bits, axis=0)
+    depth = np.where(all_true, sampler.levels, first_zero)
+    return depth.astype(np.int64)
+
+
+def _baseline_level_update(level, keys):
+    _baseline_countsketch_update(level.sketch, keys)
+    level.packets += len(keys)
+    level.weight += len(keys)
+    uniq = np.unique(keys)
+    estimates = level.sketch.query_many(uniq)
+    order = np.argsort(np.abs(estimates))
+    for i in order:
+        level.topk.offer(int(uniq[i]), float(estimates[i]))
+
+
+def _baseline_universal_update(u, keys):
+    depths = _baseline_deepest_levels(u.sampler, keys)
+    for j, level in enumerate(u.levels):
+        mask = depths >= j
+        if not mask.any():
+            break
+        _baseline_level_update(level, keys[mask])
+    u.packets += len(keys)
+
+
+def _best_seconds(fn, repeats=7):
+    """Min-of-N wall time; fn is warmed once before timing."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_speedup_countsketch_bulk(keys):
+    """Packed-tabulation bincount path must be >= 3x the np.add.at path."""
+    new = CountSketch(rows=5, width=2048, seed=1)
+    old = CountSketch(rows=5, width=2048, seed=1)
+    t_new = _best_seconds(lambda: new.update_array(keys))
+    t_old = _best_seconds(lambda: _baseline_countsketch_update(old, keys))
+    speedup = t_old / t_new
+    _RESULTS["countsketch_bulk"] = {
+        "packets": int(len(keys)),
+        "new_ms": round(t_new * 1e3, 4),
+        "baseline_ms": round(t_old * 1e3, 4),
+        "speedup": round(speedup, 2),
+        "new_mpps": round(len(keys) / t_new / 1e6, 2),
+    }
+    assert speedup >= 3.0, (
+        f"CountSketch bulk path is only {speedup:.2f}x the np.add.at "
+        f"baseline (need >= 3x)")
+
+
+def test_speedup_universal_bulk(keys):
+    """Argsort dispatch + packed sketches + bulk heap merge >= 2x."""
+    new = UniversalSketch(levels=8, rows=5, width=2048, heap_size=64, seed=1)
+    old = UniversalSketch(levels=8, rows=5, width=2048, heap_size=64, seed=1)
+    t_new = _best_seconds(lambda: new.update_array(keys), repeats=5)
+    t_old = _best_seconds(lambda: _baseline_universal_update(old, keys),
+                          repeats=5)
+    speedup = t_old / t_new
+    _RESULTS["universal_bulk"] = {
+        "packets": int(len(keys)),
+        "new_ms": round(t_new * 1e3, 4),
+        "baseline_ms": round(t_old * 1e3, 4),
+        "speedup": round(speedup, 2),
+        "new_mpps": round(len(keys) / t_new / 1e6, 2),
+    }
+    assert speedup >= 2.0, (
+        f"UniversalSketch bulk path is only {speedup:.2f}x the np.add.at "
+        f"baseline (need >= 2x)")
+
+
+def test_batch_ingest_throughput(bench_trace):
+    """End-to-end chunked ingest of the bench trace via BatchIngest."""
+    rates = {}
+    for chunk_size in (2048, 8192, 30_000):
+        u = UniversalSketch(levels=8, rows=5, width=2048, heap_size=64,
+                            seed=1)
+        ingest = BatchIngest(u, chunk_size=chunk_size,
+                             key_function=src_ip_key)
+        report = ingest.ingest(bench_trace)
+        assert report.packets == len(bench_trace)
+        assert report.chunks == -(-len(bench_trace) // chunk_size)
+        rates[str(chunk_size)] = {
+            "packets_per_second": round(report.packets_per_second),
+            "chunks": report.chunks,
+        }
+    _RESULTS["batch_ingest"] = {
+        "packets": len(bench_trace),
+        "by_chunk_size": rates,
+    }
 
 
 def test_bulk_countsketch(benchmark, keys):

@@ -23,7 +23,8 @@ difference streams the "frequency" of a key is the magnitude of its delta.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+import weakref
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.gfunctions import (
     ABS,
@@ -36,14 +37,21 @@ from repro.core.gfunctions import (
     require_stream_polylog,
 )
 
-_VALIDATED: set = set()
+# Validation cache keyed by g-function *identity* (id -> weakref).  Keying
+# by name let a user-defined GFunction reuse a stock name (e.g.
+# "identity") and silently skip validation; the weakref guards against a
+# recycled id() after the original object is collected.
+_VALIDATED: Dict[int, "weakref.ref[GFunction]"] = {}
 
 
 def _check(g: GFunction) -> None:
-    """Validate Stream-PolyLog membership once per g-function name."""
-    if g.name not in _VALIDATED:
-        require_stream_polylog(g)
-        _VALIDATED.add(g.name)
+    """Validate Stream-PolyLog membership once per g-function object."""
+    ref = _VALIDATED.get(id(g))
+    if ref is not None and ref() is g:
+        return
+    require_stream_polylog(g)
+    _VALIDATED[id(g)] = weakref.ref(
+        g, lambda _ref, _key=id(g): _VALIDATED.pop(_key, None))
 
 
 def estimate_gsum(sketch, g: GFunction,
@@ -122,6 +130,23 @@ def estimate_f2(sketch) -> float:
     return sketch.levels[0].sketch.f2_estimate()
 
 
+# One GFunction per entropy log-base: rebuilding the lambda per call both
+# wasted work and (with an identity-keyed validation cache) re-validated
+# the same g on every estimate.
+_ENTROPY_BASE: Dict[float, GFunction] = {}
+
+
+def _entropy_gfunction(base: float) -> GFunction:
+    g = _ENTROPY_BASE.get(base)
+    if g is None:
+        g = GFunction(
+            f"entropy_sum_base{base:g}",
+            lambda x, _b=base: 0.0 if x <= 0 else x * math.log(x) / math.log(_b),
+            stream_polylog=True)
+        _ENTROPY_BASE[base] = g
+    return g
+
+
 def estimate_entropy(sketch, base: float = 2.0) -> float:
     """Shannon entropy ``H = log m - S/m`` with ``S = sum f log f`` (§3.4).
 
@@ -134,14 +159,8 @@ def estimate_entropy(sketch, base: float = 2.0) -> float:
         g = ENTROPY_SUM
         log_m = math.log2(m)
     else:
-        g = ENTROPY_NATS
         log_m = math.log(m) / math.log(base)
-        if base != math.e:
-            scaled = GFunction(
-                f"entropy_sum_base{base:g}",
-                lambda x, _b=base: 0.0 if x <= 0 else x * math.log(x) / math.log(_b),
-                stream_polylog=True)
-            g = scaled
+        g = ENTROPY_NATS if base == math.e else _entropy_gfunction(base)
     s = estimate_gsum(sketch, g)
     h = log_m - s / m
     return min(max(h, 0.0), log_m)

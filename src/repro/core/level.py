@@ -51,12 +51,16 @@ class SketchLevel:
         self.topk.offer(key, float(np.median(estimates)))
 
     def update_array(self, keys: np.ndarray,
-                     weights: Optional[np.ndarray] = None) -> None:
+                     weights: Optional[np.ndarray] = None,
+                     distinct: Optional[np.ndarray] = None) -> None:
         """Bulk path: update counters vectorised, then refresh the heap
         from the post-batch point estimates of the batch's distinct keys.
 
         Equivalent data-plane state; the heap contents are at least as
         accurate as the streaming heap (estimates are post-batch).
+        ``distinct``, when given, must be the sorted distinct keys of
+        ``keys`` — the universal sketch computes it once for the whole
+        batch and hands each level its slice, skipping a per-level sort.
         """
         if len(keys) == 0:
             return
@@ -66,12 +70,11 @@ class SketchLevel:
             self.weight += len(keys)
         else:
             self.weight += int(np.sum(weights))
-        uniq = np.unique(keys)
+        uniq = np.unique(keys) if distinct is None else distinct
         estimates = self.sketch.query_many(uniq)
-        # Offer in increasing-estimate order so the heap keeps the largest.
-        order = np.argsort(np.abs(estimates))
-        for i in order:
-            self.topk.offer(int(uniq[i]), float(estimates[i]))
+        # Bulk merge: equivalent to offering every (key, estimate) in
+        # increasing-|estimate| order, in O(capacity) Python work.
+        self.topk.offer_many(uniq, estimates, sorted_keys=True)
 
     def refresh_heap(self) -> None:
         """Re-query every heap key against the current counters.
@@ -81,10 +84,10 @@ class SketchLevel:
         keys = self.topk.keys()
         if not keys:
             return
-        estimates = self.sketch.query_many(np.array(keys, dtype=np.uint64))
+        key_arr = np.array(keys, dtype=np.uint64)
+        estimates = self.sketch.query_many(key_arr)
         fresh = TopK(self.topk.capacity)
-        for key, est in zip(keys, estimates):
-            fresh.offer(int(key), float(est))
+        fresh.offer_many(key_arr, estimates)
         self.topk = fresh
 
     def heavy_hitters(self) -> List[Tuple[int, float]]:

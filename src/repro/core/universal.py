@@ -51,7 +51,7 @@ class UniversalSketch(Sketch):
     """
 
     __slots__ = ("num_levels", "rows", "width", "heap_size", "seed",
-                 "sampler", "levels", "packets")
+                 "counter_bytes", "sampler", "levels", "packets")
 
     def __init__(self, levels: int = 16, rows: int = 5, width: int = 1024,
                  heap_size: int = 64, seed: Optional[int] = None,
@@ -63,6 +63,7 @@ class UniversalSketch(Sketch):
         self.width = width
         self.heap_size = heap_size
         self.seed = seed
+        self.counter_bytes = counter_bytes
         master = random.Random(seed)
         self.sampler = LevelSampler(levels, seed=master.randrange(1 << 62))
         self.levels: List[SketchLevel] = [
@@ -80,30 +81,36 @@ class UniversalSketch(Sketch):
     @classmethod
     def for_memory_budget(cls, total_bytes: int, levels: int = 16,
                           rows: int = 5, heap_size: int = 64,
-                          seed: Optional[int] = None) -> "UniversalSketch":
+                          seed: Optional[int] = None,
+                          counter_bytes: int = 4) -> "UniversalSketch":
         """Size ``width`` so the whole sketch fits in ``total_bytes``.
 
-        The budget covers all ``levels + 1`` Count Sketches (4-byte
-        counters) and all heaps; this is the constructor the
-        accuracy-vs-memory sweeps use.
+        The budget covers all ``levels + 1`` Count Sketches
+        (``counter_bytes`` per counter) and all heaps; this is the
+        constructor the accuracy-vs-memory sweeps use.
         """
         heap_bytes = (levels + 1) * heap_size * 16
         counter_budget = total_bytes - heap_bytes
-        width = counter_budget // ((levels + 1) * rows * 4)
+        width = counter_budget // ((levels + 1) * rows * counter_bytes)
         if width < 8:
             raise ConfigurationError(
                 f"memory budget {total_bytes}B too small for {levels + 1} "
                 f"levels x {rows} rows (needs >= "
-                f"{heap_bytes + (levels + 1) * rows * 4 * 8}B)")
+                f"{heap_bytes + (levels + 1) * rows * counter_bytes * 8}B)")
         return cls(levels=levels, rows=rows, width=int(width),
-                   heap_size=heap_size, seed=seed)
+                   heap_size=heap_size, seed=seed,
+                   counter_bytes=counter_bytes)
 
     @staticmethod
     def levels_for(expected_distinct: int, heap_size: int = 64) -> int:
         """The ``log n`` rule: enough levels that the deepest substream's
-        expected distinct count falls below the heap size."""
+        expected distinct count falls below the heap size.
+
+        When every distinct key already fits in one heap, no sampled
+        substream is needed at all: a single full-stream level (0 sampled
+        levels) suffices."""
         if expected_distinct <= heap_size:
-            return 1
+            return 0
         return max(1, math.ceil(math.log2(expected_distinct / heap_size)) + 1)
 
     # ------------------------------------------------------------------ #
@@ -120,16 +127,41 @@ class UniversalSketch(Sketch):
 
     def update_array(self, keys: np.ndarray,
                      weights: Optional[np.ndarray] = None) -> None:
-        """Vectorised bulk update over a ``uint64`` key array."""
+        """Vectorised bulk update over a ``uint64`` key array.
+
+        Keys are sorted by sampling depth once, so level ``j`` receives
+        the contiguous suffix of keys with ``depth >= j`` — one
+        ``O(n log n)`` argsort replaces ``levels + 1`` full-array boolean
+        scans (the depth distribution is geometric, so the deep scans of
+        the old masking scheme touched mostly-empty masks).
+        """
         keys = np.asarray(keys, dtype=np.uint64)
+        n = len(keys)
+        if n == 0:
+            return
         depths = self.sampler.deepest_level_array(keys)
+        order = np.argsort(depths, kind="stable")
+        keys = keys[order]
+        if weights is not None:
+            weights = np.asarray(weights)[order]
+        depths = depths[order]
+        # starts[j] = first index with depth >= j; level j consumes the
+        # suffix keys[starts[j]:].
+        starts = np.searchsorted(depths, np.arange(len(self.levels)),
+                                 side="left")
+        # Distinct keys once for the whole batch; a level's distinct set
+        # is a mask slice (depth is a pure function of the key), which
+        # preserves the sorted order np.unique produced.
+        uniq = np.unique(keys)
+        uniq_depths = self.sampler.deepest_level_array(uniq)
         for j, level in enumerate(self.levels):
-            mask = depths >= j
-            if not mask.any():
+            lo = int(starts[j])
+            if lo >= n:
                 break
-            level.update_array(keys[mask],
-                               None if weights is None else weights[mask])
-        self.packets += len(keys)
+            level.update_array(keys[lo:],
+                               None if weights is None else weights[lo:],
+                               distinct=uniq[uniq_depths >= j])
+        self.packets += n
 
     @property
     def total_weight(self) -> int:
@@ -178,7 +210,7 @@ class UniversalSketch(Sketch):
         self._check_compatible(other)
         out = UniversalSketch(levels=self.num_levels, rows=self.rows,
                               width=self.width, heap_size=self.heap_size,
-                              seed=self.seed)
+                              seed=self.seed, counter_bytes=self.counter_bytes)
         for j, (a, b) in enumerate(zip(self.levels, other.levels)):
             lvl = out.levels[j]
             if sign > 0:

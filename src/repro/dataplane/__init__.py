@@ -27,7 +27,7 @@ from repro.dataplane.keys import (
 )
 from repro.dataplane.netflow import SampledFlowTable
 from repro.dataplane.packet import FiveTuple, Packet, format_ipv4, parse_ipv4
-from repro.dataplane.replay import TraceReplayer
+from repro.dataplane.replay import BatchIngest, IngestReport, TraceReplayer
 from repro.dataplane.switch import MonitoredSwitch, SwitchProgram
 from repro.dataplane.trace import (
     ChangeEvent,
@@ -51,6 +51,8 @@ __all__ = [
     "src_prefix_key",
     "SampledFlowTable",
     "TraceReplayer",
+    "BatchIngest",
+    "IngestReport",
     "Trace",
     "SyntheticTraceConfig",
     "DDoSEvent",

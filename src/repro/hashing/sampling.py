@@ -19,7 +19,11 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.hashing.tabulation import TabulationHash
+from repro.hashing.tabulation import (
+    TabulationHash,
+    gather_packed,
+    pack_tabulation_fields,
+)
 
 
 class LevelSampler:
@@ -36,7 +40,7 @@ class LevelSampler:
         merging or differencing universal sketches.
     """
 
-    __slots__ = ("levels", "_hashes", "seed")
+    __slots__ = ("levels", "_hashes", "seed", "_parity")
 
     def __init__(self, levels: int, seed: Optional[int] = None) -> None:
         if levels < 0:
@@ -48,6 +52,7 @@ class LevelSampler:
         self._hashes: List[TabulationHash] = [
             TabulationHash(rng=rng) for _ in range(levels)
         ]
+        self._parity = None
 
     def bit(self, level: int, key: int) -> int:
         """The value of ``h_level(key)`` in {0, 1} (level is 1-based)."""
@@ -73,11 +78,31 @@ class LevelSampler:
     def deepest_level_array(self, keys: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`deepest_level` for a ``uint64`` key array.
 
-        Computes all level bits, then finds the first zero per key.
+        Fast path: every level's parity bit is packed at bit ``j`` of one
+        fused tabulation table (:func:`pack_tabulation_fields` with a
+        1-bit field per level), so a single XOR-gather yields, per key,
+        the word whose bit ``j`` is ``h_{j+1}(key) & 1``.  The depth is
+        the run of trailing ones of that word — the position of the
+        lowest zero bit, found with ``(x & -x)`` on the complement.
+        Falls back to per-level hashing when ``levels > 63``.
         """
         n = len(keys)
         if self.levels == 0:
             return np.zeros(n, dtype=np.int64)
+        if self._parity is None:
+            if self.levels <= 63:
+                self._parity = pack_tabulation_fields(
+                    self._hashes, lambda t: t & np.uint64(1), 1)
+            else:
+                self._parity = False
+        if self._parity is not False:
+            bits = gather_packed(self._parity, keys)
+            mask = np.int64((1 << self.levels) - 1)
+            inv = ~bits & mask          # zero bits of the parity word
+            low = inv & -inv            # lowest zero bit (0 if none)
+            depth = np.bitwise_count((low - np.int64(1)) & mask)
+            return np.where(inv == 0, np.int64(self.levels),
+                            depth).astype(np.int64)
         bits = np.empty((self.levels, n), dtype=bool)
         for j, h in enumerate(self._hashes):
             bits[j] = (h.hash_array(keys) & np.uint64(1)).astype(bool)

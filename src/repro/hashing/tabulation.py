@@ -11,16 +11,77 @@ It is the fast path for per-packet scalar hashing: eight table lookups and
 XORs beat modular polynomial evaluation by a wide margin in CPython, and
 the batched :meth:`TabulationHash.hash_array` variant is pure numpy fancy
 indexing, which is what makes trace-scale benchmarks tractable.
+
+Multi-row bulk ingest goes further.  Because tabulation hashing is a XOR
+of byte-table entries, any function of the hash that commutes with XOR
+(bit masks, bit selects, shifts) can be *precomputed into the tables*;
+and several rows' fields can be packed into disjoint bit ranges of one
+64-bit word, since XOR never carries between fields.  A sketch with
+``rows`` hash functions then evaluates every row's bucket (and sign bit)
+with a single set of eight gathers from one fused ``(8, 256)`` table —
+see :func:`pack_tabulation_fields` / :func:`gather_packed` and their use
+in ``repro.sketches.countsketch``.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
+import sys
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 _MASK64 = (1 << 64) - 1
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+def byte_view(xs: np.ndarray) -> np.ndarray:
+    """The 8 bytes of each ``uint64`` key as an ``(n, 8)`` view.
+
+    Column ``i`` holds bits ``[8i, 8i+8)`` of the key (the same byte
+    order the scalar path uses), with no arithmetic: on little-endian
+    hosts this is a zero-copy reinterpret of the key buffer, on
+    big-endian a reversed view of it.  ``np.take`` accepts the strided
+    uint8 columns directly, which skips the shift/mask/astype cascade
+    per byte and is a large share of the bulk-path win.
+    """
+    xs = np.ascontiguousarray(xs, dtype=np.uint64)
+    view = xs.view(np.uint8).reshape(len(xs), 8)
+    return view if _LITTLE_ENDIAN else view[:, ::-1]
+
+
+def pack_tabulation_fields(hashes: Sequence["TabulationHash"],
+                           field_of: Callable[[np.ndarray], np.ndarray],
+                           field_bits: int) -> np.ndarray:
+    """Fuse several tabulation hashes into one ``(8, 256)`` ``int64`` table.
+
+    ``field_of`` maps a hash's raw ``(8, 256)`` uint64 tables to the
+    per-entry field value (``< 2**field_bits``) and must commute with
+    XOR — compositions of bit masks, selects and shifts do.  Row ``r``'s
+    field lands at bit offset ``r * field_bits``; XOR-gathering the
+    result (:func:`gather_packed`) therefore evaluates *every* row's
+    field in one pass.  Requires ``len(hashes) * field_bits <= 63``.
+    """
+    if len(hashes) * field_bits > 63:
+        raise ValueError(
+            f"cannot pack {len(hashes)} fields of {field_bits} bits "
+            f"into one 64-bit word")
+    packed = np.zeros((8, 256), dtype=np.int64)
+    for r, h in enumerate(hashes):
+        packed |= field_of(h._np_tables).astype(np.int64) << (r * field_bits)
+    return packed
+
+
+def gather_packed(packed: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """XOR-gather a fused table over a key array (``int64`` output)."""
+    view = byte_view(xs)
+    out = np.take(packed[0], view[:, 0])
+    scratch = np.empty(len(out), dtype=np.int64)
+    for i in range(1, 8):
+        np.take(packed[i], view[:, i], out=scratch)
+        np.bitwise_xor(out, scratch, out=out)
+    return out
 
 
 class TabulationHash:
@@ -58,6 +119,29 @@ class TabulationHash:
         for i in range(1, 8):
             byte = ((xs >> np.uint64(8 * i)) & np.uint64(0xFF)).astype(np.intp)
             out ^= self._np_tables[i][byte]
+        return out
+
+    @staticmethod
+    def hash_matrix(hashes: Sequence["TabulationHash"],
+                    xs: np.ndarray) -> np.ndarray:
+        """Evaluate several hash functions over one key array at once.
+
+        Returns a ``(len(hashes), len(xs))`` ``uint64`` array whose row
+        ``r`` equals ``hashes[r].hash_array(xs)``.  The byte extraction
+        (:func:`byte_view`) is shared across all rows — one pass over the
+        8 key bytes instead of one per row — and the gathers write into
+        the output rows directly, so no per-row temporaries are built.
+        """
+        view = byte_view(xs)
+        n = view.shape[0]
+        out = np.empty((len(hashes), n), dtype=np.uint64)
+        scratch = np.empty(n, dtype=np.uint64)
+        for r, h in enumerate(hashes):
+            tables = h._np_tables
+            np.take(tables[0], view[:, 0], out=out[r])
+            for i in range(1, 8):
+                np.take(tables[i], view[:, i], out=scratch)
+                np.bitwise_xor(out[r], scratch, out=out[r])
         return out
 
     def bucket(self, x: int, width: int) -> int:

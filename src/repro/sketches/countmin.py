@@ -18,15 +18,48 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError, IncompatibleSketchError
-from repro.hashing.tabulation import TabulationHash
+from repro.hashing.tabulation import (
+    TabulationHash,
+    gather_packed,
+    pack_tabulation_fields,
+)
 from repro.sketches.base import Sketch, UpdateCost
+
+
+def _packed_bucket_state(hashes: List[TabulationHash], rows: int, width: int):
+    """Fused bucket tables for signless tableau sketches (Count-Min,
+    k-ary): ``(tables, field_bits)`` with row ``r``'s bucket at bit
+    offset ``r * field_bits``, or ``(None, 0)`` when unpackable."""
+    lg2w = width.bit_length() - 1
+    if width == 1 << lg2w and lg2w > 0 and rows * lg2w <= 63:
+        mask = np.uint64(width - 1)
+        tables = pack_tabulation_fields(hashes, lambda t: t & mask, lg2w)
+        return (tables, lg2w)
+    return (None, 0)
+
+
+def _bincount_rows(table: np.ndarray, slots: np.ndarray, field_bits: int,
+                   weights: Optional[np.ndarray]) -> None:
+    """Accumulate packed per-row bucket fields into ``table`` rows."""
+    rows, width = table.shape
+    fmask = np.int64(width - 1)
+    wf = None if weights is None else weights.astype(np.float64)
+    for r in range(rows):
+        slot = (slots >> np.int64(r * field_bits)) & fmask
+        if wf is None:
+            counts = np.bincount(slot, minlength=width)
+        else:
+            # float64 sums of int64 weights < 2**53 stay exact.
+            counts = np.bincount(slot, weights=wf,
+                                 minlength=width).astype(np.int64)
+        table[r] += counts
 
 
 class CountMinSketch(Sketch):
     """A ``rows x width`` Count-Min sketch over integer keys."""
 
     __slots__ = ("rows", "width", "seed", "conservative", "counter_bytes",
-                 "table", "_hashes")
+                 "table", "_hashes", "_packed")
 
     def __init__(self, rows: int, width: int, seed: Optional[int] = None,
                  conservative: bool = False, counter_bytes: int = 4) -> None:
@@ -44,6 +77,7 @@ class CountMinSketch(Sketch):
         self._hashes: List[TabulationHash] = [
             TabulationHash(rng=rng) for _ in range(rows)
         ]
+        self._packed = None
 
     def _buckets(self, key: int) -> List[int]:
         return [h(key) % self.width for h in self._hashes]
@@ -63,21 +97,43 @@ class CountMinSketch(Sketch):
 
     def update_array(self, keys: np.ndarray,
                      weights: Optional[np.ndarray] = None) -> None:
-        """Vectorised bulk update (plain, non-conservative semantics)."""
+        """Vectorised bulk update (plain, non-conservative semantics).
+
+        Hashes every row in one 2-D tabulation pass and accumulates with
+        a single flattened ``np.bincount`` (see ``CountSketch``)."""
+        if weights is not None:
+            weights = np.asarray(weights).astype(np.int64, copy=False)
         if self.conservative:
             # Conservative update is inherently sequential; fall back.
             if weights is None:
-                for k in keys.tolist():
+                for k in np.asarray(keys).tolist():
                     self.update(int(k))
             else:
-                for k, w in zip(keys.tolist(), weights.tolist()):
+                for k, w in zip(np.asarray(keys).tolist(), weights.tolist()):
                     self.update(int(k), int(w))
             return
+        if len(keys) == 0:
+            return
+        if self._packed is None:
+            self._packed = _packed_bucket_state(self._hashes, self.rows,
+                                                self.width)
+        packed, field_bits = self._packed
+        if packed is not None:
+            _bincount_rows(self.table, gather_packed(packed, keys),
+                           field_bits, weights)
+            return
+        v = TabulationHash.hash_matrix(self._hashes, keys)      # (rows, n)
+        buckets = (v % np.uint64(self.width)).astype(np.int64)
+        slots = buckets + (np.arange(self.rows, dtype=np.int64)[:, None]
+                           * self.width)
         if weights is None:
-            weights = np.ones(len(keys), dtype=np.int64)
-        for r, h in enumerate(self._hashes):
-            buckets = (h.hash_array(keys) % np.uint64(self.width)).astype(np.intp)
-            np.add.at(self.table[r], buckets, weights)
+            counts = np.bincount(slots.ravel(),
+                                 minlength=self.rows * self.width)
+        else:
+            tiled = np.broadcast_to(weights, (self.rows, len(keys)))
+            counts = np.bincount(slots.ravel(), weights=tiled.ravel(),
+                                 minlength=self.rows * self.width)
+        self.table += counts.astype(np.int64).reshape(self.rows, self.width)
 
     def query(self, key: int) -> int:
         """Point estimate: min over rows (never underestimates for
@@ -124,6 +180,7 @@ class CountMinSketch(Sketch):
         out.counter_bytes = self.counter_bytes
         out.table = self.table + other.table
         out._hashes = self._hashes
+        out._packed = self._packed
         return out
 
     def memory_bytes(self) -> int:

@@ -24,7 +24,11 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError, IncompatibleSketchError
-from repro.hashing.tabulation import TabulationHash
+from repro.hashing.tabulation import (
+    TabulationHash,
+    gather_packed,
+    pack_tabulation_fields,
+)
 from repro.sketches.base import Sketch, UpdateCost
 
 
@@ -45,7 +49,8 @@ class CountSketch(Sketch):
         sketches use 4-byte counters; the accounting follows suit).
     """
 
-    __slots__ = ("rows", "width", "seed", "counter_bytes", "table", "_hashes")
+    __slots__ = ("rows", "width", "seed", "counter_bytes", "table", "_hashes",
+                 "_packed")
 
     def __init__(self, rows: int, width: int, seed: Optional[int] = None,
                  counter_bytes: int = 4) -> None:
@@ -62,6 +67,34 @@ class CountSketch(Sketch):
         self._hashes: List[TabulationHash] = [
             TabulationHash(rng=rng) for _ in range(rows)
         ]
+        self._packed = None
+
+    def _packed_state(self):
+        """Fused slot tables for the bulk path, built lazily and shared
+        by copies (the hash functions are immutable).
+
+        When ``width`` is a power of two and every row's ``(sign,
+        bucket)`` field fits one 64-bit word, returns ``(tables,
+        field_bits)`` where XOR-gathering ``tables`` yields, per row ``r``
+        at bit offset ``r * field_bits``, the slot ``sign_bit * width +
+        bucket`` — both derived from the hash exactly as the scalar path
+        derives them.  Returns ``(None, 0)`` when the geometry cannot be
+        packed (the generic bulk path is used instead).
+        """
+        if self._packed is None:
+            lg2w = self.width.bit_length() - 1
+            field_bits = lg2w + 1
+            if self.width == 1 << lg2w and self.rows * field_bits <= 63:
+                mask = np.uint64(self.width - 1)
+                shift = np.uint64(lg2w)
+                tables = pack_tabulation_fields(
+                    self._hashes,
+                    lambda t: (t & mask) | ((t >> np.uint64(63)) << shift),
+                    field_bits)
+                self._packed = (tables, field_bits)
+            else:
+                self._packed = (None, 0)
+        return self._packed
 
     # ------------------------------------------------------------------ #
     # update / query
@@ -77,14 +110,47 @@ class CountSketch(Sketch):
 
     def update_array(self, keys: np.ndarray,
                      weights: Optional[np.ndarray] = None) -> None:
-        """Vectorised bulk update (numpy ``uint64`` keys)."""
-        if weights is None:
-            weights = np.ones(len(keys), dtype=np.int64)
-        for r, h in enumerate(self._hashes):
-            v = h.hash_array(keys)
-            sign = np.where(v >> np.uint64(63), 1, -1).astype(np.int64)
-            buckets = (v % np.uint64(self.width)).astype(np.intp)
-            np.add.at(self.table[r], buckets, sign * weights)
+        """Vectorised bulk update (numpy ``uint64`` keys).
+
+        Fast path: one XOR-gather over the fused slot tables
+        (:meth:`_packed_state`) evaluates every row's ``(sign, bucket)``
+        at once, then a per-row ``np.bincount`` over ``2 * width`` slots
+        accumulates — the sign bit selects the half, so the signed sum
+        is ``counts[width:] - counts[:width]`` with no sign multiply.
+        Falls back to a 2-D hash + flattened ``bincount`` when the
+        geometry cannot be packed into 64-bit slot words.
+        """
+        if len(keys) == 0:
+            return
+        if weights is not None:
+            weights = np.asarray(weights).astype(np.int64, copy=False)
+        table = self.table
+        rows, width = self.rows, self.width
+        packed, field_bits = self._packed_state()
+        if packed is not None:
+            slots = gather_packed(packed, keys)
+            wf = None if weights is None else weights.astype(np.float64)
+            fmask = np.int64((2 * width) - 1)
+            for r in range(rows):
+                slot = (slots >> np.int64(r * field_bits)) & fmask
+                if wf is None:
+                    counts = np.bincount(slot, minlength=2 * width)
+                else:
+                    # float64 sums of int64 weights < 2**53 stay exact.
+                    counts = np.bincount(slot, weights=wf,
+                                         minlength=2 * width)
+                    counts = counts.astype(np.int64)
+                table[r] += counts[width:]
+                table[r] -= counts[:width]
+            return
+        v = TabulationHash.hash_matrix(self._hashes, keys)      # (rows, n)
+        sign = np.where(v >> np.uint64(63), 1, -1).astype(np.int64)
+        buckets = (v % np.uint64(width)).astype(np.int64)
+        slots = buckets + (np.arange(rows, dtype=np.int64)[:, None] * width)
+        signed = sign if weights is None else sign * weights
+        counts = np.bincount(slots.ravel(), weights=signed.ravel(),
+                             minlength=rows * width)
+        table += counts.astype(np.int64).reshape(rows, width)
 
     def query(self, key: int) -> float:
         """Unbiased point estimate of the key's total weight (median rule)."""
@@ -98,12 +164,23 @@ class CountSketch(Sketch):
     def query_many(self, keys: np.ndarray) -> np.ndarray:
         """Vectorised point queries for a ``uint64`` key array."""
         keys = np.asarray(keys, dtype=np.uint64)
-        estimates = np.empty((self.rows, len(keys)), dtype=np.float64)
-        for r, h in enumerate(self._hashes):
-            v = h.hash_array(keys)
-            sign = np.where(v >> np.uint64(63), 1.0, -1.0)
-            buckets = (v % np.uint64(self.width)).astype(np.intp)
-            estimates[r] = sign * self.table[r, buckets]
+        packed, field_bits = self._packed_state()
+        if packed is not None:
+            slots = gather_packed(packed, keys)
+            width = np.int64(self.width)
+            fmask = np.int64(2 * self.width - 1)
+            estimates = np.empty((self.rows, len(keys)), dtype=np.float64)
+            for r in range(self.rows):
+                slot = (slots >> np.int64(r * field_bits)) & fmask
+                vals = self.table[r, slot & (width - 1)]
+                # slot >= width <=> sign bit set <=> sign is +1.
+                estimates[r] = np.where(slot >= width, vals, -vals)
+            return np.median(estimates, axis=0)
+        v = TabulationHash.hash_matrix(self._hashes, keys)      # (rows, n)
+        sign = np.where(v >> np.uint64(63), 1.0, -1.0)
+        buckets = (v % np.uint64(self.width)).astype(np.intp)
+        rows_idx = np.arange(self.rows)[:, None]
+        estimates = sign * self.table[rows_idx, buckets]
         return np.median(estimates, axis=0)
 
     def l2_estimate(self) -> float:
@@ -158,6 +235,7 @@ class CountSketch(Sketch):
         out.counter_bytes = self.counter_bytes
         out.table = self.table.copy()
         out._hashes = self._hashes  # immutable, shareable
+        out._packed = self._packed  # derived from the hashes, shareable
         return out
 
     # ------------------------------------------------------------------ #

@@ -21,14 +21,16 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError, IncompatibleSketchError
-from repro.hashing.tabulation import TabulationHash
+from repro.hashing.tabulation import TabulationHash, gather_packed
+from repro.sketches.countmin import _bincount_rows, _packed_bucket_state
 from repro.sketches.base import Sketch, UpdateCost
 
 
 class KArySketch(Sketch):
     """A ``rows x width`` k-ary sketch over integer keys."""
 
-    __slots__ = ("rows", "width", "seed", "counter_bytes", "table", "_hashes")
+    __slots__ = ("rows", "width", "seed", "counter_bytes", "table", "_hashes",
+                 "_packed")
 
     def __init__(self, rows: int, width: int, seed: Optional[int] = None,
                  counter_bytes: int = 4) -> None:
@@ -44,6 +46,7 @@ class KArySketch(Sketch):
         self._hashes: List[TabulationHash] = [
             TabulationHash(rng=rng) for _ in range(rows)
         ]
+        self._packed = None
 
     def update(self, key: int, weight: int = 1) -> None:
         for r, h in enumerate(self._hashes):
@@ -51,11 +54,32 @@ class KArySketch(Sketch):
 
     def update_array(self, keys: np.ndarray,
                      weights: Optional[np.ndarray] = None) -> None:
+        """Bulk update: one fused XOR-gather + per-row ``bincount`` (see
+        ``CountSketch.update_array``), with a 2-D hash fallback."""
+        if len(keys) == 0:
+            return
+        if weights is not None:
+            weights = np.asarray(weights).astype(np.int64, copy=False)
+        if self._packed is None:
+            self._packed = _packed_bucket_state(self._hashes, self.rows,
+                                                self.width)
+        packed, field_bits = self._packed
+        if packed is not None:
+            _bincount_rows(self.table, gather_packed(packed, keys),
+                           field_bits, weights)
+            return
+        v = TabulationHash.hash_matrix(self._hashes, keys)      # (rows, n)
+        buckets = (v % np.uint64(self.width)).astype(np.int64)
+        slots = buckets + (np.arange(self.rows, dtype=np.int64)[:, None]
+                           * self.width)
         if weights is None:
-            weights = np.ones(len(keys), dtype=np.int64)
-        for r, h in enumerate(self._hashes):
-            buckets = (h.hash_array(keys) % np.uint64(self.width)).astype(np.intp)
-            np.add.at(self.table[r], buckets, weights)
+            counts = np.bincount(slots.ravel(),
+                                 minlength=self.rows * self.width)
+        else:
+            tiled = np.broadcast_to(weights, (self.rows, len(keys)))
+            counts = np.bincount(slots.ravel(), weights=tiled.ravel(),
+                                 minlength=self.rows * self.width)
+        self.table += counts.astype(np.int64).reshape(self.rows, self.width)
 
     def total(self) -> int:
         """Total stream weight S (row 0's sum; identical across rows)."""
@@ -97,6 +121,7 @@ class KArySketch(Sketch):
         out.counter_bytes = self.counter_bytes
         out.table = self.table - other.table
         out._hashes = self._hashes
+        out._packed = self._packed
         return out
 
     def merge(self, other: "KArySketch") -> "KArySketch":
@@ -106,6 +131,7 @@ class KArySketch(Sketch):
         out.counter_bytes = self.counter_bytes
         out.table = self.table + other.table
         out._hashes = self._hashes
+        out._packed = self._packed
         return out
 
     def _check_compatible(self, other: "KArySketch") -> None:

@@ -16,6 +16,8 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterator, List, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -64,6 +66,52 @@ class TopK:
         est[key] = estimate
         heapq.heappush(self._heap, (rank, key))
         return True
+
+    def offer_many(self, keys: np.ndarray, estimates: np.ndarray,
+                   sorted_keys: bool = False) -> None:
+        """Bulk offer of *distinct* keys with fresh estimates.
+
+        Equivalent to calling :meth:`offer` for every pair in increasing
+        ``|estimate|`` order — tracked keys get their estimate replaced,
+        the rest compete by magnitude — but selects the survivors with
+        one ``argpartition`` instead of one heap touch per key, so the
+        Python-level work is O(capacity), not O(len(keys)).  Ties at the
+        eviction boundary may resolve differently from the sequential
+        order; both resolutions are valid top-k sets.  Pass
+        ``sorted_keys=True`` when ``keys`` is ascending (e.g. straight
+        from ``np.unique``) to replace the membership scan with binary
+        search.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        estimates = np.asarray(estimates, dtype=np.float64)
+        if len(keys) == 0:
+            return
+        est = self._estimates
+        if est:
+            old_keys = np.fromiter(est.keys(), dtype=np.uint64,
+                                   count=len(est))
+            if sorted_keys:
+                pos = np.searchsorted(keys, old_keys)
+                pos[pos == len(keys)] = 0
+                kept = old_keys[keys[pos] != old_keys]
+            else:
+                kept = old_keys[~np.isin(old_keys, keys)]
+            if len(kept):
+                old_ests = np.array([est[int(k)] for k in kept],
+                                    dtype=np.float64)
+                keys = np.concatenate([keys, kept])
+                estimates = np.concatenate([estimates, old_ests])
+        ranks = np.abs(estimates)
+        if len(keys) > self.capacity:
+            cut = len(keys) - self.capacity
+            top = np.argpartition(ranks, cut)[cut:]
+            keys, estimates, ranks = keys[top], estimates[top], ranks[top]
+        order = np.argsort(ranks, kind="stable")
+        self._estimates = {
+            int(keys[i]): float(estimates[i]) for i in order
+        }
+        # Ascending (rank, key) list is already a valid min-heap.
+        self._heap = [(float(ranks[i]), int(keys[i])) for i in order]
 
     def min(self) -> Tuple[int, float]:
         """The tracked ``(key, |estimate|)`` with the smallest magnitude."""

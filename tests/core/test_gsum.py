@@ -167,3 +167,38 @@ class TestUnbiasedness:
             u = build_sketch(keys, seed=seed, levels=6, width=512, heap=48)
             estimates.append(estimate_cardinality(u))
         assert abs(np.mean(estimates) - 600) / 600 < 0.15
+
+
+class TestValidationCache:
+    def test_cache_keyed_by_object_not_name(self, zipf_sketch):
+        # Warm the cache with the stock IDENTITY g-function.
+        estimate_gsum(zipf_sketch, IDENTITY)
+        # A user-defined g reusing a stock *name* must still be
+        # validated on its own merits (regression: a name-keyed cache
+        # skipped the check and accepted this cubic g silently).
+        impostor = GFunction("identity",
+                             lambda x: 0.0 if x <= 0 else float(x) ** 3,
+                             stream_polylog=True)
+        with pytest.raises(NotSketchableError):
+            estimate_gsum(zipf_sketch, impostor)
+
+    def test_revalidates_fresh_equivalent_objects(self, zipf_sketch):
+        for _ in range(2):
+            g = GFunction("identity", lambda x: float(x))
+            assert estimate_gsum(zipf_sketch, g) > 0
+
+    def test_entropy_base_gfunction_is_cached(self, zipf_sketch):
+        from repro.core.gsum import _entropy_gfunction
+        assert _entropy_gfunction(10.0) is _entropy_gfunction(10.0)
+        # Odd bases go through the cached g and keep the change-of-base
+        # relation with the stock base-2 estimate.
+        h2 = estimate_entropy(zipf_sketch, base=2.0)
+        h10 = estimate_entropy(zipf_sketch, base=10.0)
+        assert h10 == pytest.approx(h2 * math.log(2) / math.log(10),
+                                    rel=1e-9)
+
+    def test_natural_base_uses_stock_gfunction(self, zipf_sketch):
+        from repro.core.gsum import _ENTROPY_BASE
+        before = dict(_ENTROPY_BASE)
+        estimate_entropy(zipf_sketch, base=math.e)
+        assert _ENTROPY_BASE == before  # no per-base lambda built for e

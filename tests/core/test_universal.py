@@ -36,7 +36,12 @@ class TestConstruction:
                                               heap_size=64)
 
     def test_levels_for_rule(self):
-        assert UniversalSketch.levels_for(64, heap_size=64) == 1
+        # Every distinct key fits in one heap: a single full-stream
+        # level suffices, no sampled substreams.
+        assert UniversalSketch.levels_for(64, heap_size=64) == 0
+        assert UniversalSketch.levels_for(1, heap_size=64) == 0
+        # Just above the heap: sampled levels appear again.
+        assert UniversalSketch.levels_for(65, heap_size=64) == 2
         # 8192/64 = 128 -> log2 = 7 -> +1
         assert UniversalSketch.levels_for(8192, heap_size=64) == 8
 
@@ -181,3 +186,39 @@ class TestAccounting:
 
     def test_repr_mentions_geometry(self):
         assert "levels=6" in repr(make())
+
+
+class TestCounterBytes:
+    def test_threaded_through_constructor_and_accounting(self):
+        u = UniversalSketch(levels=2, rows=3, width=128, heap_size=8,
+                            seed=1, counter_bytes=8)
+        assert u.counter_bytes == 8
+        for level in u.levels:
+            assert level.sketch.counter_bytes == 8
+        counters = (2 + 1) * 3 * 128 * 8
+        heaps = (2 + 1) * 8 * 16
+        assert u.memory_bytes() == counters + heaps
+
+    def test_threaded_through_memory_budget(self):
+        budget = 256 * 1024
+        wide = UniversalSketch.for_memory_budget(budget, levels=4, rows=3,
+                                                 heap_size=16, seed=1)
+        narrow = UniversalSketch.for_memory_budget(budget, levels=4, rows=3,
+                                                   heap_size=16, seed=1,
+                                                   counter_bytes=8)
+        assert narrow.counter_bytes == 8
+        assert narrow.memory_bytes() <= budget
+        # Doubling the per-counter cost must halve the width, not be
+        # silently ignored by the sizing rule.
+        assert narrow.width == wide.width // 2
+
+    def test_threaded_through_merge_and_subtract(self):
+        a = UniversalSketch(levels=2, rows=3, width=64, heap_size=8,
+                            seed=7, counter_bytes=8)
+        b = UniversalSketch(levels=2, rows=3, width=64, heap_size=8,
+                            seed=7, counter_bytes=8)
+        a.update(1)
+        b.update(2)
+        assert a.merge(b).counter_bytes == 8
+        assert a.subtract(b).counter_bytes == 8
+        assert a.merge(b).memory_bytes() == a.memory_bytes()

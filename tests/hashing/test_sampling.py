@@ -99,3 +99,19 @@ class TestLevelSampler:
         assert not a.compatible_with(c)
         assert not a.compatible_with(d)
         assert not LevelSampler(8).compatible_with(LevelSampler(8))
+
+
+class TestPackedDepthParity:
+    """The fused parity-table fast path must match the scalar depth walk,
+    including at the 63-level packing boundary and past it (fallback)."""
+
+    @pytest.mark.parametrize("levels", [1, 7, 63, 64, 70])
+    def test_array_matches_scalar(self, levels):
+        sampler = LevelSampler(levels, seed=31)
+        keys = (np.arange(300, dtype=np.uint64)
+                * np.uint64(0x9E3779B97F4A7C15))
+        vec = sampler.deepest_level_array(keys)
+        assert vec.dtype == np.int64
+        scalar = [sampler.deepest_level(int(k)) for k in keys.tolist()]
+        assert vec.tolist() == scalar
+        assert np.all(vec >= 0) and np.all(vec <= levels)

@@ -139,3 +139,21 @@ class TestAccounting:
 
     def test_update_cost_hashes(self):
         assert CountMinSketch(rows=4, width=8).update_cost().hashes == 4
+
+
+class TestBulkWeightDtypes:
+    """Regression: weight arrays of any integer-valued dtype must hit the
+    same int64 counters the scalar path writes."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.uint64, np.int32])
+    @pytest.mark.parametrize("width", [256, 200])  # packed and fallback
+    def test_weight_array_dtype_coerced(self, dtype, width):
+        keys = (np.arange(400, dtype=np.uint64) * np.uint64(2654435761)) % 89
+        weights = ((np.arange(400) % 5) + 1).astype(dtype)
+        bulk = CountMinSketch(rows=3, width=width, seed=4)
+        scalar = CountMinSketch(rows=3, width=width, seed=4)
+        bulk.update_array(keys, weights)
+        for k, w in zip(keys.tolist(), weights.tolist()):
+            scalar.update(int(k), int(w))
+        assert bulk.table.dtype == np.int64
+        assert np.array_equal(bulk.table, scalar.table)

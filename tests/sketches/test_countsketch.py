@@ -201,3 +201,22 @@ class TestAccounting:
         cp.update(1, 5)
         assert cs.query(1) == 5
         assert cp.query(1) == 10
+
+
+class TestBulkWeightDtypes:
+    """Regression: bulk updates must coerce weight arrays to int64 so the
+    counter table never silently changes dtype (float64 weights used to
+    poison the int64 table maths on the add.at path)."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.uint64, np.int32])
+    @pytest.mark.parametrize("width", [256, 200])  # packed and fallback
+    def test_weight_array_dtype_coerced(self, dtype, width):
+        keys = (np.arange(500, dtype=np.uint64) * np.uint64(2654435761)) % 97
+        weights = ((np.arange(500) % 7) + 1).astype(dtype)
+        bulk = CountSketch(rows=3, width=width, seed=9)
+        scalar = CountSketch(rows=3, width=width, seed=9)
+        bulk.update_array(keys, weights)
+        for k, w in zip(keys.tolist(), weights.tolist()):
+            scalar.update(int(k), int(w))
+        assert bulk.table.dtype == np.int64
+        assert np.array_equal(bulk.table, scalar.table)

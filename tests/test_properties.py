@@ -128,3 +128,58 @@ class TestTraceInvariants:
             lo = trace.timestamps[0] + i * epoch_seconds
             assert np.all(epoch.timestamps >= lo - 1e-9)
             assert np.all(epoch.timestamps < lo + epoch_seconds + 1e-9)
+
+
+class TestScalarVectorParity:
+    """The vectorised ingest rewrite must be *bit-identical* to the
+    per-packet scalar path: same Count Sketch tables, same substream
+    counters, and (when the heaps are big enough to hold every distinct
+    key) the same tracked key sets."""
+
+    uint64_keys = st.lists(st.integers(0, (1 << 64) - 1),
+                           min_size=1, max_size=150)
+
+    @given(uint64_keys)
+    @settings(max_examples=25, deadline=None)
+    def test_universal_update_paths_agree(self, keys):
+        arr = np.array(keys, dtype=np.uint64)
+        bulk = UniversalSketch(levels=4, rows=3, width=64, heap_size=256,
+                               seed=11)
+        scalar = UniversalSketch(levels=4, rows=3, width=64, heap_size=256,
+                                 seed=11)
+        bulk.update_array(arr)
+        for k in keys:
+            scalar.update(k)
+        assert bulk.packets == scalar.packets
+        for lb, ls in zip(bulk.levels, scalar.levels):
+            assert np.array_equal(lb.sketch.table, ls.sketch.table)
+            assert lb.packets == ls.packets
+            assert lb.weight == ls.weight
+            # heap_size exceeds the distinct-key count, so both paths
+            # must track exactly the substream's distinct keys.
+            assert set(lb.topk.keys()) == set(ls.topk.keys())
+
+    @given(uint64_keys, st.lists(st.integers(1, 1000),
+                                 min_size=150, max_size=150))
+    @settings(max_examples=25, deadline=None)
+    def test_weighted_universal_update_paths_agree(self, keys, weights):
+        arr = np.array(keys, dtype=np.uint64)
+        w = np.array(weights[:len(keys)], dtype=np.uint64)
+        bulk = UniversalSketch(levels=3, rows=3, width=32, heap_size=256,
+                               seed=23)
+        scalar = UniversalSketch(levels=3, rows=3, width=32, heap_size=256,
+                                 seed=23)
+        bulk.update_array(arr, w)
+        for k, wt in zip(keys, w.tolist()):
+            scalar.update(k, int(wt))
+        for lb, ls in zip(bulk.levels, scalar.levels):
+            assert np.array_equal(lb.sketch.table, ls.sketch.table)
+            assert lb.weight == ls.weight
+
+    @given(uint64_keys, st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_deepest_level_paths_agree(self, keys, levels):
+        from repro.hashing.sampling import LevelSampler
+        sampler = LevelSampler(levels, seed=3)
+        vec = sampler.deepest_level_array(np.array(keys, dtype=np.uint64))
+        assert vec.tolist() == [sampler.deepest_level(k) for k in keys]
