@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-smoke results examples lint clean
+.PHONY: install test test-network bench bench-quick bench-smoke results \
+        examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +13,14 @@ test:
 
 test-out:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# Remote-collection suites: RPC framing/retries, health tracking, the
+# RemoteCoordinator epoch loop, and the chaos harness. Each test runs
+# under a SIGALRM watchdog (tests/network/conftest.py) so a wedged
+# socket fails the test instead of hanging the run.
+test-network:
+	REPRO_NETWORK_TEST_TIMEOUT=30 PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest tests/controlplane/test_rpc.py tests/network -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
@@ -23,8 +32,10 @@ bench-quick:
 
 # Ingest-path smoke: asserts the bulk-update speedup floors over the
 # np.add.at baseline and the BatchIngest rates on a small trace, and
-# refreshes benchmarks/results/BENCH_throughput.json.
-bench-smoke:
+# refreshes benchmarks/results/BENCH_throughput.json. Runs the
+# remote-collection suites first so a broken poll path fails the smoke
+# check before any benchmark numbers are published.
+bench-smoke: test-network
 	REPRO_BENCH_QUICK=1 PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest benchmarks/bench_throughput.py -q -s \
 	    -k "speedup or batch_ingest"

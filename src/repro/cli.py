@@ -12,6 +12,9 @@ Subcommands
   switch and serve its sketches over TCP (Figure 2's data plane).
 - ``poll`` — poll a running agent once and print the estimates
   (Figure 2's control plane).
+- ``coordinate`` — fault-tolerant epoch loop over several running
+  agents: retries with backoff, auto-marks unreachable switches failed,
+  probes them back, and prints per-epoch coverage.
 """
 
 from __future__ import annotations
@@ -84,12 +87,46 @@ def _add_agent(sub: argparse._SubParsersAction) -> None:
                         "faster, 0 = as fast as possible (default)")
 
 
+def _add_retry_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--retries", type=int, default=4,
+                   help="attempts per call (1 = fail fast)")
+    p.add_argument("--retry-delay", type=float, default=0.05,
+                   help="base backoff in seconds (doubles per retry)")
+    p.add_argument("--retry-seed", type=int, default=0,
+                   help="seed for deterministic backoff jitter")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="per-connection socket timeout in seconds")
+
+
 def _add_poll(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("poll", help="poll a running agent once")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=9099)
     p.add_argument("--program", default="univmon")
     p.add_argument("--alpha", type=float, default=0.005)
+    _add_retry_options(p)
+
+
+def _add_coordinate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "coordinate",
+        help="fault-tolerant epoch loop over several running agents")
+    p.add_argument("--agent", action="append", required=True,
+                   dest="agents", metavar="NAME=HOST:PORT",
+                   help="a switch agent to poll (repeatable)")
+    p.add_argument("--program", default="univmon")
+    p.add_argument("--epochs", type=int, default=0,
+                   help="epochs to run (0 = until interrupted)")
+    p.add_argument("--epoch", type=float, default=5.0,
+                   help="seconds between polls")
+    p.add_argument("--memory-kb", type=int, default=512,
+                   help="sketch geometry (must match the agents')")
+    p.add_argument("--alpha", type=float, default=0.005)
+    p.add_argument("--fail-after", type=int, default=2,
+                   help="consecutive failures before a switch is FAILED")
+    p.add_argument("--probe-every", type=int, default=1,
+                   help="probe FAILED switches every N epochs")
+    _add_retry_options(p)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment(sub)
     _add_agent(sub)
     _add_poll(sub)
+    _add_coordinate(sub)
     return parser
 
 
@@ -311,12 +349,19 @@ def _cmd_agent(args: argparse.Namespace) -> int:
     return 0
 
 
+def _retry_policy(args: argparse.Namespace):
+    from repro.controlplane.rpc import RetryPolicy
+    return RetryPolicy(max_attempts=args.retries,
+                       base_delay=args.retry_delay, seed=args.retry_seed)
+
+
 def _cmd_poll(args: argparse.Namespace) -> int:
     from repro.controlplane.rpc import RemoteSwitchClient
     from repro.core.gsum import estimate_cardinality, estimate_entropy, g_core
     from repro.dataplane.packet import format_ipv4
 
-    with RemoteSwitchClient(args.host, args.port) as client:
+    with RemoteSwitchClient(args.host, args.port, timeout=args.timeout,
+                            retry=_retry_policy(args)) as client:
         stats = client.stats()
         sketch = client.poll(args.program)
     print(f"agent stats: {stats}")
@@ -328,6 +373,66 @@ def _cmd_poll(args: argparse.Namespace) -> int:
     rendered = ", ".join(f"{format_ipv4(int(k))}={w:.0f}"
                          for k, w in hitters[:8])
     print(f"  heavy hitters    : {rendered or '(none)'}")
+    return 0
+
+
+def _cmd_coordinate(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.controlplane.apps.cardinality import CardinalityApp
+    from repro.controlplane.apps.entropy import EntropyApp
+    from repro.controlplane.apps.heavy_hitters import HeavyHitterApp
+    from repro.network.health import HealthTracker
+    from repro.network.remote import RemoteCoordinator
+    from repro.core.universal import UniversalSketch
+
+    agents = {}
+    for spec in args.agents:
+        name, sep, addr = spec.partition("=")
+        host, sep2, port = addr.rpartition(":")
+        if not sep or not sep2 or not name:
+            print(f"bad --agent {spec!r} (want NAME=HOST:PORT)",
+                  file=sys.stderr)
+            return 2
+        agents[name] = (host, int(port))
+
+    budget = args.memory_kb * 1024
+    factory = lambda: UniversalSketch.for_memory_budget(  # noqa: E731
+        budget, levels=12, rows=5, heap_size=64, seed=1)
+    coordinator = RemoteCoordinator(
+        agents, sketch_factory=factory, program=args.program,
+        retry=_retry_policy(args), timeout=args.timeout,
+        health=HealthTracker(agents, suspect_after=1,
+                             fail_after=args.fail_after,
+                             probe_every=args.probe_every))
+    coordinator.register(CardinalityApp()).register(EntropyApp()) \
+               .register(HeavyHitterApp(alpha=args.alpha))
+    print(f"coordinating {len(agents)} agent(s): {', '.join(agents)}")
+    try:
+        with coordinator:
+            epoch = 0
+            while args.epochs <= 0 or epoch < args.epochs:
+                report = coordinator.run_epoch()
+                cov = report["coverage"]
+                line = (f"epoch {report.epoch_index}: "
+                        f"{cov['switches_polled']}/{cov['switches_total']} "
+                        f"switches, {cov['packets_covered']} packets")
+                if cov["failed"]:
+                    line += f", failed={','.join(cov['failed'])}"
+                if cov["recovered"]:
+                    line += f", recovered={','.join(cov['recovered'])}"
+                if cov["retries"]:
+                    line += f", retries={cov['retries']}"
+                if "cardinality" in report.results:
+                    line += (f" | distinct="
+                             f"{report['cardinality']['distinct']:.0f}"
+                             f" entropy={report['entropy']['entropy']:.3f}")
+                print(line)
+                epoch += 1
+                if args.epochs <= 0 or epoch < args.epochs:
+                    time.sleep(args.epoch)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -343,6 +448,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_agent(args)
     if args.command == "poll":
         return _cmd_poll(args)
+    if args.command == "coordinate":
+        return _cmd_coordinate(args)
     return 2
 
 

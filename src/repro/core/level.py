@@ -76,6 +76,15 @@ class SketchLevel:
         # increasing-|estimate| order, in O(capacity) Python work.
         self.topk.offer_many(uniq, estimates, sorted_keys=True)
 
+    def copy(self) -> "SketchLevel":
+        """An independent snapshot sharing only the (immutable) hashes."""
+        out = SketchLevel.__new__(SketchLevel)
+        out.sketch = self.sketch.copy()
+        out.topk = self.topk.copy()
+        out.packets = self.packets
+        out.weight = self.weight
+        return out
+
     def refresh_heap(self) -> None:
         """Re-query every heap key against the current counters.
 

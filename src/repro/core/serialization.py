@@ -39,6 +39,22 @@ _TYPE_COUNT_MIN = 2
 _TYPE_KARY = 3
 _TYPE_UNIVERSAL = 4
 
+# Sanity ceilings for deserialized geometry.  A corrupt or hostile header
+# must not translate into a multi-gigabyte allocation or a numpy reshape
+# traceback; anything outside these bounds is rejected as a format error.
+# The largest geometry the experiments use is orders of magnitude smaller.
+_MAX_LEVELS = 64
+_MAX_ROWS = 512
+_MAX_WIDTH = 1 << 24
+_MAX_HEAP = 1 << 20
+
+
+def _check_range(name: str, value: int, lo: int, hi: int) -> int:
+    if not lo <= value <= hi:
+        raise TraceFormatError(
+            f"corrupt sketch payload: {name}={value} outside [{lo}, {hi}]")
+    return value
+
 
 def _require_seed(sketch) -> int:
     if sketch.seed is None:
@@ -56,6 +72,11 @@ def _write_table(out: BinaryIO, table: np.ndarray) -> None:
 
 def _read_table(buf: BinaryIO, rows: int, width: int) -> np.ndarray:
     (nbytes,) = struct.unpack("<I", _read_exact(buf, 4))
+    expected = rows * width * 8
+    if nbytes != expected:
+        raise TraceFormatError(
+            f"corrupt sketch payload: table block is {nbytes} bytes, "
+            f"expected {expected} for {rows}x{width} int64 counters")
     raw = _read_exact(buf, nbytes)
     table = np.frombuffer(raw, dtype=np.int64).reshape(rows, width).copy()
     return table
@@ -78,6 +99,11 @@ def _write_topk(out: BinaryIO, topk: TopK) -> None:
 
 def _read_topk(buf: BinaryIO) -> TopK:
     capacity, count = struct.unpack("<II", _read_exact(buf, 8))
+    _check_range("heap capacity", capacity, 1, _MAX_HEAP)
+    if count > capacity:
+        raise TraceFormatError(
+            f"corrupt sketch payload: heap holds {count} items but its "
+            f"capacity is {capacity}")
     topk = TopK(capacity)
     for _ in range(count):
         key, estimate = struct.unpack("<Qd", _read_exact(buf, 16))
@@ -99,6 +125,8 @@ def _dump_count_sketch(out: BinaryIO, sketch: CountSketch,
 
 def _load_tableau(buf: BinaryIO, cls, type_name: str):
     rows, width, seed = struct.unpack("<IIq", _read_exact(buf, 16))
+    _check_range("rows", rows, 1, _MAX_ROWS)
+    _check_range("width", width, 1, _MAX_WIDTH)
     sketch = cls(rows=rows, width=width, seed=seed)
     sketch.table = _read_table(buf, rows, width)
     return sketch
@@ -119,6 +147,13 @@ def _dump_universal(out: BinaryIO, sketch: UniversalSketch) -> None:
 def _load_universal(buf: BinaryIO) -> UniversalSketch:
     levels, rows, width, heap_size, seed, packets = struct.unpack(
         "<IIIIqq", _read_exact(buf, 32))
+    _check_range("levels", levels, 0, _MAX_LEVELS)
+    _check_range("rows", rows, 1, _MAX_ROWS)
+    _check_range("width", width, 1, _MAX_WIDTH)
+    _check_range("heap_size", heap_size, 1, _MAX_HEAP)
+    if packets < 0:
+        raise TraceFormatError(
+            f"corrupt sketch payload: negative packet count {packets}")
     sketch = UniversalSketch(levels=levels, rows=rows, width=width,
                              heap_size=heap_size, seed=seed)
     sketch.packets = packets
@@ -156,18 +191,26 @@ def dumps(sketch) -> bytes:
 
 
 def loads(data: Union[bytes, bytearray]):
-    """Reconstruct a sketch serialized by :func:`dumps`."""
+    """Reconstruct a sketch serialized by :func:`dumps`.
+
+    Truncated or corrupt payloads raise :class:`TraceFormatError` — never
+    a raw ``struct.error`` or numpy reshape traceback — so transport
+    layers can treat any decode failure uniformly.
+    """
     buf = io.BytesIO(bytes(data))
     magic = buf.read(4)
     if magic != _MAGIC:
         raise TraceFormatError(f"bad sketch magic {magic!r}")
-    (type_tag,) = struct.unpack("<B", _read_exact(buf, 1))
-    if type_tag == _TYPE_UNIVERSAL:
-        return _load_universal(buf)
-    if type_tag == _TYPE_COUNT_SKETCH:
-        return _load_tableau(buf, CountSketch, "CountSketch")
-    if type_tag == _TYPE_COUNT_MIN:
-        return _load_tableau(buf, CountMinSketch, "CountMinSketch")
-    if type_tag == _TYPE_KARY:
-        return _load_tableau(buf, KArySketch, "KArySketch")
+    try:
+        (type_tag,) = struct.unpack("<B", _read_exact(buf, 1))
+        if type_tag == _TYPE_UNIVERSAL:
+            return _load_universal(buf)
+        if type_tag == _TYPE_COUNT_SKETCH:
+            return _load_tableau(buf, CountSketch, "CountSketch")
+        if type_tag == _TYPE_COUNT_MIN:
+            return _load_tableau(buf, CountMinSketch, "CountMinSketch")
+        if type_tag == _TYPE_KARY:
+            return _load_tableau(buf, KArySketch, "KArySketch")
+    except (struct.error, ValueError, OverflowError) as exc:
+        raise TraceFormatError(f"corrupt sketch payload: {exc}") from exc
     raise TraceFormatError(f"unknown sketch type tag {type_tag}")

@@ -233,6 +233,24 @@ class UniversalSketch(Sketch):
         out.packets = self.packets + other.packets
         return out
 
+    def copy(self) -> "UniversalSketch":
+        """An independent snapshot: counters and heaps are duplicated,
+        hash machinery (immutable) is shared.  Mutating either sketch
+        afterwards leaves the other untouched — this is what lets a
+        merge fold start from a live per-switch sketch without aliasing
+        data-plane state."""
+        out = UniversalSketch.__new__(UniversalSketch)
+        out.num_levels = self.num_levels
+        out.rows = self.rows
+        out.width = self.width
+        out.heap_size = self.heap_size
+        out.seed = self.seed
+        out.counter_bytes = self.counter_bytes
+        out.sampler = self.sampler
+        out.levels = [level.copy() for level in self.levels]
+        out.packets = self.packets
+        return out
+
     def merge(self, other: "UniversalSketch") -> "UniversalSketch":
         """Sketch of the concatenated streams (distributed aggregation)."""
         return self._combine(other, +1)

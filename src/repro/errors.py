@@ -31,3 +31,20 @@ class TraceFormatError(ReproError):
 
 class TopologyError(ReproError):
     """A network topology operation failed (unknown node, no path, ...)."""
+
+
+class RpcError(ReproError):
+    """The poll-protocol peer reported a protocol-level failure."""
+
+
+class TransportError(RpcError):
+    """The poll-protocol transport failed (connect refused, reset, timeout,
+    short read).  Unlike a plain :class:`RpcError` — which reports a
+    *successful* exchange whose answer was an error — a transport failure
+    is retriable: the request may never have reached the peer."""
+
+
+class FrameError(TransportError):
+    """A poll-protocol frame failed integrity checks (bad version byte,
+    oversized length prefix, checksum mismatch).  After a frame error the
+    stream can no longer be trusted, so clients reconnect and retry."""

@@ -9,12 +9,23 @@ Implements the §5 research directions that have concrete constructions:
   hash-partitioned responsibility to spread data-plane load.
 - :mod:`~repro.network.zoom` — dynamic granularity adjustment: monitor at
   prefix level and refine the heavy prefixes each epoch.
+- :mod:`~repro.network.health` — failure detection: consecutive-failure
+  thresholds, FAILED-switch recovery probes, epoch-driven (deterministic).
+- :mod:`~repro.network.remote` — the fault-tolerant controller: epoch
+  loop over TCP switch agents with retries, auto-degradation, and
+  per-epoch coverage reporting.
+- :mod:`~repro.network.faults` — a seeded chaos TCP proxy for testing the
+  poll protocol under drops, truncation, corruption, and delay.
 """
 
 from repro.network.topology import NetworkTopology
 from repro.network.distributed import DistributedMonitor
 from repro.network.coordinator import NetworkCoordinator
+from repro.network.health import HealthState, HealthTracker
+from repro.network.remote import RemoteCoordinator
+from repro.network.faults import FaultPlan, FaultyProxy
 from repro.network.zoom import ZoomMonitor
 
 __all__ = ["NetworkTopology", "DistributedMonitor", "NetworkCoordinator",
-           "ZoomMonitor"]
+           "HealthState", "HealthTracker", "RemoteCoordinator",
+           "FaultPlan", "FaultyProxy", "ZoomMonitor"]

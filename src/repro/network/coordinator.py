@@ -108,5 +108,9 @@ class NetworkCoordinator:
             if name in self._failed:
                 continue
             sketch = self._monitor.sketches[name]
-            merged = sketch if merged is None else merged.merge(sketch)
+            # Seed the fold with a copy: with exactly one survivor the
+            # fold result would otherwise *be* the live per-switch
+            # sketch, and downstream mutation would corrupt data-plane
+            # state.
+            merged = sketch.copy() if merged is None else merged.merge(sketch)
         return merged

@@ -81,11 +81,16 @@ class DistributedMonitor:
     # ------------------------------------------------------------------ #
 
     def network_sketch(self) -> UniversalSketch:
-        """The merged, network-wide universal sketch."""
+        """The merged, network-wide universal sketch.
+
+        Always an independent snapshot: the fold is seeded with a copy
+        so a one-switch topology does not hand callers an alias of the
+        live per-switch sketch.
+        """
         merged = None
         for name in self.topology.switches:
             sketch = self.sketches[name]
-            merged = sketch if merged is None else merged.merge(sketch)
+            merged = sketch.copy() if merged is None else merged.merge(sketch)
         return merged
 
     def heavy_hitters(self, fraction: float):

@@ -1,0 +1,191 @@
+"""Fault injection for the poll protocol: a seeded chaos TCP proxy.
+
+:class:`FaultyProxy` listens on its own port and forwards byte streams
+to an upstream :class:`~repro.controlplane.rpc.SwitchAgent`, injecting
+failures drawn from a seeded RNG according to a :class:`FaultPlan`:
+
+- **drop_accept** — close a brand-new client connection before any byte
+  is forwarded (a SYN that got through but a peer that died; the agent
+  never sees the request, so no epoch state is consumed),
+- **drop_chunk** — close both directions mid-stream before forwarding a
+  chunk (connection reset mid-exchange),
+- **truncate_chunk** — forward only half a chunk and then close, which
+  cuts a frame mid-payload (short read on the other side),
+- **corrupt_chunk** — flip one byte of a chunk in flight (caught by the
+  v2 frame CRC),
+- **delay_seconds** — sleep before forwarding each chunk (latency).
+
+The proxy is transport-level on purpose: it needs no knowledge of the
+frame format, so it exercises exactly the failure surface a real
+network presents.  The request/response discipline of the poll protocol
+keeps chunk order — and therefore the injected fault sequence —
+reproducible for a fixed seed in single-client use (the chaos suite).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-event fault probabilities (all default to 'no fault')."""
+
+    drop_accept: float = 0.0
+    drop_chunk: float = 0.0
+    truncate_chunk: float = 0.0
+    corrupt_chunk: float = 0.0
+    delay_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_accept", "drop_chunk", "truncate_chunk",
+                     "corrupt_chunk"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be a probability, got {value}")
+        if self.delay_seconds < 0:
+            raise ConfigurationError(
+                f"delay_seconds must be >= 0, got {self.delay_seconds}")
+
+
+class FaultyProxy:
+    """A chaos TCP proxy between a client and one upstream server."""
+
+    def __init__(self, upstream: Tuple[str, int],
+                 plan: Optional[FaultPlan] = None, seed: int = 0,
+                 host: str = "127.0.0.1", port: int = 0,
+                 chunk_bytes: int = 65536) -> None:
+        self.upstream = upstream
+        self.plan = plan if plan is not None else FaultPlan()
+        self.counters: Dict[str, int] = {
+            "connections": 0, "accepts_dropped": 0, "chunks": 0,
+            "chunks_dropped": 0, "chunks_truncated": 0,
+            "chunks_corrupted": 0,
+        }
+        self._chunk_bytes = chunk_bytes
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()  # guards rng + counters
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        # Poll rather than block in accept(): closing a socket another
+        # thread is blocked on does not reliably wake it, and stop()
+        # must not hang CI.
+        self._listener.settimeout(0.1)
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._listener.getsockname()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "FaultyProxy":
+        self._running = True
+        self._thread = threading.Thread(target=self._accept_loop,
+                                        name="faulty-proxy", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "FaultyProxy":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # proxying
+    # ------------------------------------------------------------------ #
+
+    def _roll(self, probability: float) -> bool:
+        if probability <= 0.0:
+            return False
+        with self._lock:
+            return self._rng.random() < probability
+
+    def _count(self, key: str) -> None:
+        with self._lock:
+            self.counters[key] += 1
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed by stop()
+            self._count("connections")
+            if self._roll(self.plan.drop_accept):
+                self._count("accepts_dropped")
+                _close(client)
+                continue
+            try:
+                server = socket.create_connection(self.upstream, timeout=10)
+                server.settimeout(None)  # connect timeout only; pumps block
+            except OSError:
+                _close(client)
+                continue
+            for src, dst in ((client, server), (server, client)):
+                threading.Thread(target=self._pump, args=(src, dst),
+                                 daemon=True).start()
+
+    def _pump(self, src: socket.socket, dst: socket.socket) -> None:
+        try:
+            while True:
+                data = src.recv(self._chunk_bytes)
+                if not data:
+                    break
+                self._count("chunks")
+                if self._roll(self.plan.drop_chunk):
+                    self._count("chunks_dropped")
+                    break
+                if self._roll(self.plan.truncate_chunk):
+                    self._count("chunks_truncated")
+                    dst.sendall(data[:max(1, len(data) // 2)])
+                    break
+                if self._roll(self.plan.corrupt_chunk):
+                    self._count("chunks_corrupted")
+                    with self._lock:
+                        index = self._rng.randrange(len(data))
+                    mutable = bytearray(data)
+                    mutable[index] ^= 0xFF
+                    data = bytes(mutable)
+                if self.plan.delay_seconds:
+                    time.sleep(self.plan.delay_seconds)
+                dst.sendall(data)
+        except OSError:
+            pass
+        finally:
+            # Dropping either direction kills the whole connection: the
+            # poll protocol cannot survive a half-open stream anyway.
+            _close(src)
+            _close(dst)
+
+
+def _close(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -1,0 +1,165 @@
+"""Switch health tracking: failure detection and recovery probing.
+
+The paper's controller "periodically retrieves the counters" from every
+switch; a production controller must also decide *which* switches are
+worth asking.  :class:`HealthTracker` runs a small per-switch state
+machine driven entirely by observed poll outcomes and epoch ticks — no
+wall clock — so the whole degradation/recovery story is deterministic
+and testable:
+
+    HEALTHY --failure x suspect_after--> SUSPECT
+    SUSPECT --failure x fail_after----->  FAILED
+    FAILED  --successful probe--------->  HEALTHY
+
+A FAILED switch is excluded from the poll fan-out (its connection is
+known-dead; hammering it slows the epoch), but every ``probe_every``
+epochs it becomes *probe-due* and the coordinator sends a cheap ``PING``
+to see whether it came back.  Any success — poll or probe — resets the
+switch to HEALTHY.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.errors import ConfigurationError
+
+
+class HealthState(enum.Enum):
+    """Where a switch sits in the failure-detection state machine."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    FAILED = "failed"
+
+
+@dataclass
+class SwitchHealth:
+    """Mutable per-switch record the tracker maintains."""
+
+    state: HealthState = HealthState.HEALTHY
+    consecutive_failures: int = 0
+    failures: int = 0
+    successes: int = 0
+    recoveries: int = 0
+    epochs_failed: int = 0  # epoch ticks spent FAILED since the transition
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "failures": self.failures,
+            "successes": self.successes,
+            "recoveries": self.recoveries,
+        }
+
+
+class HealthTracker:
+    """Consecutive-failure thresholds plus epoch-driven recovery probes.
+
+    Parameters
+    ----------
+    switches:
+        The names to track; unknown names raise
+        :class:`~repro.errors.ConfigurationError` on every method.
+    suspect_after:
+        Consecutive failures before a HEALTHY switch turns SUSPECT.
+    fail_after:
+        Consecutive failures before a switch turns FAILED (must be
+        >= ``suspect_after``; a poll is still attempted while SUSPECT).
+    probe_every:
+        A FAILED switch becomes probe-due every this-many epoch ticks
+        (1 = probe every epoch).
+    """
+
+    def __init__(self, switches: Iterable[str], suspect_after: int = 1,
+                 fail_after: int = 3, probe_every: int = 1) -> None:
+        if suspect_after < 1:
+            raise ConfigurationError(
+                f"suspect_after must be >= 1, got {suspect_after}")
+        if fail_after < suspect_after:
+            raise ConfigurationError(
+                f"fail_after ({fail_after}) must be >= suspect_after "
+                f"({suspect_after})")
+        if probe_every < 1:
+            raise ConfigurationError(
+                f"probe_every must be >= 1, got {probe_every}")
+        self.suspect_after = suspect_after
+        self.fail_after = fail_after
+        self.probe_every = probe_every
+        self._records: Dict[str, SwitchHealth] = {
+            name: SwitchHealth() for name in switches}
+        if not self._records:
+            raise ConfigurationError("no switches to track")
+
+    # ------------------------------------------------------------------ #
+    # outcome recording
+    # ------------------------------------------------------------------ #
+
+    def _record(self, name: str) -> SwitchHealth:
+        try:
+            return self._records[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown switch {name!r}") from None
+
+    def record_success(self, name: str) -> HealthState:
+        record = self._record(name)
+        record.successes += 1
+        record.consecutive_failures = 0
+        if record.state is not HealthState.HEALTHY:
+            if record.state is HealthState.FAILED:
+                record.recoveries += 1
+            record.state = HealthState.HEALTHY
+            record.epochs_failed = 0
+        return record.state
+
+    def record_failure(self, name: str) -> HealthState:
+        record = self._record(name)
+        record.failures += 1
+        record.consecutive_failures += 1
+        if record.consecutive_failures >= self.fail_after:
+            if record.state is not HealthState.FAILED:
+                record.state = HealthState.FAILED
+                record.epochs_failed = 0
+        elif record.consecutive_failures >= self.suspect_after:
+            if record.state is HealthState.HEALTHY:
+                record.state = HealthState.SUSPECT
+        return record.state
+
+    def tick(self) -> None:
+        """Advance one epoch: FAILED switches age toward their next probe."""
+        for record in self._records.values():
+            if record.state is HealthState.FAILED:
+                record.epochs_failed += 1
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def state(self, name: str) -> HealthState:
+        return self._record(name).state
+
+    def is_live(self, name: str) -> bool:
+        """Live switches are polled every epoch (HEALTHY or SUSPECT)."""
+        return self._record(name).state is not HealthState.FAILED
+
+    def should_probe(self, name: str) -> bool:
+        """True when a FAILED switch is due its periodic recovery probe."""
+        record = self._record(name)
+        return (record.state is HealthState.FAILED
+                and record.epochs_failed % self.probe_every == 0)
+
+    def live(self) -> List[str]:
+        return sorted(n for n, r in self._records.items()
+                      if r.state is not HealthState.FAILED)
+
+    def failed(self) -> List[str]:
+        return sorted(n for n, r in self._records.items()
+                      if r.state is HealthState.FAILED)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-switch health for inclusion in an epoch report."""
+        return {name: record.as_dict()
+                for name, record in sorted(self._records.items())}

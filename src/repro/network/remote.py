@@ -1,0 +1,197 @@
+"""Fault-tolerant epoch coordination over *remote* switch agents.
+
+:class:`~repro.network.coordinator.NetworkCoordinator` runs the epoch
+loop over in-process sketches; this module runs it over the wire — the
+deployment Figure 2 actually draws.  A :class:`RemoteCoordinator` owns
+one resilient :class:`~repro.controlplane.rpc.RemoteSwitchClient` per
+:class:`~repro.controlplane.rpc.SwitchAgent` and, each epoch:
+
+1. polls every *live* switch (retry + reconnect under the configured
+   :class:`~repro.controlplane.rpc.RetryPolicy`),
+2. records each outcome in a :class:`~repro.network.health.HealthTracker`
+   — repeated transport failures mark a switch FAILED automatically, and
+   FAILED switches get periodic ``PING`` recovery probes instead of full
+   retry storms,
+3. merges only the sketches that arrived into a **fresh** sketch seeded
+   from the factory (never aliasing a polled sketch), and
+4. emits an :class:`~repro.controlplane.controller.EpochReport` whose
+   ``coverage`` entry says exactly what the epoch is built on: which
+   switches were lost or recovered, how many packets the surviving
+   sketches cover, and how many retries/failures the transport burned.
+
+§5's merge-by-linearity is what makes the degraded epoch still *exact*
+for the traffic the surviving switches ingested: dropping a switch
+narrows coverage, it does not bias the estimates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError, TransportError
+from repro.controlplane.apps.base import MonitoringApp
+from repro.controlplane.controller import EpochReport
+from repro.controlplane.rpc import RemoteSwitchClient, RetryPolicy
+from repro.network.health import HealthTracker
+from repro.core.universal import UniversalSketch
+
+
+class RemoteCoordinator:
+    """Epoch loop over TCP switch agents that survives agent loss.
+
+    Parameters
+    ----------
+    agents:
+        ``{switch_name: (host, port)}`` of running switch agents.
+    sketch_factory:
+        Produces the empty sketch every epoch's merge fold starts from;
+        must match the geometry/seed of the sketches the agents serve.
+    program:
+        The per-switch program name to ``POLL``.
+    retry:
+        Transport retry policy; each client gets a distinct jitter seed
+        derived from it so retries stay deterministic *and* unsynchronised.
+    health:
+        Failure-detection thresholds; defaults to
+        ``HealthTracker(agents, suspect_after=1, fail_after=2)``.
+    sleep:
+        Injected into every client — pass a no-op for simulated time.
+    """
+
+    def __init__(self, agents: Mapping[str, Tuple[str, int]],
+                 sketch_factory: Optional[Callable[[], UniversalSketch]] = None,
+                 program: str = "univmon",
+                 retry: Optional[RetryPolicy] = None,
+                 health: Optional[HealthTracker] = None,
+                 timeout: float = 5.0,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if not agents:
+            raise ConfigurationError("no agents to coordinate")
+        if sketch_factory is None:
+            sketch_factory = lambda: UniversalSketch(  # noqa: E731
+                levels=10, rows=5, width=2048, heap_size=64, seed=1)
+        if sketch_factory().seed is None:
+            raise ConfigurationError(
+                "remote coordination needs a seeded sketch factory "
+                "(polled sketches must be mergeable)")
+        self.program = program
+        self._factory = sketch_factory
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.health = health if health is not None else HealthTracker(
+            agents, suspect_after=1, fail_after=2)
+        self._apps: List[MonitoringApp] = []
+        self._epoch = 0
+        self.clients: Dict[str, RemoteSwitchClient] = {
+            name: RemoteSwitchClient(
+                host, port, timeout=timeout,
+                retry=dataclasses.replace(self.retry,
+                                          seed=self.retry.seed + index),
+                sleep=sleep)
+            for index, (name, (host, port)) in enumerate(agents.items())
+        }
+
+    # ------------------------------------------------------------------ #
+    # configuration / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def register(self, app: MonitoringApp) -> "RemoteCoordinator":
+        if any(existing.name == app.name for existing in self._apps):
+            raise ConfigurationError(f"duplicate app name {app.name!r}")
+        self._apps.append(app)
+        return self
+
+    def close(self) -> None:
+        for client in self.clients.values():
+            client.close()
+
+    def __enter__(self) -> "RemoteCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # epoch loop
+    # ------------------------------------------------------------------ #
+
+    def run_epochs(self, count: int) -> List[EpochReport]:
+        return [self.run_epoch() for _ in range(count)]
+
+    def run_epoch(self, epoch_index: Optional[int] = None) -> EpochReport:
+        """Poll every reachable switch once and report on the merge."""
+        if epoch_index is None:
+            epoch_index = self._epoch
+        self._epoch = epoch_index + 1
+
+        retries_before = self._transport_counter("retries")
+        failures_before = self._transport_counter("failures")
+
+        polled: Dict[str, UniversalSketch] = {}
+        lost: List[str] = []
+        recovered: List[str] = []
+        for name, client in self.clients.items():
+            was_failed = not self.health.is_live(name)
+            if was_failed:
+                if not self.health.should_probe(name):
+                    continue
+                # Cheap single-shot probe before re-admitting the switch:
+                # a dead host should cost one connect, not a retry storm.
+                try:
+                    client.ping(retry=self.retry.fail_fast())
+                except TransportError:
+                    self.health.record_failure(name)
+                    continue
+            try:
+                sketch = client.poll(self.program)
+            except TransportError:
+                self.health.record_failure(name)
+                if not was_failed and not self.health.is_live(name):
+                    lost.append(name)
+                continue
+            self.health.record_success(name)
+            if was_failed:
+                recovered.append(name)
+            polled[name] = sketch
+
+        merged = self._factory()
+        for name in sorted(polled):
+            merged = merged.merge(polled[name])
+        covered = merged.total_weight
+
+        report = EpochReport(epoch_index=epoch_index, start_time=0.0,
+                             end_time=0.0, packets=covered)
+        report.results["coverage"] = {
+            "switches_total": len(self.clients),
+            "switches_polled": len(polled),
+            "polled": sorted(polled),
+            "failed": self.health.failed(),
+            "lost": sorted(lost),
+            "recovered": sorted(recovered),
+            "packets_covered": covered,
+            "retries": self._transport_counter("retries") - retries_before,
+            "transport_failures":
+                self._transport_counter("failures") - failures_before,
+            "health": self.health.snapshot(),
+        }
+        if polled:
+            for app in self._apps:
+                report.results[app.name] = app.on_sketch(merged, epoch_index)
+        self.health.tick()
+        return report
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def _transport_counter(self, key: str) -> int:
+        return sum(client.counters[key] for client in self.clients.values())
+
+    def transport_counters(self) -> Dict[str, int]:
+        """Aggregate client counters (calls/connects/retries/failures)."""
+        totals: Dict[str, int] = {}
+        for client in self.clients.values():
+            for key, value in client.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

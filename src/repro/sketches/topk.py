@@ -131,6 +131,14 @@ class TopK:
         rank, key = self._heap[0]
         return key, rank
 
+    def copy(self) -> "TopK":
+        """An independent snapshot (mutating either side is safe)."""
+        out = TopK.__new__(TopK)
+        out.capacity = self.capacity
+        out._estimates = dict(self._estimates)
+        out._heap = list(self._heap)
+        return out
+
     def estimate(self, key: int) -> float:
         """Tracked (signed) estimate for ``key``; KeyError if not tracked."""
         return self._estimates[key]

@@ -1,5 +1,7 @@
 """Round-trip tests for the sketch wire format."""
 
+import struct
+
 import numpy as np
 import pytest
 
@@ -96,6 +98,64 @@ class TestErrors:
             CountSketch(rows=2, width=8, seed=1)))
         data[4] = 99  # corrupt the type tag
         with pytest.raises(TraceFormatError):
+            serialization.loads(bytes(data))
+
+
+class TestHardening:
+    """Hostile payloads must raise TraceFormatError — never a raw
+    struct/numpy traceback or a giant allocation."""
+
+    # magic(4) | tag(1) | levels(4) rows(4) width(4) heap(4) seed(8)
+    # packets(8) | per level: packets(8) weight(8) nbytes(4) table ...
+    _HDR = struct.Struct("<BIIIIqq")
+
+    def _universal_header(self, levels=1, rows=1, width=8, heap=4,
+                          seed=1, packets=0):
+        return b"UMS1" + self._HDR.pack(4, levels, rows, width, heap,
+                                        seed, packets)
+
+    def test_truncation_at_every_offset_rejected(self):
+        data = serialization.dumps(filled_universal())
+        for cut in range(0, len(data), max(1, len(data) // 64)):
+            with pytest.raises(TraceFormatError):
+                serialization.loads(data[:cut])
+
+    def test_hostile_width_rejected_before_allocation(self):
+        # A 2**31 width would mean a multi-GB table allocation.
+        with pytest.raises(TraceFormatError, match="width"):
+            serialization.loads(self._universal_header(width=2 ** 31))
+
+    def test_hostile_level_count_rejected(self):
+        with pytest.raises(TraceFormatError, match="levels"):
+            serialization.loads(self._universal_header(levels=10_000))
+
+    def test_hostile_heap_capacity_rejected(self):
+        with pytest.raises(TraceFormatError, match="heap"):
+            serialization.loads(self._universal_header(heap=2 ** 30))
+
+    def test_negative_packets_rejected(self):
+        with pytest.raises(TraceFormatError):
+            serialization.loads(self._universal_header(packets=-1))
+
+    def test_table_size_mismatch_rejected(self):
+        data = bytearray(serialization.dumps(
+            CountSketch(rows=2, width=8, seed=1)))
+        # tableau layout: magic(4) tag(1) rows(4) width(4) seed(8)
+        # then table nbytes(4); lie about the table length.
+        struct.pack_into("<I", data, 21, 8)
+        with pytest.raises(TraceFormatError, match="table"):
+            serialization.loads(bytes(data))
+
+    def test_heap_count_above_capacity_rejected(self):
+        u = UniversalSketch(levels=1, rows=1, width=8, heap_size=4, seed=1)
+        data = bytearray(serialization.dumps(u))
+        # First level's topk header follows the 37-byte universal header
+        # plus packets/weight (16) and the length-prefixed table.
+        table_off = 37 + 16
+        (nbytes,) = struct.unpack_from("<I", data, table_off)
+        count_off = table_off + 4 + nbytes + 4  # skip capacity field
+        struct.pack_into("<I", data, count_off, u.heap_size + 1)
+        with pytest.raises(TraceFormatError, match="capacity"):
             serialization.loads(bytes(data))
 
 

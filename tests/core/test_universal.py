@@ -172,6 +172,36 @@ class TestLinearity:
             assert np.array_equal(lw.sketch.table, lm.sketch.table)
 
 
+class TestCopy:
+    def test_copy_is_deep_for_mutable_state(self):
+        original = make(seed=20)
+        rng = np.random.default_rng(2)
+        original.update_array(rng.integers(0, 500, size=2000)
+                              .astype(np.uint64))
+        clone = original.copy()
+        assert clone is not original
+        assert clone.total_weight == original.total_weight
+        for lo, lc in zip(original.levels, clone.levels):
+            assert np.array_equal(lo.sketch.table, lc.sketch.table)
+            assert dict(lo.topk.items()) == dict(lc.topk.items())
+
+        # Mutating the clone must not leak into the original.
+        before_tables = [l.sketch.table.copy() for l in original.levels]
+        before_heap = dict(original.levels[0].topk.items())
+        clone.update(999_999, 50_000)
+        assert original.total_weight != clone.total_weight
+        for level, table in zip(original.levels, before_tables):
+            assert np.array_equal(level.sketch.table, table)
+        assert dict(original.levels[0].topk.items()) == before_heap
+
+    def test_copy_stays_mergeable_with_original(self):
+        original = make(seed=21)
+        original.update(7, 5)
+        merged = original.copy().merge(original)
+        assert merged.total_weight == 10
+        assert merged.levels[0].sketch.query(7) == pytest.approx(10)
+
+
 class TestAccounting:
     def test_memory_is_sum_of_levels(self):
         u = make(levels=4)

@@ -1,0 +1,30 @@
+"""Network-suite fixtures: a per-test watchdog so no hung socket can
+wedge CI (the chaos tests intentionally drop/stall connections)."""
+
+import os
+import signal
+
+import pytest
+
+_TIMEOUT_SECONDS = int(os.environ.get("REPRO_NETWORK_TEST_TIMEOUT", "30"))
+
+
+@pytest.fixture(autouse=True)
+def _network_test_timeout():
+    """Fail any test in this package that runs longer than the timeout."""
+    if not hasattr(signal, "SIGALRM"):  # non-POSIX: no watchdog
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"network test exceeded {_TIMEOUT_SECONDS}s watchdog "
+            f"(hung socket?)")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -70,6 +70,37 @@ class TestEpochLoop:
             pytest.approx(estimate_cardinality(central), rel=0.15)
 
 
+class TestMergeAliasing:
+    def test_single_survivor_merge_is_a_copy(self, tiny_trace):
+        """Regression: with one surviving switch the merged sketch used
+        to *be* the live per-switch sketch, so mutating the merge result
+        corrupted data-plane state."""
+        coordinator = make(epoch_seconds=10.0)
+        for switch in ("edge1", "edge2"):
+            coordinator.mark_failed(switch)
+        coordinator._monitor.process_trace(tiny_trace)
+        live = coordinator._monitor.sketches["edge0"]
+        before = live.total_weight
+        merged = coordinator._merge_surviving()
+        assert merged is not live
+        merged.update(12345, 10_000)
+        assert live.total_weight == before
+
+    def test_single_switch_network_sketch_is_a_copy(self, tiny_trace):
+        from repro.network.distributed import DistributedMonitor
+        monitor = DistributedMonitor(NetworkTopology.line(1),
+                                     sketch_factory=factory)
+        monitor.process_trace(tiny_trace)
+        live = monitor.sketches[monitor.topology.switches[0]]
+        before = live.total_weight
+        merged = monitor.network_sketch()
+        assert merged is not live
+        merged.update(12345, 10_000)
+        assert live.total_weight == before
+        # The snapshot itself is fully functional.
+        assert merged.total_weight == before + 10_000
+
+
 class TestFailureInjection:
     def test_failed_switch_degrades_coverage(self, small_trace):
         coordinator = make(epoch_seconds=10.0)

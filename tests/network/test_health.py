@@ -1,0 +1,83 @@
+"""Tests for the failure-detection state machine (no sockets)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.health import HealthState, HealthTracker
+
+
+def make(**kwargs):
+    defaults = dict(suspect_after=1, fail_after=3, probe_every=2)
+    defaults.update(kwargs)
+    return HealthTracker(["s0", "s1"], **defaults)
+
+
+class TestConfiguration:
+    def test_thresholds_validated(self):
+        with pytest.raises(ConfigurationError):
+            make(suspect_after=0)
+        with pytest.raises(ConfigurationError):
+            make(suspect_after=3, fail_after=2)
+        with pytest.raises(ConfigurationError):
+            make(probe_every=0)
+        with pytest.raises(ConfigurationError):
+            HealthTracker([])
+
+    def test_unknown_switch_rejected_everywhere(self):
+        tracker = make()
+        for method in (tracker.record_success, tracker.record_failure,
+                       tracker.state, tracker.is_live, tracker.should_probe):
+            with pytest.raises(ConfigurationError):
+                method("nope")
+
+
+class TestStateMachine:
+    def test_starts_healthy(self):
+        tracker = make()
+        assert tracker.state("s0") is HealthState.HEALTHY
+        assert tracker.live() == ["s0", "s1"]
+        assert tracker.failed() == []
+
+    def test_failure_escalation(self):
+        tracker = make(suspect_after=1, fail_after=3)
+        assert tracker.record_failure("s0") is HealthState.SUSPECT
+        assert tracker.record_failure("s0") is HealthState.SUSPECT
+        assert tracker.record_failure("s0") is HealthState.FAILED
+        assert not tracker.is_live("s0")
+        assert tracker.failed() == ["s0"]
+        # The other switch is untouched.
+        assert tracker.state("s1") is HealthState.HEALTHY
+
+    def test_success_resets_streak(self):
+        tracker = make(fail_after=2)
+        tracker.record_failure("s0")
+        tracker.record_success("s0")
+        assert tracker.state("s0") is HealthState.HEALTHY
+        # The streak restarted: one more failure is SUSPECT, not FAILED.
+        assert tracker.record_failure("s0") is HealthState.SUSPECT
+
+    def test_recovery_counts(self):
+        tracker = make(fail_after=1)
+        tracker.record_failure("s0")
+        assert tracker.state("s0") is HealthState.FAILED
+        tracker.record_success("s0")
+        assert tracker.state("s0") is HealthState.HEALTHY
+        assert tracker.snapshot()["s0"]["recoveries"] == 1
+
+
+class TestProbing:
+    def test_probe_cadence_is_epoch_driven(self):
+        tracker = make(fail_after=1, probe_every=2)
+        tracker.record_failure("s0")
+        # Just failed (epochs_failed == 0): due immediately.
+        assert tracker.should_probe("s0")
+        tracker.tick()
+        assert not tracker.should_probe("s0")
+        tracker.tick()
+        assert tracker.should_probe("s0")
+
+    def test_healthy_switch_never_probe_due(self):
+        tracker = make()
+        assert not tracker.should_probe("s0")
+        tracker.tick()
+        assert not tracker.should_probe("s0")

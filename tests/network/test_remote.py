@@ -1,0 +1,206 @@
+"""Tests for the fault-tolerant remote coordinator (real sockets)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, TransportError
+from repro.controlplane.apps.cardinality import CardinalityApp
+from repro.controlplane.rpc import RemoteSwitchClient, RetryPolicy, SwitchAgent
+from repro.network.health import HealthState, HealthTracker
+from repro.network.remote import RemoteCoordinator
+from repro.dataplane.keys import src_ip_key
+from repro.dataplane.switch import MonitoredSwitch
+from repro.core.universal import UniversalSketch
+
+
+def factory():
+    return UniversalSketch(levels=5, rows=3, width=256, heap_size=16, seed=3)
+
+
+def make_agent(name="s0", port=0):
+    switch = MonitoredSwitch(name)
+    switch.attach("univmon", factory, src_ip_key)
+    return SwitchAgent(switch, port=port).start()
+
+
+NO_SLEEP = lambda seconds: None  # noqa: E731
+FAST = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+def make_coordinator(agents, **kwargs):
+    kwargs.setdefault("sketch_factory", factory)
+    kwargs.setdefault("retry", FAST)
+    kwargs.setdefault("sleep", NO_SLEEP)
+    kwargs.setdefault("health",
+                      HealthTracker(agents, suspect_after=1, fail_after=1))
+    return RemoteCoordinator(
+        {name: agent.address for name, agent in agents.items()}, **kwargs)
+
+
+@pytest.fixture()
+def two_agents():
+    agents = {"s0": make_agent("s0"), "s1": make_agent("s1")}
+    yield agents
+    for agent in agents.values():
+        agent.stop()
+
+
+class TestConfiguration:
+    def test_needs_agents(self):
+        with pytest.raises(ConfigurationError):
+            RemoteCoordinator({})
+
+    def test_needs_seeded_factory(self, two_agents):
+        with pytest.raises(ConfigurationError):
+            make_coordinator(
+                two_agents,
+                sketch_factory=lambda: UniversalSketch(levels=3, rows=3,
+                                                       width=64, seed=None))
+
+    def test_duplicate_app_rejected(self, two_agents):
+        with make_coordinator(two_agents) as coordinator:
+            coordinator.register(CardinalityApp())
+            with pytest.raises(ConfigurationError):
+                coordinator.register(CardinalityApp())
+
+
+class TestHappyPath:
+    def test_full_coverage_epoch(self, two_agents, tiny_trace):
+        for agent in two_agents.values():
+            agent.switch.process_trace(tiny_trace)
+        with make_coordinator(two_agents) as coordinator:
+            coordinator.register(CardinalityApp())
+            report = coordinator.run_epoch()
+        coverage = report["coverage"]
+        assert coverage["switches_polled"] == 2
+        assert coverage["lost"] == [] and coverage["failed"] == []
+        assert coverage["packets_covered"] == 2 * len(tiny_trace)
+        assert report.packets == 2 * len(tiny_trace)
+        assert coverage["retries"] == 0
+        assert report["cardinality"]["distinct"] > 0
+
+    def test_epoch_indices_autoincrement(self, two_agents):
+        with make_coordinator(two_agents) as coordinator:
+            reports = coordinator.run_epochs(3)
+        assert [r.epoch_index for r in reports] == [0, 1, 2]
+
+    def test_poll_resets_between_epochs(self, two_agents, tiny_trace):
+        with make_coordinator(two_agents) as coordinator:
+            two_agents["s0"].switch.process_trace(tiny_trace)
+            first = coordinator.run_epoch()
+            second = coordinator.run_epoch()
+        assert first["coverage"]["packets_covered"] == len(tiny_trace)
+        assert second["coverage"]["packets_covered"] == 0
+
+
+class TestDegradation:
+    def test_dead_agent_auto_marked_failed(self, two_agents, tiny_trace):
+        two_agents["s0"].switch.process_trace(tiny_trace)
+        with make_coordinator(two_agents) as coordinator:
+            coordinator.register(CardinalityApp())
+            two_agents["s1"].stop()
+            report = coordinator.run_epoch()
+        coverage = report["coverage"]
+        assert coverage["lost"] == ["s1"]
+        assert coverage["failed"] == ["s1"]
+        assert coverage["switches_polled"] == 1
+        assert coverage["packets_covered"] == len(tiny_trace)
+        # Retries were burned on the dead switch and reported.
+        assert coverage["retries"] == FAST.max_attempts - 1
+        assert coverage["transport_failures"] == 1
+        # Apps still run on the surviving coverage.
+        assert report["cardinality"]["distinct"] > 0
+
+    def test_failed_switch_skipped_not_retried(self, two_agents):
+        with make_coordinator(
+                two_agents,
+                health=HealthTracker(two_agents, fail_after=1,
+                                     probe_every=3)) as coordinator:
+            two_agents["s1"].stop()
+            coordinator.run_epoch()  # marks s1 FAILED (epochs_failed -> 1)
+            before = coordinator.transport_counters()["calls"]
+            report = coordinator.run_epoch()  # probe not due: s1 skipped
+            after = coordinator.transport_counters()["calls"]
+        assert report["coverage"]["switches_polled"] == 1
+        assert after - before == 1  # only s0 was contacted at all
+
+    def test_all_agents_dead_yields_empty_epoch(self, two_agents):
+        with make_coordinator(two_agents) as coordinator:
+            coordinator.register(CardinalityApp())
+            for agent in two_agents.values():
+                agent.stop()
+            report = coordinator.run_epoch()
+        assert report["coverage"]["switches_polled"] == 0
+        assert report["coverage"]["packets_covered"] == 0
+        assert "cardinality" not in report.results
+
+
+class TestRecovery:
+    def test_restarted_agent_is_probed_back(self, two_agents, tiny_trace):
+        with make_coordinator(two_agents) as coordinator:
+            host, port = two_agents["s1"].address
+            two_agents["s1"].stop()
+            report = coordinator.run_epoch()
+            assert report["coverage"]["failed"] == ["s1"]
+
+            two_agents["s1"] = make_agent("s1", port=port)
+            two_agents["s1"].switch.process_trace(tiny_trace)
+            report = coordinator.run_epoch()
+        coverage = report["coverage"]
+        assert coverage["recovered"] == ["s1"]
+        assert coverage["failed"] == []
+        assert coverage["switches_polled"] == 2
+        assert coverage["packets_covered"] == len(tiny_trace)
+        assert coverage["health"]["s1"]["recoveries"] == 1
+
+    def test_probe_is_single_shot(self, two_agents):
+        """A still-dead FAILED switch costs one connect, not a retry storm."""
+        with make_coordinator(two_agents) as coordinator:
+            two_agents["s1"].stop()
+            coordinator.run_epoch()
+            retries_before = coordinator.transport_counters()["retries"]
+            coordinator.run_epoch()  # probe_every=1: ping probe fails fast
+            retries_after = coordinator.transport_counters()["retries"]
+        assert retries_after == retries_before
+
+
+class TestDeterministicBackoff:
+    def test_retry_delays_follow_seeded_policy(self):
+        """The slept delays are exactly the policy's seeded schedule."""
+        policy = RetryPolicy(max_attempts=4, base_delay=0.05, multiplier=2.0,
+                             max_delay=10.0, jitter=0.25, seed=42)
+        slept = []
+        client = RemoteSwitchClient("127.0.0.1", 1, retry=policy,
+                                    sleep=slept.append, timeout=0.2)
+        with pytest.raises(TransportError):
+            client._call("PING")
+
+        rng = random.Random(42)
+        expected = [policy.backoff(i, rng) for i in range(3)]
+        assert slept == expected
+        assert client.counters["retries"] == 3
+        assert client.counters["failures"] == 1
+
+    def test_two_clients_same_seed_same_schedule(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, seed=7)
+        schedules = []
+        for _ in range(2):
+            slept = []
+            client = RemoteSwitchClient("127.0.0.1", 1, retry=policy,
+                                        sleep=slept.append, timeout=0.2)
+            with pytest.raises(TransportError):
+                client.ping()
+            schedules.append(slept)
+        assert schedules[0] == schedules[1]
+
+
+class TestHealthStates:
+    def test_suspect_before_failed(self, two_agents):
+        tracker = HealthTracker(two_agents, suspect_after=1, fail_after=2)
+        with make_coordinator(two_agents, health=tracker) as coordinator:
+            two_agents["s1"].stop()
+            coordinator.run_epoch()
+            assert tracker.state("s1") is HealthState.SUSPECT
+            coordinator.run_epoch()
+            assert tracker.state("s1") is HealthState.FAILED
