@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-network bench bench-quick bench-smoke results \
-        examples lint clean
+.PHONY: install test test-network test-acceptance coverage bench \
+        bench-quick bench-smoke results examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,12 +15,29 @@ test-out:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 
 # Remote-collection suites: RPC framing/retries, health tracking, the
-# RemoteCoordinator epoch loop, and the chaos harness. Each test runs
-# under a SIGALRM watchdog (tests/network/conftest.py) so a wedged
-# socket fails the test instead of hanging the run.
+# RemoteCoordinator epoch loop, and the chaos harness. Every test in the
+# repo runs under the SIGALRM watchdog in tests/conftest.py; this target
+# tightens it so a wedged socket fails fast instead of hanging the run.
 test-network:
-	REPRO_NETWORK_TEST_TIMEOUT=30 PYTHONPATH=src:$(PYTHONPATH) \
+	REPRO_TEST_TIMEOUT=30 PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest tests/controlplane/test_rpc.py tests/network -q
+
+# Statistical acceptance suite (seeded error ceilings per paper task)
+# plus the instrumentation-overhead guard; excluded from `make test` by
+# the default marker filter in pyproject.toml.
+test-acceptance:
+	PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest tests/acceptance -q -m "acceptance or slow"
+
+# Line coverage of the observability layer (src/repro/obs), failing
+# under 85%. Skips cleanly when coverage.py is not installed.
+coverage:
+	@$(PYTHON) -c "import coverage" 2>/dev/null \
+	    || { echo "coverage.py not installed; skipping coverage gate"; \
+	         exit 0; } \
+	    && PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m coverage run \
+	        --source=src/repro/obs -m pytest tests/obs -q \
+	    && $(PYTHON) -m coverage report -m --fail-under=85
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
@@ -33,9 +50,10 @@ bench-quick:
 # Ingest-path smoke: asserts the bulk-update speedup floors over the
 # np.add.at baseline and the BatchIngest rates on a small trace, and
 # refreshes benchmarks/results/BENCH_throughput.json. Runs the
-# remote-collection suites first so a broken poll path fails the smoke
-# check before any benchmark numbers are published.
-bench-smoke: test-network
+# remote-collection suites, the statistical acceptance suite, and the
+# obs coverage gate first, so a broken poll path or a degraded estimator
+# fails the smoke check before any benchmark numbers are published.
+bench-smoke: test-network test-acceptance coverage
 	REPRO_BENCH_QUICK=1 PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest benchmarks/bench_throughput.py -q -s \
 	    -k "speedup or batch_ingest"

@@ -15,6 +15,10 @@ Subcommands
 - ``coordinate`` — fault-tolerant epoch loop over several running
   agents: retries with backoff, auto-marks unreachable switches failed,
   probes them back, and prints per-epoch coverage.
+- ``metrics`` — run a (synthetic or given) trace through the fully
+  instrumented stack and export the metrics registry as Prometheus-style
+  text or JSON.  ``run`` and ``coordinate`` also take
+  ``--metrics-json PATH`` to dump a registry snapshot after the run.
 """
 
 from __future__ import annotations
@@ -58,6 +62,31 @@ def _add_run(sub: argparse._SubParsersAction) -> None:
                    help="sketch memory budget per epoch")
     p.add_argument("--key", default="src_ip",
                    choices=["src_ip", "dst_ip", "src_dst", "five_tuple"])
+    p.add_argument("--metrics-json", default=None, metavar="PATH",
+                   help="collect metrics during the run and write a JSON "
+                        "registry snapshot to PATH")
+
+
+def _add_metrics(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "metrics",
+        help="run an instrumented workload and export the metrics registry")
+    p.add_argument("--trace", default=None,
+                   help="input .csv or .pcap trace (default: a seeded "
+                        "synthetic Zipf trace)")
+    p.add_argument("--packets", type=int, default=20_000,
+                   help="synthetic trace size (ignored with --trace)")
+    p.add_argument("--flows", type=int, default=3_000)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--duration", type=float, default=10.0)
+    p.add_argument("--epoch", type=float, default=5.0)
+    p.add_argument("--memory-kb", type=int, default=256)
+    p.add_argument("--key", default="src_ip",
+                   choices=["src_ip", "dst_ip", "src_dst", "five_tuple"])
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="exposition format (Prometheus-style text or JSON)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the export to PATH instead of stdout")
 
 
 def _add_experiment(sub: argparse._SubParsersAction) -> None:
@@ -126,6 +155,9 @@ def _add_coordinate(sub: argparse._SubParsersAction) -> None:
                    help="consecutive failures before a switch is FAILED")
     p.add_argument("--probe-every", type=int, default=1,
                    help="probe FAILED switches every N epochs")
+    p.add_argument("--metrics-json", default=None, metavar="PATH",
+                   help="collect metrics during the run and write a JSON "
+                        "registry snapshot to PATH")
     _add_retry_options(p)
 
 
@@ -143,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_agent(sub)
     _add_poll(sub)
     _add_coordinate(sub)
+    _add_metrics(sub)
     return parser
 
 
@@ -181,7 +214,28 @@ def _load_trace(path: str):
     return load_csv(path)
 
 
+def _with_metrics_json(path: Optional[str], command) -> int:
+    """Run ``command()`` under a fresh global registry, dumping JSON.
+
+    With no path the command runs against whatever registry is already
+    installed (the no-op default: zero instrumentation cost).
+    """
+    if path is None:
+        return command()
+    from repro.obs import MetricsRegistry, to_json, use_registry
+    with use_registry(MetricsRegistry()) as registry:
+        code = command()
+        with open(path, "w") as out:
+            out.write(to_json(registry))
+    print(f"wrote metrics snapshot to {path}")
+    return code
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    return _with_metrics_json(args.metrics_json, lambda: _run_monitor(args))
+
+
+def _run_monitor(args: argparse.Namespace) -> int:
     from repro.controlplane import (CardinalityApp, ChangeDetectionApp,
                                     Controller, DDoSApp, EntropyApp,
                                     HeavyHitterApp)
@@ -376,7 +430,49 @@ def _cmd_poll(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry, to_json, to_text, use_registry
+    from repro.controlplane import (CardinalityApp, EntropyApp,
+                                    HeavyHitterApp)
+    from repro.controlplane.controller import Controller
+    from repro.dataplane.keys import KEY_FUNCTIONS
+    from repro.dataplane.trace import SyntheticTraceConfig, generate_trace
+    from repro.core.universal import UniversalSketch
+
+    if args.trace is not None:
+        trace = _load_trace(args.trace)
+    else:
+        trace = generate_trace(SyntheticTraceConfig(
+            packets=args.packets, flows=args.flows, duration=args.duration,
+            seed=args.seed))
+    budget = args.memory_kb * 1024
+    factory = lambda: UniversalSketch.for_memory_budget(  # noqa: E731
+        budget, levels=12, rows=5, heap_size=64, seed=1)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        controller = Controller(sketch_factory=factory,
+                                key_function=KEY_FUNCTIONS[args.key],
+                                epoch_seconds=args.epoch)
+        controller.register(HeavyHitterApp(alpha=0.005)) \
+                  .register(EntropyApp()).register(CardinalityApp())
+        controller.run_trace(trace)
+    rendered = to_json(registry) if args.format == "json" \
+        else to_text(registry)
+    if args.out:
+        with open(args.out, "w") as out:
+            out.write(rendered)
+        print(f"wrote {args.format} metrics export to {args.out}")
+    else:
+        print(rendered, end="")
+    return 0
+
+
 def _cmd_coordinate(args: argparse.Namespace) -> int:
+    return _with_metrics_json(args.metrics_json,
+                              lambda: _coordinate_loop(args))
+
+
+def _coordinate_loop(args: argparse.Namespace) -> int:
     import time
 
     from repro.controlplane.apps.cardinality import CardinalityApp
@@ -450,6 +546,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_poll(args)
     if args.command == "coordinate":
         return _cmd_coordinate(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     return 2
 
 

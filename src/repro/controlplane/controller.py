@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs import observe_sketch
+from repro.obs.metrics import get_registry
 from repro.controlplane.apps.base import MonitoringApp
 from repro.dataplane.keys import KeyFunction, src_ip_key
 from repro.dataplane.switch import MonitoredSwitch
@@ -88,14 +90,29 @@ class Controller:
 
     def run_epoch(self, epoch_trace: Trace, epoch_index: int) -> EpochReport:
         """Feed one epoch through the switch, poll, and estimate."""
-        self.switch.process_trace(epoch_trace)
+        reg = get_registry()
+        with reg.span("univmon_epoch_ingest_seconds",
+                      help="wall time feeding one epoch into the switch"):
+            self.switch.process_trace(epoch_trace)
         sealed = self.switch.poll("univmon")
+        observe_sketch(sealed, reg)
+        reg.counter("univmon_epochs_total",
+                    help="epochs sealed by the controller").inc()
+        reg.counter("univmon_epoch_packets_total",
+                    help="packets covered across all sealed epochs").inc(
+                        len(epoch_trace))
+        reg.gauge("univmon_epoch_packets",
+                  help="packets in the last sealed epoch").set(
+                      len(epoch_trace))
         t0 = float(epoch_trace.timestamps[0]) if len(epoch_trace) else 0.0
         t1 = float(epoch_trace.timestamps[-1]) if len(epoch_trace) else 0.0
         report = EpochReport(epoch_index=epoch_index, start_time=t0,
                              end_time=t1, packets=len(epoch_trace))
         for app in self._apps:
-            report.results[app.name] = app.on_sketch(sealed, epoch_index)
+            with reg.span("univmon_app_seconds",
+                          help="per-app estimation latency",
+                          app=app.name):
+                report.results[app.name] = app.on_sketch(sealed, epoch_index)
         return report
 
     def reset(self) -> None:

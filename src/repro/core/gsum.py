@@ -26,6 +26,7 @@ import math
 import weakref
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.metrics import get_registry
 from repro.core.gfunctions import (
     ABS,
     CARDINALITY,
@@ -36,6 +37,18 @@ from repro.core.gfunctions import (
     make_moment,
     require_stream_polylog,
 )
+
+
+def _query_span(op: str):
+    """Latency span for one control-plane estimate (no-op by default).
+
+    Spans live here — on the public estimators — rather than on the
+    :class:`~repro.core.universal.UniversalSketch` wrapper methods, so
+    the apps (which call these functions directly) and the sketch
+    methods record into the same ``op=`` series exactly once.
+    """
+    return get_registry().span("univmon_sketch_query_seconds",
+                               help="control-plane estimate latency", op=op)
 
 # Validation cache keyed by g-function *identity* (id -> weakref).  Keying
 # by name let a user-defined GFunction reuse a stock name (e.g.
@@ -98,16 +111,18 @@ def g_core(sketch, fraction: float,
     hitters); pass the estimated total change when ``sketch`` is a
     difference sketch (heavy changes).
     """
-    if total is None:
-        total = float(sketch.total_weight)
-    threshold = fraction * total
-    q0 = sketch.levels[0].heavy_hitters()
-    return [(key, w) for key, w in q0 if abs(w) >= threshold]
+    with _query_span("heavy_hitters"):
+        if total is None:
+            total = float(sketch.total_weight)
+        threshold = fraction * total
+        q0 = sketch.levels[0].heavy_hitters()
+        return [(key, w) for key, w in q0 if abs(w) >= threshold]
 
 
 def estimate_cardinality(sketch) -> float:
     """F0 (# distinct keys) via ``g(x) = x**0`` — the DDoS primitive."""
-    return max(0.0, estimate_gsum(sketch, CARDINALITY))
+    with _query_span("cardinality"):
+        return max(0.0, estimate_gsum(sketch, CARDINALITY))
 
 
 def estimate_l1(sketch) -> float:
@@ -116,18 +131,21 @@ def estimate_l1(sketch) -> float:
     On an insert-only sketch this re-derives the stream weight (a useful
     self-check); on a difference sketch it estimates the total change D.
     """
-    return max(0.0, estimate_gsum(sketch, ABS))
+    with _query_span("l1"):
+        return max(0.0, estimate_gsum(sketch, ABS))
 
 
 def estimate_l2(sketch) -> float:
     """L2 norm straight off the level-0 Count Sketch (no recursion needed;
     F2 is what Count Sketch natively estimates)."""
-    return sketch.levels[0].sketch.l2_estimate()
+    with _query_span("l2"):
+        return sketch.levels[0].sketch.l2_estimate()
 
 
 def estimate_f2(sketch) -> float:
     """Second frequency moment from the level-0 Count Sketch."""
-    return sketch.levels[0].sketch.f2_estimate()
+    with _query_span("f2"):
+        return sketch.levels[0].sketch.f2_estimate()
 
 
 # One GFunction per entropy log-base: rebuilding the lambda per call both
@@ -152,23 +170,25 @@ def estimate_entropy(sketch, base: float = 2.0) -> float:
 
     The result is clamped to the feasible range ``[0, log n_est]``.
     """
-    m = float(sketch.total_weight)
-    if m <= 0:
-        return 0.0
-    if base == 2.0:
-        g = ENTROPY_SUM
-        log_m = math.log2(m)
-    else:
-        log_m = math.log(m) / math.log(base)
-        g = ENTROPY_NATS if base == math.e else _entropy_gfunction(base)
-    s = estimate_gsum(sketch, g)
-    h = log_m - s / m
-    return min(max(h, 0.0), log_m)
+    with _query_span("entropy"):
+        m = float(sketch.total_weight)
+        if m <= 0:
+            return 0.0
+        if base == 2.0:
+            g = ENTROPY_SUM
+            log_m = math.log2(m)
+        else:
+            log_m = math.log(m) / math.log(base)
+            g = ENTROPY_NATS if base == math.e else _entropy_gfunction(base)
+        s = estimate_gsum(sketch, g)
+        h = log_m - s / m
+        return min(max(h, 0.0), log_m)
 
 
 def estimate_moment(sketch, p: float) -> float:
     """Frequency moment ``F_p = sum f_i**p`` for ``0 <= p <= 2``."""
-    return max(0.0, estimate_gsum(sketch, make_moment(p)))
+    with _query_span("moment"):
+        return max(0.0, estimate_gsum(sketch, make_moment(p)))
 
 
 def heavy_changes(sketch_a, sketch_b, phi: float,
@@ -185,14 +205,16 @@ def heavy_changes(sketch_a, sketch_b, phi: float,
         ``changes`` is a list of ``(key, signed_delta_estimate)`` sorted
         by magnitude; ``total_change`` is the estimated D.
     """
-    diff = sketch_a.subtract(sketch_b)
-    total = estimate_l1(diff)
-    if total <= 0:
-        return [], 0.0
-    threshold = max(phi * total, min_change)
-    q0 = diff.levels[0].heavy_hitters()
-    changes = [(key, w) for key, w in q0 if abs(w) >= threshold]
-    return changes, total
+    with _query_span("heavy_changes"):
+        diff = sketch_a.subtract(sketch_b)
+        # estimate_gsum directly (not estimate_l1): one span per query.
+        total = max(0.0, estimate_gsum(diff, ABS))
+        if total <= 0:
+            return [], 0.0
+        threshold = max(phi * total, min_change)
+        q0 = diff.levels[0].heavy_hitters()
+        changes = [(key, w) for key, w in q0 if abs(w) >= threshold]
+        return changes, total
 
 
 __all__ = [

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, IncompatibleSketchError
 from repro.hashing.sampling import LevelSampler
+from repro.obs.metrics import get_registry
 from repro.core.level import SketchLevel
 from repro.sketches.base import Sketch, UpdateCost
 from repro.sketches.topk import TopK
@@ -139,6 +140,19 @@ class UniversalSketch(Sketch):
         n = len(keys)
         if n == 0:
             return
+        # Chunk-granularity instrumentation: with the default no-op
+        # registry these are a handful of no-op calls per *batch*, so
+        # the hot path stays within noise of uninstrumented code (the
+        # per-packet scalar path is deliberately left untouched).
+        reg = get_registry()
+        with reg.span("univmon_sketch_update_seconds",
+                      help="bulk update latency per batch"):
+            self._update_array(keys, weights, n)
+        reg.counter("univmon_sketch_update_packets_total",
+                    help="packets folded in through the bulk path").inc(n)
+
+    def _update_array(self, keys: np.ndarray,
+                      weights: Optional[np.ndarray], n: int) -> None:
         depths = self.sampler.deepest_level_array(keys)
         order = np.argsort(depths, kind="stable")
         keys = keys[order]
@@ -172,6 +186,12 @@ class UniversalSketch(Sketch):
     # control-plane entry points (thin wrappers over repro.core.gsum)
     # ------------------------------------------------------------------ #
 
+    # Query-latency spans (univmon_sketch_query_seconds{op=}) are
+    # recorded inside repro.core.gsum's public estimators, so the apps
+    # (which call those functions directly) and these wrappers land in
+    # the same series exactly once.  g_sum is the exception: it wraps
+    # the unspanned estimate_gsum primitive.
+
     def heavy_hitters(self, fraction: float) -> List[Tuple[int, float]]:
         """G-core for g(x)=x: keys estimated above ``fraction`` of total."""
         from repro.core.gsum import g_core
@@ -180,7 +200,10 @@ class UniversalSketch(Sketch):
     def g_sum(self, g) -> float:
         """Estimate ``G-sum`` for any Stream-PolyLog g (Algorithm 2)."""
         from repro.core.gsum import estimate_gsum
-        return estimate_gsum(self, g)
+        with get_registry().span("univmon_sketch_query_seconds",
+                                 help="control-plane estimate latency",
+                                 op="g_sum"):
+            return estimate_gsum(self, g)
 
     def cardinality(self) -> float:
         from repro.core.gsum import estimate_cardinality

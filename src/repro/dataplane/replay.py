@@ -25,6 +25,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import get_registry
 from repro.dataplane.trace import Trace
 
 
@@ -140,23 +141,35 @@ class BatchIngest:
         keys = np.asarray(keys, dtype=np.uint64)
         sketch = self.sketch
         bulk = getattr(sketch, "update_array", None)
+        reg = get_registry()
         chunks = 0
         start = self._clock()
         for lo in range(0, len(keys), self.chunk_size):
             chunk = keys[lo:lo + self.chunk_size]
             wchunk = None if weights is None \
                 else weights[lo:lo + self.chunk_size]
-            if bulk is not None:
-                bulk(chunk, wchunk)
-            elif wchunk is None:
-                for k in chunk.tolist():
-                    sketch.update(int(k))
-            else:
-                for k, w in zip(chunk.tolist(), wchunk.tolist()):
-                    sketch.update(int(k), int(w))
+            with reg.span("univmon_ingest_chunk_seconds",
+                          help="wall time per ingest chunk"):
+                if bulk is not None:
+                    bulk(chunk, wchunk)
+                elif wchunk is None:
+                    for k in chunk.tolist():
+                        sketch.update(int(k))
+                else:
+                    for k, w in zip(chunk.tolist(), wchunk.tolist()):
+                        sketch.update(int(k), int(w))
             chunks += 1
-        return IngestReport(packets=len(keys), chunks=chunks,
-                            seconds=self._clock() - start)
+        report = IngestReport(packets=len(keys), chunks=chunks,
+                              seconds=self._clock() - start)
+        reg.counter("univmon_ingest_packets_total",
+                    help="packets pushed through BatchIngest").inc(
+                        report.packets)
+        reg.counter("univmon_ingest_chunks_total",
+                    help="chunks pushed through BatchIngest").inc(chunks)
+        reg.gauge("univmon_ingest_packets_per_second",
+                  help="achieved rate of the last ingest run").set(
+                      report.packets_per_second)
+        return report
 
     def ingest(self, trace: Trace,
                weights: Optional[np.ndarray] = None) -> IngestReport:

@@ -14,6 +14,8 @@ from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+
 
 @dataclass(frozen=True)
 class TrialStats:
@@ -51,11 +53,16 @@ def run_sweep(xs: Sequence[float],
     same (x, run) share a trace when the trial function derives its trace
     from the seed — paired comparison, lower variance.
     """
+    reg = get_registry()
     points = []
     for x in xs:
         samples: Dict[str, List[float]] = {}
         for run in range(runs):
-            result = trial(x, base_seed + run)
+            with reg.span("univmon_eval_trial_seconds",
+                          help="wall time of one sweep trial"):
+                result = trial(x, base_seed + run)
+            reg.counter("univmon_eval_trials_total",
+                        help="sweep trials executed").inc()
             for name, value in result.items():
                 samples.setdefault(name, []).append(float(value))
         points.append(SweepPoint(

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import get_registry
 
 
 class HealthState(enum.Enum):
@@ -104,6 +105,15 @@ class HealthTracker:
         except KeyError:
             raise ConfigurationError(f"unknown switch {name!r}") from None
 
+    @staticmethod
+    def _transition(record: SwitchHealth, to: HealthState) -> None:
+        """Move ``record`` to ``to``, exporting the edge as a counter."""
+        get_registry().counter(
+            "univmon_health_transitions_total",
+            help="switch health state-machine transitions",
+            from_state=record.state.value, to_state=to.value).inc()
+        record.state = to
+
     def record_success(self, name: str) -> HealthState:
         record = self._record(name)
         record.successes += 1
@@ -111,7 +121,7 @@ class HealthTracker:
         if record.state is not HealthState.HEALTHY:
             if record.state is HealthState.FAILED:
                 record.recoveries += 1
-            record.state = HealthState.HEALTHY
+            self._transition(record, HealthState.HEALTHY)
             record.epochs_failed = 0
         return record.state
 
@@ -121,11 +131,11 @@ class HealthTracker:
         record.consecutive_failures += 1
         if record.consecutive_failures >= self.fail_after:
             if record.state is not HealthState.FAILED:
-                record.state = HealthState.FAILED
+                self._transition(record, HealthState.FAILED)
                 record.epochs_failed = 0
         elif record.consecutive_failures >= self.suspect_after:
             if record.state is HealthState.HEALTHY:
-                record.state = HealthState.SUSPECT
+                self._transition(record, HealthState.SUSPECT)
         return record.state
 
     def tick(self) -> None:

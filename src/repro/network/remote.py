@@ -31,6 +31,7 @@ import time
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError, TransportError
+from repro.obs.metrics import get_registry
 from repro.controlplane.apps.base import MonitoringApp
 from repro.controlplane.controller import EpochReport
 from repro.controlplane.rpc import RemoteSwitchClient, RetryPolicy
@@ -125,6 +126,7 @@ class RemoteCoordinator:
             epoch_index = self._epoch
         self._epoch = epoch_index + 1
 
+        reg = get_registry()
         retries_before = self._transport_counter("retries")
         failures_before = self._transport_counter("failures")
 
@@ -144,7 +146,10 @@ class RemoteCoordinator:
                     self.health.record_failure(name)
                     continue
             try:
-                sketch = client.poll(self.program)
+                with reg.span("univmon_remote_poll_seconds",
+                              help="per-switch poll latency (incl. retries)",
+                              switch=name):
+                    sketch = client.poll(self.program)
             except TransportError:
                 self.health.record_failure(name)
                 if not was_failed and not self.health.is_live(name):
@@ -155,10 +160,36 @@ class RemoteCoordinator:
                 recovered.append(name)
             polled[name] = sketch
 
-        merged = self._factory()
-        for name in sorted(polled):
-            merged = merged.merge(polled[name])
+        with reg.span("univmon_remote_merge_seconds",
+                      help="epoch merge-fold latency"):
+            merged = self._factory()
+            for name in sorted(polled):
+                merged = merged.merge(polled[name])
         covered = merged.total_weight
+
+        epoch_retries = self._transport_counter("retries") - retries_before
+        epoch_failures = \
+            self._transport_counter("failures") - failures_before
+        reg.counter("univmon_remote_epochs_total",
+                    help="remote epochs coordinated").inc()
+        reg.counter("univmon_remote_retries_total",
+                    help="transport retries burned across epochs").inc(
+                        epoch_retries)
+        reg.counter("univmon_remote_transport_failures_total",
+                    help="transport failures across epochs").inc(
+                        epoch_failures)
+        reg.counter("univmon_remote_switches_lost_total",
+                    help="switches newly marked FAILED").inc(len(lost))
+        reg.counter("univmon_remote_switches_recovered_total",
+                    help="switches recovered from FAILED").inc(
+                        len(recovered))
+        reg.gauge("univmon_remote_switches_total",
+                  help="switches under coordination").set(len(self.clients))
+        reg.gauge("univmon_remote_switches_polled",
+                  help="switches merged into the last epoch").set(
+                      len(polled))
+        reg.gauge("univmon_remote_packets_covered",
+                  help="packets the last epoch's merge covers").set(covered)
 
         report = EpochReport(epoch_index=epoch_index, start_time=0.0,
                              end_time=0.0, packets=covered)
@@ -170,9 +201,8 @@ class RemoteCoordinator:
             "lost": sorted(lost),
             "recovered": sorted(recovered),
             "packets_covered": covered,
-            "retries": self._transport_counter("retries") - retries_before,
-            "transport_failures":
-                self._transport_counter("failures") - failures_before,
+            "retries": epoch_retries,
+            "transport_failures": epoch_failures,
             "health": self.health.snapshot(),
         }
         if polled:

@@ -1,0 +1,61 @@
+"""Observability: a zero-dependency metrics subsystem for the sketch stack.
+
+UnivMon's pitch is "one sketch, many late-bound estimates" — but a
+deployed sketch lives or dies by runtime introspection: level occupancy,
+heap evictions, per-epoch merge coverage, ingest throughput.  This
+package provides the plumbing:
+
+- :class:`MetricsRegistry` — counters, gauges, and fixed-bucket
+  histograms, keyed by Prometheus-style names and label sets;
+- :class:`~repro.obs.timing.Span` — a timer context manager backed by an
+  injectable clock, recording into a latency histogram;
+- exporters (:mod:`repro.obs.export`) — Prometheus-style text exposition
+  and a machine-readable JSON dump, with a text parser for round trips;
+- :func:`observe_sketch` — publishes a sealed universal sketch's
+  structural state (per-level occupancy, heap offer/eviction counts).
+
+The *global* registry defaults to :data:`NULL_REGISTRY`, whose metric
+objects are shared no-ops: instrumented hot paths cost a handful of
+no-op calls per *chunk* (never per packet), so the default configuration
+stays within noise of uninstrumented code — guarded by the
+overhead-guard test in ``tests/acceptance/test_overhead.py``.  Install a
+real registry with :func:`set_registry` or scope one with
+:func:`use_registry`.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.timing import NULL_SPAN, NullSpan, Span
+from repro.obs.export import parse_text, to_dict, to_json, to_text
+from repro.obs.instrument import observe_sketch
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NullRegistry",
+    "NullSpan",
+    "Span",
+    "get_registry",
+    "observe_sketch",
+    "parse_text",
+    "set_registry",
+    "to_dict",
+    "to_json",
+    "to_text",
+    "use_registry",
+]

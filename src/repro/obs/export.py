@@ -1,0 +1,184 @@
+"""Exporters: Prometheus-style text exposition and machine-readable JSON.
+
+``to_text`` renders the registry in the Prometheus exposition format
+(``# TYPE`` / ``# HELP`` comments, ``name{labels} value`` samples,
+histograms as cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+``_count``).  ``to_dict`` / ``to_json`` produce the equivalent
+machine-readable snapshot, and ``parse_text`` reads the text form back
+into exactly the ``to_dict`` structure — the round-trip contract the
+property tests in ``tests/obs`` pin down.
+
+The parser handles everything the exporter emits (simple label values
+without embedded quotes or backslashes); it is a round-trip tool, not a
+general Prometheus scraper.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    render_name,
+)
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$")
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def _fmt(value: float) -> str:
+    """Exact round-trip number rendering (ints without a trailing .0)."""
+    f = float(value)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _le_str(bound: float) -> str:
+    return _fmt(bound)
+
+
+# --------------------------------------------------------------------- #
+# snapshot (dict / JSON)
+# --------------------------------------------------------------------- #
+
+def to_dict(registry) -> Dict[str, Dict[str, object]]:
+    """Machine-readable snapshot: one entry per metric, keyed by the
+    rendered ``name{labels}`` identity."""
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, object]] = {}
+    for metric in registry.metrics():
+        rendered = render_name(metric.name, metric.labels)
+        if isinstance(metric, Counter):
+            counters[rendered] = metric.value
+        elif isinstance(metric, Gauge):
+            gauges[rendered] = metric.value
+        elif isinstance(metric, Histogram):
+            buckets = {}
+            cumulative = metric.cumulative_counts()
+            for bound, count in zip(metric.bounds, cumulative):
+                buckets[_le_str(bound)] = count
+            buckets["+Inf"] = metric.count
+            histograms[rendered] = {
+                "buckets": buckets,
+                "sum": metric.sum,
+                "count": metric.count,
+            }
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}
+
+
+def to_json(registry, indent: int = 2) -> str:
+    return json.dumps(to_dict(registry), indent=indent, sort_keys=True)
+
+
+# --------------------------------------------------------------------- #
+# text exposition
+# --------------------------------------------------------------------- #
+
+def to_text(registry) -> str:
+    """Prometheus-style exposition of every metric in the registry."""
+    by_family: Dict[str, List[object]] = {}
+    for metric in registry.metrics():
+        by_family.setdefault(metric.name, []).append(metric)
+    lines: List[str] = []
+    for name in sorted(by_family):
+        kind = registry.kind(name)
+        help_text = registry.help(name)
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for metric in by_family[name]:
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"{render_name(name, metric.labels)} "
+                             f"{_fmt(metric.value)}")
+            else:  # Histogram
+                cumulative = metric.cumulative_counts()
+                for bound, count in zip(metric.bounds, cumulative):
+                    labels = metric.labels + (("le", _le_str(bound)),)
+                    lines.append(f"{render_name(name + '_bucket', labels)} "
+                                 f"{count}")
+                labels = metric.labels + (("le", "+Inf"),)
+                lines.append(f"{render_name(name + '_bucket', labels)} "
+                             f"{metric.count}")
+                lines.append(f"{render_name(name + '_sum', metric.labels)} "
+                             f"{_fmt(metric.sum)}")
+                lines.append(f"{render_name(name + '_count', metric.labels)} "
+                             f"{metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# --------------------------------------------------------------------- #
+# text parsing (round trip)
+# --------------------------------------------------------------------- #
+
+def _parse_labels(raw: str) -> List[Tuple[str, str]]:
+    return [(k, v) for k, v in _LABEL_PAIR_RE.findall(raw or "")]
+
+
+def parse_text(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse ``to_text`` output back into the ``to_dict`` structure."""
+    types: Dict[str, str] = {}
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, object]] = {}
+
+    def _hist_entry(rendered: str) -> Dict[str, object]:
+        return histograms.setdefault(
+            rendered, {"buckets": {}, "sum": 0.0, "count": 0})
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ConfigurationError(f"unparseable exposition line {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        value = float(match.group("value"))
+
+        kind = types.get(name)
+        if kind == "counter":
+            counters[render_name(name, tuple(labels))] = value
+            continue
+        if kind == "gauge":
+            gauges[render_name(name, tuple(labels))] = value
+            continue
+        # Histogram series: name is <family>_bucket / _sum / _count.
+        for suffix in ("_bucket", "_sum", "_count"):
+            family = name[:-len(suffix)] if name.endswith(suffix) else None
+            if family and types.get(family) == "histogram":
+                base = tuple((k, v) for k, v in labels if k != "le")
+                rendered = render_name(family, base)
+                entry = _hist_entry(rendered)
+                if suffix == "_bucket":
+                    le = dict(labels).get("le")
+                    if le is None:
+                        raise ConfigurationError(
+                            f"histogram bucket without le label: {line!r}")
+                    entry["buckets"][le] = int(value)
+                elif suffix == "_sum":
+                    entry["sum"] = value
+                else:
+                    entry["count"] = int(value)
+                break
+        else:
+            raise ConfigurationError(
+                f"sample {name!r} has no preceding # TYPE line")
+    return {"counters": counters, "gauges": gauges,
+            "histograms": histograms}

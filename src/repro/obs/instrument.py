@@ -1,0 +1,58 @@
+"""Publish a universal sketch's structural state into a registry.
+
+The data-plane objects do not hold registry references (they must stay
+picklable/serialisable and cheap to copy); instead, hot paths report
+through the *global* registry at chunk granularity, and this module
+snapshots the per-object state — level occupancy, heap offer/eviction
+totals, counter fill — when a sealed sketch reaches the control plane.
+
+Call :func:`observe_sketch` exactly once per sealed sketch (the
+controller does this at every epoch poll): occupancy gauges describe
+the latest sealed sketch, while the offer/eviction counters accumulate
+across epochs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+
+
+def observe_sketch(sketch, registry: Optional[object] = None) -> None:
+    """Export per-level occupancy and heap churn for a sealed sketch.
+
+    Works on any object with a ``levels`` list of
+    :class:`~repro.core.level.SketchLevel`; silently does nothing for
+    other sketch types (the generic ingest paths accept any sketch).
+    """
+    reg = registry if registry is not None else get_registry()
+    if not reg.enabled:
+        return
+    levels = getattr(sketch, "levels", None)
+    if not levels:
+        return
+    for j, level in enumerate(levels):
+        lab = {"level": str(j)}
+        reg.gauge("univmon_level_heap_occupancy",
+                  help="keys tracked in the level's Q_j heap",
+                  **lab).set(len(level.topk))
+        reg.gauge("univmon_level_packets",
+                  help="substream packets folded into the level",
+                  **lab).set(level.packets)
+        table = level.sketch.table
+        reg.gauge("univmon_level_counter_fill_ratio",
+                  help="fraction of nonzero Count Sketch counters",
+                  **lab).set(np.count_nonzero(table) / table.size)
+        topk = level.topk
+        reg.counter("univmon_topk_offers_total",
+                    help="keys offered to the level's heap",
+                    **lab).inc(topk.offers)
+        reg.counter("univmon_topk_evictions_total",
+                    help="tracked keys evicted from the level's heap",
+                    **lab).inc(topk.evictions)
+        reg.counter("univmon_topk_rejections_total",
+                    help="offered keys that never displaced a tracked one",
+                    **lab).inc(topk.rejections)

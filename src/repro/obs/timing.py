@@ -1,0 +1,55 @@
+"""Timer spans: measure a ``with`` block into a latency histogram.
+
+The clock is injectable (the registry owns it), so latency tests drive
+a fake clock and assert exact bucket placement.  :data:`NULL_SPAN` is
+the shared no-op the :class:`~repro.obs.metrics.NullRegistry` hands
+out — it never reads the clock, so an instrumented-but-disabled hot
+path pays only the context-manager protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class Span:
+    """Context manager recording the block's wall time into a histogram.
+
+    The measured duration is also kept on :attr:`elapsed` so callers
+    that want to both export and report (e.g. an ingest driver printing
+    packets/sec) measure once.
+    """
+
+    __slots__ = ("_histogram", "_clock", "_start", "elapsed")
+
+    def __init__(self, histogram,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self._histogram = histogram
+        self._clock = clock
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = self._clock() - self._start
+        self._histogram.observe(self.elapsed)
+
+
+class NullSpan:
+    """No-op span: no clock reads, nothing recorded."""
+
+    __slots__ = ()
+    elapsed = 0.0
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()

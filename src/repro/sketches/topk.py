@@ -9,6 +9,12 @@ delta.
 
 Implemented as a dict plus a lazily-pruned min-heap so ``offer`` is
 O(log k) amortised even when the same key's estimate keeps changing.
+
+Churn accounting: every instance counts ``offers`` (candidates seen),
+``evictions`` (tracked keys displaced) and ``rejections`` (candidates
+that never made it in) as plain integers — cheap enough for the hot
+path, and exported per level by ``repro.obs.observe_sketch`` when a
+sealed sketch reaches the control plane.
 """
 
 from __future__ import annotations
@@ -24,7 +30,8 @@ from repro.errors import ConfigurationError
 class TopK:
     """Track the ``k`` keys with the largest |estimate| seen so far."""
 
-    __slots__ = ("capacity", "_estimates", "_heap")
+    __slots__ = ("capacity", "_estimates", "_heap", "offers", "evictions",
+                 "rejections")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -32,6 +39,9 @@ class TopK:
         self.capacity = capacity
         self._estimates: Dict[int, float] = {}
         self._heap: List[Tuple[float, int]] = []  # (|estimate|, key), stale ok
+        self.offers = 0      # candidates seen (tracked keys re-offered too)
+        self.evictions = 0   # tracked keys displaced by a larger candidate
+        self.rejections = 0  # candidates that never displaced anything
 
     def __len__(self) -> int:
         return len(self._estimates)
@@ -51,6 +61,7 @@ class TopK:
         """
         est = self._estimates
         rank = abs(estimate)
+        self.offers += 1
         if key in est:
             est[key] = estimate
             heapq.heappush(self._heap, (rank, key))
@@ -61,8 +72,10 @@ class TopK:
             return True
         min_key, min_rank = self.min()
         if rank <= min_rank:
+            self.rejections += 1
             return False
         del est[min_key]
+        self.evictions += 1
         est[key] = estimate
         heapq.heappush(self._heap, (rank, key))
         return True
@@ -86,10 +99,13 @@ class TopK:
         estimates = np.asarray(estimates, dtype=np.float64)
         if len(keys) == 0:
             return
+        self.offers += len(keys)
+        prev_keys: List[int] = []
         est = self._estimates
         if est:
             old_keys = np.fromiter(est.keys(), dtype=np.uint64,
                                    count=len(est))
+            prev_keys = old_keys.tolist()
             if sorted_keys:
                 pos = np.searchsorted(keys, old_keys)
                 pos[pos == len(keys)] = 0
@@ -101,6 +117,7 @@ class TopK:
                                     dtype=np.float64)
                 keys = np.concatenate([keys, kept])
                 estimates = np.concatenate([estimates, old_ests])
+        candidates = len(keys)
         ranks = np.abs(estimates)
         if len(keys) > self.capacity:
             cut = len(keys) - self.capacity
@@ -112,6 +129,14 @@ class TopK:
         }
         # Ascending (rank, key) list is already a valid min-heap.
         self._heap = [(float(ranks[i]), int(keys[i])) for i in order]
+        dropped = candidates - len(self._estimates)
+        if dropped:
+            # Same taxonomy as the scalar path: a previously tracked key
+            # that did not survive is an eviction; a fresh candidate that
+            # never made it in is a rejection.
+            evicted = sum(1 for k in prev_keys if k not in self._estimates)
+            self.evictions += evicted
+            self.rejections += dropped - evicted
 
     def min(self) -> Tuple[int, float]:
         """The tracked ``(key, |estimate|)`` with the smallest magnitude."""
@@ -137,6 +162,9 @@ class TopK:
         out.capacity = self.capacity
         out._estimates = dict(self._estimates)
         out._heap = list(self._heap)
+        out.offers = self.offers
+        out.evictions = self.evictions
+        out.rejections = self.rejections
         return out
 
     def estimate(self, key: int) -> float:

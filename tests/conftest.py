@@ -1,9 +1,99 @@
-"""Shared fixtures: small deterministic traces and sketches."""
+"""Shared fixtures: deterministic traces, seeded RNGs, Zipf key streams,
+and a whole-suite hang watchdog."""
 
+import faulthandler
+import os
+import random
+import signal
+
+import numpy as np
 import pytest
 
 from repro.dataplane.trace import SyntheticTraceConfig, generate_trace
 
+# --------------------------------------------------------------------- #
+# hang watchdog (every test, not just the network suite)
+# --------------------------------------------------------------------- #
+
+_TIMEOUT_SECONDS = int(os.environ.get(
+    "REPRO_TEST_TIMEOUT",
+    os.environ.get("REPRO_NETWORK_TEST_TIMEOUT", "120")))
+
+
+@pytest.fixture(autouse=True)
+def _test_watchdog():
+    """Fail any test that outruns the watchdog instead of hanging CI.
+
+    SIGALRM raises TimeoutError inside the test (clean traceback, normal
+    teardown); the faulthandler backstop fires later and hard-exits with
+    all thread stacks if even the signal cannot be delivered — e.g. a
+    wedged C extension call that never returns to the interpreter.
+    Tune with REPRO_TEST_TIMEOUT (seconds).
+    """
+    if not hasattr(signal, "SIGALRM"):  # non-POSIX: no watchdog
+        yield
+        return
+    faulthandler.dump_traceback_later(_TIMEOUT_SECONDS + 30, exit=True)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {_TIMEOUT_SECONDS}s watchdog "
+            f"(set REPRO_TEST_TIMEOUT to adjust)")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+        faulthandler.cancel_dump_traceback_later()
+
+
+# --------------------------------------------------------------------- #
+# seeded randomness
+# --------------------------------------------------------------------- #
+
+@pytest.fixture()
+def make_rng():
+    """Factory for seeded numpy generators: ``make_rng(seed)``."""
+    return lambda seed=0: np.random.default_rng(seed)
+
+
+@pytest.fixture()
+def rng(make_rng):
+    """The default deterministic numpy generator (seed 0)."""
+    return make_rng(0)
+
+
+@pytest.fixture()
+def py_rng():
+    """A deterministic stdlib ``random.Random`` (seed 0)."""
+    return random.Random(0)
+
+
+@pytest.fixture(scope="session")
+def zipf_keys_factory():
+    """Shared generator for Zipf-weighted ``uint64`` key streams.
+
+    Keys are the flow ranks ``1..flows`` drawn with probability
+    proportional to ``rank**-skew`` — the workload shape every
+    statistical test in the repo uses.  Deterministic per seed.
+    """
+
+    def make(packets=20_000, flows=2_000, skew=1.2, seed=7):
+        gen = np.random.default_rng(seed)
+        ranks = np.arange(1, flows + 1)
+        probs = ranks ** -float(skew)
+        probs /= probs.sum()
+        return gen.choice(ranks, size=packets, p=probs).astype(np.uint64)
+
+    return make
+
+
+# --------------------------------------------------------------------- #
+# shared traces
+# --------------------------------------------------------------------- #
 
 @pytest.fixture(scope="session")
 def small_trace():

@@ -318,13 +318,11 @@ class TestRetryPolicyValidation:
         with pytest.raises(ConfigurationError):
             RetryPolicy(jitter=1.5)
 
-    def test_backoff_caps_at_max_delay(self):
-        import random
+    def test_backoff_caps_at_max_delay(self, py_rng):
         policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=3.0,
                              jitter=0.0)
-        rng = random.Random(0)
-        assert policy.backoff(0, rng) == 1.0
-        assert policy.backoff(5, rng) == 3.0
+        assert policy.backoff(0, py_rng) == 1.0
+        assert policy.backoff(5, py_rng) == 3.0
 
     def test_fail_fast_keeps_other_fields(self):
         policy = RetryPolicy(max_attempts=9, base_delay=0.5)

@@ -30,12 +30,9 @@ def build_sketch(keys, seed=1, levels=8, width=1024, heap=64, rows=5):
 
 
 @pytest.fixture(scope="module")
-def zipf_keys():
-    rng = np.random.default_rng(7)
-    ranks = np.arange(1, 2001)
-    probs = ranks ** -1.2
-    probs /= probs.sum()
-    return rng.choice(ranks, size=20_000, p=probs).astype(np.uint64)
+def zipf_keys(zipf_keys_factory):
+    # Shared workload shape (tests/conftest.py), historical seed kept.
+    return zipf_keys_factory(packets=20_000, flows=2_000, skew=1.2, seed=7)
 
 
 @pytest.fixture(scope="module")

@@ -157,13 +157,12 @@ class TestLinearity:
                               ba.levels[0].sketch.table)
         assert ab.total_weight == ba.total_weight
 
-    def test_merged_statistics_match_union_stream(self):
+    def test_merged_statistics_match_union_stream(self, rng):
         """Merging epoch sketches == sketching the concatenated stream."""
         whole = make(seed=14, levels=8, width=512, heap=32)
         part1 = make(seed=14, levels=8, width=512, heap=32)
         part2 = make(seed=14, levels=8, width=512, heap=32)
-        keys = np.random.default_rng(0).integers(
-            0, 3000, size=6000).astype(np.uint64)
+        keys = rng.integers(0, 3000, size=6000).astype(np.uint64)
         whole.update_array(keys)
         part1.update_array(keys[:3000])
         part2.update_array(keys[3000:])
@@ -173,9 +172,9 @@ class TestLinearity:
 
 
 class TestCopy:
-    def test_copy_is_deep_for_mutable_state(self):
+    def test_copy_is_deep_for_mutable_state(self, make_rng):
         original = make(seed=20)
-        rng = np.random.default_rng(2)
+        rng = make_rng(2)
         original.update_array(rng.integers(0, 500, size=2000)
                               .astype(np.uint64))
         clone = original.copy()

@@ -1,0 +1,115 @@
+"""Exporter contracts: text exposition, JSON snapshot, round trip."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    MetricsRegistry,
+    parse_text,
+    to_dict,
+    to_json,
+    to_text,
+)
+
+FINITE = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e12, max_value=1e12)
+NAME = st.sampled_from(["univmon_a_total", "univmon_b", "repro_c_seconds",
+                        "d:colon_total"])
+LABEL_VALUE = st.text(alphabet="abcdefghij0123456789_.", min_size=0,
+                      max_size=6)
+
+
+def _sample_registry():
+    reg = MetricsRegistry()
+    reg.counter("univmon_packets_total", help="packets ingested").inc(1234)
+    reg.counter("univmon_evictions_total", level="0").inc(7)
+    reg.counter("univmon_evictions_total", level="1").inc(9)
+    reg.gauge("univmon_heap_occupancy", level="0").set(64)
+    reg.gauge("univmon_rate", help="pkts/sec").set(123456.75)
+    h = reg.histogram("univmon_update_seconds", help="update latency",
+                      buckets=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.005, 0.005, 0.05, 2.0):
+        h.observe(v)
+    return reg
+
+
+class TestText:
+    def test_exposition_shape(self):
+        text = to_text(_sample_registry())
+        assert "# TYPE univmon_packets_total counter" in text
+        assert "# HELP univmon_packets_total packets ingested" in text
+        assert "univmon_packets_total 1234" in text
+        assert 'univmon_evictions_total{level="0"} 7' in text
+        assert 'univmon_heap_occupancy{level="0"} 64' in text
+        assert "# TYPE univmon_update_seconds histogram" in text
+        assert 'univmon_update_seconds_bucket{le="0.001"} 1' in text
+        assert 'univmon_update_seconds_bucket{le="0.01"} 3' in text
+        assert 'univmon_update_seconds_bucket{le="+Inf"} 5' in text
+        assert "univmon_update_seconds_count 5" in text
+        assert text.endswith("\n")
+
+    def test_bucket_series_is_cumulative(self):
+        text = to_text(_sample_registry())
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()
+                  if line.startswith("univmon_update_seconds_bucket")]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+    def test_empty_registry_renders_empty(self):
+        assert to_text(MetricsRegistry()) == ""
+
+
+class TestJson:
+    def test_json_matches_dict(self):
+        reg = _sample_registry()
+        assert json.loads(to_json(reg)) == to_dict(reg)
+
+    def test_dict_shape(self):
+        snap = to_dict(_sample_registry())
+        assert snap["counters"]["univmon_packets_total"] == 1234
+        hist = snap["histograms"]["univmon_update_seconds"]
+        assert hist["count"] == 5
+        assert hist["buckets"]["+Inf"] == 5
+        assert hist["buckets"]["0.01"] == 3
+
+
+class TestRoundTrip:
+    def test_sample_round_trip(self):
+        reg = _sample_registry()
+        assert parse_text(to_text(reg)) == to_dict(reg)
+
+    @settings(max_examples=50)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["counter", "gauge", "histogram"]),
+                  NAME, LABEL_VALUE, FINITE),
+        max_size=40))
+    def test_round_trip_property(self, ops):
+        """parse_text(to_text(r)) == to_dict(r) for arbitrary contents."""
+        reg = MetricsRegistry()
+        for kind, name, label_value, value in ops:
+            labels = {"who": label_value} if label_value else {}
+            try:
+                if kind == "counter":
+                    reg.counter(name, **labels).inc(abs(value))
+                elif kind == "gauge":
+                    reg.gauge(name, **labels).set(value)
+                else:
+                    reg.histogram(name, buckets=(0.0, 1e3),
+                                  **labels).observe(value)
+            except ConfigurationError:
+                # Same name drawn with two kinds — skip the second use.
+                continue
+        assert parse_text(to_text(reg)) == to_dict(reg)
+        assert json.loads(to_json(reg)) == to_dict(reg)
+
+    def test_parser_rejects_untyped_samples(self):
+        with pytest.raises(ConfigurationError):
+            parse_text("univmon_mystery 3\n")
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            parse_text("# TYPE x counter\n}{ nonsense\n")

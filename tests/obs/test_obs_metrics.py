@@ -1,0 +1,230 @@
+"""Metric-type semantics: monotonicity, conservation, merge, registry."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    to_dict,
+    use_registry,
+)
+
+FINITE = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e12, max_value=1e12)
+POSITIVE = st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=0, max_value=1e9)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x_total")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+        assert c.value == 0
+
+    @given(st.lists(POSITIVE, max_size=50))
+    def test_monotone_under_any_increment_sequence(self, amounts):
+        c = Counter("x_total")
+        last = 0.0
+        for amount in amounts:
+            c.inc(amount)
+            assert c.value >= last
+            last = c.value
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x")
+        g.set(10)
+        g.dec(3)
+        g.inc()
+        assert g.value == 8
+        assert g.touched
+
+    def test_untouched_until_written(self):
+        assert not Gauge("x").touched
+
+
+class TestHistogram:
+    def test_bounds_validated(self):
+        for bad in ((), (1.0, 1.0), (2.0, 1.0), (0.0, float("inf"))):
+            with pytest.raises(ConfigurationError):
+                Histogram("h", bounds=bad)
+
+    def test_observation_placement(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        h.observe(0.5)   # <= 1
+        h.observe(1.0)   # inclusive upper bound
+        h.observe(5.0)   # <= 10
+        h.observe(50.0)  # overflow
+        assert h.bucket_counts == [2, 1, 1]
+        assert h.cumulative_counts() == [2, 3, 4]
+        assert h.count == 4
+        assert h.sum == pytest.approx(56.5)
+
+    @given(st.lists(FINITE, max_size=200))
+    def test_bucket_count_conservation(self, values):
+        """Every observation lands in exactly one bucket."""
+        h = Histogram("h", bounds=(-10.0, 0.0, 1e3, 1e9))
+        for v in values:
+            h.observe(v)
+        assert sum(h.bucket_counts) == h.count == len(values)
+        assert h.cumulative_counts()[-1] == h.count
+        assert math.isclose(h.sum, sum(values), rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+        assert reg.gauge("g", level="1") is reg.gauge("g", level="1")
+        assert reg.gauge("g", level="1") is not reg.gauge("g", level="2")
+        assert len(reg) == 3
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c", a="1", b="2") is reg.counter("c", b="2",
+                                                             a="1")
+
+    def test_type_conflicts_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+        reg.histogram("h", buckets=(1.0,))
+        with pytest.raises(ConfigurationError):
+            reg.histogram("h", buckets=(2.0,))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("0bad")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("ok", **{"9bad": "1"})
+
+    def test_histogram_buckets_default_shared_per_family(self):
+        reg = MetricsRegistry()
+        first = reg.histogram("h", buckets=(1.0, 2.0), op="a")
+        second = reg.histogram("h", op="b")  # inherits family buckets
+        assert second.bounds == first.bounds
+
+    def test_get_does_not_create(self):
+        reg = MetricsRegistry()
+        assert reg.get("missing") is None
+        reg.counter("present")
+        assert reg.get("present") is not None
+        assert len(reg) == 1
+
+
+def _apply(reg, ops):
+    """Replay (kind, name-index, value) observation ops onto a registry."""
+    for kind, idx, value in ops:
+        if kind == "counter":
+            reg.counter(f"c{idx}_total").inc(abs(value))
+        elif kind == "gauge":
+            reg.gauge(f"g{idx}").set(value)
+        else:
+            reg.histogram(f"h{idx}", buckets=(0.0, 1.0, 100.0)).observe(value)
+
+
+OPS = st.lists(
+    st.tuples(st.sampled_from(["counter", "gauge", "histogram"]),
+              st.integers(min_value=0, max_value=3), FINITE),
+    max_size=60)
+
+
+class TestMerge:
+    @settings(max_examples=50)
+    @given(OPS, st.integers(min_value=0, max_value=60))
+    def test_merge_equals_sequential_observation(self, ops, cut):
+        """Observing a stream split across two registries, then merging,
+        is indistinguishable from observing it all in one registry."""
+        cut = min(cut, len(ops))
+        merged_input_a, merged_input_b = MetricsRegistry(), MetricsRegistry()
+        sequential = MetricsRegistry()
+        _apply(merged_input_a, ops[:cut])
+        _apply(merged_input_b, ops[cut:])
+        _apply(sequential, ops)
+        merged = merged_input_a.merge(merged_input_b)
+        assert to_dict(merged) == to_dict(sequential)
+
+    def test_merge_requires_matching_histogram_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_merge_keeps_untouched_gauge_from_left(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(7)
+        b.gauge("g")  # created but never written
+        assert a.merge(b).get("g").value == 7
+
+
+class TestNullRegistry:
+    def test_shared_noop_metrics(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.counter("b")
+        reg.counter("a").inc(5)
+        assert reg.counter("a").value == 0
+        reg.gauge("g").set(3)
+        assert reg.gauge("g").value == 0
+        reg.histogram("h").observe(1)
+        assert reg.histogram("h").count == 0
+        assert not reg.enabled
+        assert len(reg) == 0
+        assert list(reg.metrics()) == []
+        assert to_dict(reg) == {"counters": {}, "gauges": {},
+                                "histograms": {}}
+
+    def test_null_span_records_nothing(self):
+        reg = NullRegistry()
+        with reg.span("s") as span:
+            pass
+        assert span.elapsed == 0.0
+
+
+class TestGlobalRegistry:
+    def test_default_is_null(self):
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_returns_previous(self):
+        reg = MetricsRegistry()
+        previous = set_registry(reg)
+        try:
+            assert get_registry() is reg
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_use_registry_scopes_and_restores(self):
+        reg = MetricsRegistry()
+        with use_registry(reg) as scoped:
+            assert scoped is reg
+            assert get_registry() is reg
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert get_registry() is NULL_REGISTRY

@@ -1,0 +1,71 @@
+"""Span timing against a deterministic fake clock."""
+
+from repro.obs import MetricsRegistry, NULL_SPAN, Span
+
+
+class FakeClock:
+    """perf_counter stand-in advancing by a scripted step per read."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def test_span_records_elapsed_into_histogram():
+    reg = MetricsRegistry(clock=FakeClock(step=0.25))
+    with reg.span("op_seconds", buckets=(0.1, 0.5, 1.0)) as span:
+        pass
+    assert span.elapsed == 0.25
+    hist = reg.get("op_seconds")
+    assert hist.count == 1
+    assert hist.bucket_counts == [0, 1, 0, 0]
+    assert hist.sum == 0.25
+
+
+def test_span_records_even_when_block_raises():
+    reg = MetricsRegistry(clock=FakeClock(step=2.0))
+    try:
+        with reg.span("op_seconds", buckets=(1.0, 10.0)):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    assert reg.get("op_seconds").count == 1
+
+
+def test_span_reusable_and_labelled():
+    clock = FakeClock(step=1.0)
+    reg = MetricsRegistry(clock=clock)
+    for _ in range(3):
+        with reg.span("op_seconds", buckets=(10.0,), op="query"):
+            pass
+    hist = reg.get("op_seconds", op="query")
+    assert hist.count == 3
+    assert hist.sum == 3.0
+
+
+def test_standalone_span_uses_injected_clock():
+    class Sink:
+        def __init__(self):
+            self.values = []
+
+        def observe(self, value):
+            self.values.append(value)
+
+    sink = Sink()
+    with Span(sink, clock=FakeClock(step=0.5)) as span:
+        pass
+    assert span.elapsed == 0.5
+    assert sink.values == [0.5]
+
+
+def test_null_span_is_inert():
+    before = NULL_SPAN.elapsed
+    with NULL_SPAN as span:
+        pass
+    assert span is NULL_SPAN
+    assert NULL_SPAN.elapsed == before == 0.0

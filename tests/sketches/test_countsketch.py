@@ -169,8 +169,7 @@ class TestNorms:
         cs.update(5, 30)
         assert cs.l2_estimate() == pytest.approx(30.0)
 
-    def test_f2_reasonable_on_zipf(self):
-        rng = np.random.default_rng(0)
+    def test_f2_reasonable_on_zipf(self, rng):
         keys = rng.zipf(1.5, size=5000) % 1000
         cs = CountSketch(rows=5, width=1024, seed=11)
         cs.update_array(keys.astype(np.uint64))

@@ -116,3 +116,62 @@ class TestPlotFlag:
         out = capsys.readouterr().out
         assert "o=univmon_err" in out  # the chart legend
         assert "|" in out              # the chart frame
+
+
+class TestMetricsCommand:
+    def test_text_exposition_to_stdout(self, capsys):
+        assert main(["metrics", "--packets", "3000", "--flows", "300",
+                     "--duration", "4", "--epoch", "2",
+                     "--memory-kb", "64", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE univmon_epochs_total counter" in out
+        assert 'univmon_level_heap_occupancy{level="0"}' in out
+        assert "univmon_epoch_ingest_seconds_bucket" in out
+        from repro.obs import parse_text
+        snapshot = parse_text(out)
+        assert snapshot["counters"]["univmon_epochs_total"] == 2
+
+    def test_json_export_to_file(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "metrics.json"
+        assert main(["metrics", "--packets", "2000", "--flows", "200",
+                     "--duration", "2", "--epoch", "2", "--memory-kb", "64",
+                     "--format", "json", "--out", str(out)]) == 0
+        assert "wrote json metrics export" in capsys.readouterr().out
+        snapshot = json.loads(out.read_text())
+        assert snapshot["counters"]["univmon_epochs_total"] == 1
+        assert "univmon_sketch_update_seconds" in snapshot["histograms"]
+
+    def test_global_registry_restored_after_run(self):
+        from repro.obs import NULL_REGISTRY, get_registry
+        assert main(["metrics", "--packets", "500", "--flows", "50",
+                     "--duration", "1", "--epoch", "1",
+                     "--memory-kb", "32"]) == 0
+        assert get_registry() is NULL_REGISTRY
+
+
+class TestRunMetricsJson:
+    def test_run_emits_acceptance_snapshot(self, tmp_path, capsys):
+        """The snapshot the issue's acceptance criterion names: per-level
+        occupancy, TopK eviction counts, epoch coverage, and ingest
+        latency histograms, from one `univmon run`."""
+        import json
+        trace = tmp_path / "trace.csv"
+        main(["generate", "--out", str(trace), "--packets", "2000",
+              "--flows", "200", "--duration", "4", "--seed", "2"])
+        snap_path = tmp_path / "metrics.json"
+        assert main(["run", "--trace", str(trace), "--epoch", "2",
+                     "--tasks", "hh,entropy", "--memory-kb", "64",
+                     "--metrics-json", str(snap_path)]) == 0
+        assert "wrote metrics snapshot" in capsys.readouterr().out
+        snapshot = json.loads(snap_path.read_text())
+        gauges, counters = snapshot["gauges"], snapshot["counters"]
+        assert 'univmon_level_heap_occupancy{level="0"}' in gauges
+        assert 'univmon_topk_evictions_total{level="0"}' in counters
+        assert counters["univmon_epochs_total"] == 2
+        assert counters["univmon_epoch_packets_total"] == 2000
+        hist = snapshot["histograms"]["univmon_epoch_ingest_seconds"]
+        assert hist["count"] == 2
+        queries = snapshot["histograms"][
+            'univmon_sketch_query_seconds{op="heavy_hitters"}']
+        assert queries["count"] == 2  # one HH estimate per epoch
