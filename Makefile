@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-network test-acceptance coverage bench \
-        bench-quick bench-smoke results examples lint clean
+.PHONY: install test test-network test-acceptance test-parallel coverage \
+        bench bench-quick bench-smoke results examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -29,6 +29,14 @@ test-acceptance:
 	PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest tests/acceptance -q -m "acceptance or slow"
 
+# Sharded multi-process ingest suite: shard/merge exactness, crash and
+# stall handling, degradation paths, under both fork and spawn start
+# methods. The tightened SIGALRM watchdog turns a wedged worker or a
+# deadlocked result queue into a fast failure instead of a hung CI run.
+test-parallel:
+	REPRO_TEST_TIMEOUT=60 PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest tests/dataplane/test_parallel.py -q
+
 # Line coverage of the observability layer (src/repro/obs), failing
 # under 85%. Skips cleanly when coverage.py is not installed.
 coverage:
@@ -48,12 +56,14 @@ bench-quick:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
 
 # Ingest-path smoke: asserts the bulk-update speedup floors over the
-# np.add.at baseline and the BatchIngest rates on a small trace, and
+# np.add.at baseline, the BatchIngest rates, and the sharded-ingest
+# exactness sweep (plus its >= 2x floor on >= 4-core hosts), and
 # refreshes benchmarks/results/BENCH_throughput.json. Runs the
-# remote-collection suites, the statistical acceptance suite, and the
-# obs coverage gate first, so a broken poll path or a degraded estimator
-# fails the smoke check before any benchmark numbers are published.
-bench-smoke: test-network test-acceptance coverage
+# remote-collection suites, the statistical acceptance suite, the
+# sharded-ingest suite, and the obs coverage gate first, so a broken
+# poll path or a degraded estimator fails the smoke check before any
+# benchmark numbers are published.
+bench-smoke: test-network test-acceptance test-parallel coverage
 	REPRO_BENCH_QUICK=1 PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest benchmarks/bench_throughput.py -q -s \
 	    -k "speedup or batch_ingest"

@@ -178,6 +178,88 @@ def test_batch_ingest_throughput(bench_trace):
     }
 
 
+def test_batch_ingest_workers_sweep(keys):
+    """Sharded multi-process ingest: exactness check + throughput sweep.
+
+    Every worker count must reproduce the serial level counters bit for
+    bit (sketch linearity); the recorded rates show whether sharding
+    pays for its scatter/merge overhead on this host.
+    """
+    from repro.dataplane.parallel import ShardedIngest, \
+        shared_memory_available
+
+    def factory():
+        return UniversalSketch(levels=8, rows=5, width=2048, heap_size=64,
+                               seed=1)
+
+    serial = factory()
+    serial.update_array(keys)
+    sweep = {}
+    for workers in (1, 2, 4):
+        ingest = ShardedIngest(factory, workers=workers, chunk_size=8192)
+        report = ingest.ingest_keys(keys)
+        for ls, lp in zip(serial.levels, report.sketch.levels):
+            assert np.array_equal(ls.sketch.table, lp.sketch.table)
+            assert ls.packets == lp.packets
+            assert ls.weight == lp.weight
+        sweep[str(workers)] = {
+            "packets_per_second": round(report.packets_per_second),
+            "parallel": report.parallel,
+            "merge_ms": round(report.merge_seconds * 1e3, 4),
+            "fallback_reason": report.fallback_reason,
+        }
+    import os
+    _RESULTS["sharded_ingest"] = {
+        "packets": int(len(keys)),
+        "cpus": os.cpu_count(),
+        "shared_memory": shared_memory_available(),
+        "by_workers": sweep,
+    }
+
+
+def test_speedup_sharded_ingest(bench_trace):
+    """>= 2x serial pps with 4 workers — only meaningful on >= 4 cores.
+
+    On smaller hosts the process pool cannot beat one busy core, so the
+    floor is skipped (recorded in the results JSON as skipped) instead
+    of producing a meaningless failure.
+    """
+    import os
+    from repro.dataplane.parallel import ShardedIngest, \
+        shared_memory_available
+
+    cpus = os.cpu_count() or 1
+    if cpus < 4 or not shared_memory_available():
+        reason = (f"needs >= 4 CPUs and shared memory "
+                  f"(host has {cpus} CPU(s), shm="
+                  f"{shared_memory_available()})")
+        _RESULTS["sharded_speedup"] = {"skipped": reason}
+        pytest.skip(reason)
+
+    # A stream large enough that scatter/merge overhead amortises.
+    gen = np.random.default_rng(3)
+    big = gen.integers(0, 1 << 20, 2_000_000).astype(np.uint64)
+
+    def factory():
+        return UniversalSketch(levels=8, rows=5, width=2048, heap_size=64,
+                               seed=1)
+
+    serial = BatchIngest(factory(), chunk_size=65_536).ingest_keys(big)
+    sharded = ShardedIngest(factory, workers=4, chunk_size=65_536,
+                            start_method="fork").ingest_keys(big)
+    speedup = sharded.packets_per_second / serial.packets_per_second
+    _RESULTS["sharded_speedup"] = {
+        "packets": int(len(big)),
+        "cpus": cpus,
+        "serial_mpps": round(serial.packets_per_second / 1e6, 2),
+        "sharded_mpps": round(sharded.packets_per_second / 1e6, 2),
+        "speedup": round(speedup, 2),
+    }
+    assert speedup >= 2.0, (
+        f"4-worker sharded ingest is only {speedup:.2f}x serial "
+        f"(need >= 2x on a >= 4-core host)")
+
+
 def test_bulk_countsketch(benchmark, keys):
     benchmark(lambda: CountSketch(rows=5, width=2048, seed=1)
               .update_array(keys))

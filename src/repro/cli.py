@@ -62,6 +62,10 @@ def _add_run(sub: argparse._SubParsersAction) -> None:
                    help="sketch memory budget per epoch")
     p.add_argument("--key", default="src_ip",
                    choices=["src_ip", "dst_ip", "src_dst", "five_tuple"])
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="shard each epoch's ingest across N worker "
+                        "processes (sketch linearity keeps the merge "
+                        "exact; 1 = in-process)")
     p.add_argument("--metrics-json", default=None, metavar="PATH",
                    help="collect metrics during the run and write a JSON "
                         "registry snapshot to PATH")
@@ -250,7 +254,8 @@ def _run_monitor(args: argparse.Namespace) -> int:
         budget, levels=12, rows=5, heap_size=64, seed=1)
     controller = Controller(sketch_factory=factory,
                             key_function=key_function,
-                            epoch_seconds=args.epoch)
+                            epoch_seconds=args.epoch,
+                            workers=args.workers)
     tasks = [t.strip() for t in args.tasks.split(",") if t.strip()]
     for task in tasks:
         if task == "hh":

@@ -47,16 +47,25 @@ class Controller:
         The feature to monitor (the paper's evaluation uses source IP).
     epoch_seconds:
         Polling interval (the paper uses 5 seconds).
+    workers:
+        Shard each epoch's ingest across this many worker processes
+        (sketch linearity makes the shard merge exact; see
+        :mod:`repro.dataplane.parallel`).  1 = in-process ingest.
     """
 
     def __init__(self,
                  sketch_factory: Optional[Callable[[], UniversalSketch]] = None,
                  key_function: KeyFunction = src_ip_key,
                  epoch_seconds: float = 5.0,
-                 switch: Optional[MonitoredSwitch] = None) -> None:
+                 switch: Optional[MonitoredSwitch] = None,
+                 workers: int = 1) -> None:
         if epoch_seconds <= 0:
             raise ConfigurationError(
                 f"epoch_seconds must be > 0, got {epoch_seconds}")
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {workers}")
+        self.workers = workers
         if sketch_factory is None:
             sketch_factory = lambda: UniversalSketch(  # noqa: E731
                 levels=12, rows=5, width=2048, heap_size=64, seed=1)
@@ -93,7 +102,7 @@ class Controller:
         reg = get_registry()
         with reg.span("univmon_epoch_ingest_seconds",
                       help="wall time feeding one epoch into the switch"):
-            self.switch.process_trace(epoch_trace)
+            self.switch.process_trace(epoch_trace, workers=self.workers)
         sealed = self.switch.poll("univmon")
         observe_sketch(sealed, reg)
         reg.counter("univmon_epochs_total",

@@ -168,7 +168,9 @@ def _entropy_gfunction(base: float) -> GFunction:
 def estimate_entropy(sketch, base: float = 2.0) -> float:
     """Shannon entropy ``H = log m - S/m`` with ``S = sum f log f`` (§3.4).
 
-    The result is clamped to the feasible range ``[0, log n_est]``.
+    The result is clamped to the feasible range ``[0, log m]`` (entropy
+    is maximised by the uniform stream, whose ``m`` elements cannot
+    spread over more than ``m`` distinct keys).
     """
     with _query_span("entropy"):
         m = float(sketch.total_weight)

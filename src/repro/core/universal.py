@@ -157,7 +157,11 @@ class UniversalSketch(Sketch):
         order = np.argsort(depths, kind="stable")
         keys = keys[order]
         if weights is not None:
-            weights = np.asarray(weights)[order]
+            # Same int64 coercion as the per-sketch bulk paths: float (or
+            # object) weight arrays truncate toward zero *per element*,
+            # exactly like the scalar loop's int(w), instead of leaking
+            # a float sum into the level weight accounting.
+            weights = np.asarray(weights).astype(np.int64, copy=False)[order]
         depths = depths[order]
         # starts[j] = first index with depth >= j; level j consumes the
         # suffix keys[starts[j]:].
@@ -243,16 +247,23 @@ class UniversalSketch(Sketch):
             lvl.packets = a.packets + b.packets
             lvl.weight = a.weight + sign * b.weight
             # Rebuild Q_j from the union of both heaps' keys, re-queried
-            # against the combined counters.
+            # against the combined counters.  One offer_many over the
+            # sorted union keeps the rebuild O(capacity) in Python work
+            # and deterministic; the churn counters are then overwritten
+            # with the sum of both inputs' counters, so they keep meaning
+            # "data-plane churn of the combined stream" rather than
+            # accumulating this control-plane rebuild.
             union = set(a.topk.keys()) | set(b.topk.keys())
+            heap = TopK(self.heap_size)
             if union:
                 keys = np.fromiter(union, dtype=np.uint64, count=len(union))
+                keys.sort()
                 estimates = lvl.sketch.query_many(keys)
-                heap = TopK(self.heap_size)
-                order = np.argsort(np.abs(estimates))
-                for i in order:
-                    heap.offer(int(keys[i]), float(estimates[i]))
-                lvl.topk = heap
+                heap.offer_many(keys, estimates, sorted_keys=True)
+            heap.offers = a.topk.offers + b.topk.offers
+            heap.evictions = a.topk.evictions + b.topk.evictions
+            heap.rejections = a.topk.rejections + b.topk.rejections
+            lvl.topk = heap
         out.packets = self.packets + other.packets
         return out
 

@@ -14,6 +14,9 @@ the CAIDA backbone trace and the router the sketches run on:
 - :mod:`~repro.dataplane.switch` — the monitored switch: programs
   (sketch + key function) attached to a packet stream, with memory and
   op-cost accounting.
+- :mod:`~repro.dataplane.parallel` — sharded multi-core ingest: split a
+  key stream across worker processes over shared memory and merge the
+  equal-seed shard sketches back into one (exact, by linearity).
 """
 
 from repro.dataplane.keys import (
@@ -26,6 +29,12 @@ from repro.dataplane.keys import (
     src_prefix_key,
 )
 from repro.dataplane.netflow import SampledFlowTable
+from repro.dataplane.parallel import (
+    ShardedIngest,
+    ShardedIngestReport,
+    shard_of,
+    shared_memory_available,
+)
 from repro.dataplane.packet import FiveTuple, Packet, format_ipv4, parse_ipv4
 from repro.dataplane.replay import BatchIngest, IngestReport, TraceReplayer
 from repro.dataplane.switch import MonitoredSwitch, SwitchProgram
@@ -53,6 +62,10 @@ __all__ = [
     "TraceReplayer",
     "BatchIngest",
     "IngestReport",
+    "ShardedIngest",
+    "ShardedIngestReport",
+    "shard_of",
+    "shared_memory_available",
     "Trace",
     "SyntheticTraceConfig",
     "DDoSEvent",

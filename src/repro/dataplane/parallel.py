@@ -1,0 +1,451 @@
+"""Sharded multi-core ingest over sketch linearity (§5).
+
+The universal sketch is linear: equal-seed instances built over disjoint
+substreams merge into exactly the sketch of the concatenated stream.
+:class:`ShardedIngest` exploits this to scale :class:`BatchIngest` past
+one core.  The key stream is placed in a ``multiprocessing.shared_memory``
+block once (no per-chunk pickling of key arrays), N worker processes each
+fold a disjoint shard through their own equal-seed
+:class:`~repro.core.universal.UniversalSketch` via the vectorised
+``update_array`` path, and the driver reduces the shard sketches with a
+binary merge tree.  The merged sketch's level counters are bit-identical
+to serial ingest of the same stream — partitioning only reorders the
+int64 additions.
+
+Two shard policies:
+
+- ``"range"`` (default): worker ``i`` reads the contiguous slice
+  ``keys[n*i//N : n*(i+1)//N]`` straight out of shared memory — zero
+  scan, zero copy, best throughput;
+- ``"hash"``: worker ``i`` takes the keys whose mixed hash lands in
+  residue ``i`` — per-key determinism (a flow always lands on the same
+  shard), the policy a keyed NIC RSS / eBPF steering stage would apply.
+
+The driver degrades gracefully to in-process :class:`BatchIngest` when
+``workers == 1``, the stream is empty, or the platform lacks POSIX shared
+memory; a worker that dies, errors, or stalls surfaces as a typed
+:class:`~repro.errors.ShardFailureError` instead of a hang (exact-or-
+nothing: merging partial shards would silently undercount everything).
+
+Observability (driver-side, through the ambient registry):
+``univmon_shard_runs_total``, ``univmon_shard_fallbacks_total{reason=}``,
+``univmon_shard_failures_total``, ``univmon_shard_packets_total{shard=}``,
+``univmon_shard_packets_per_second{shard=}``, ``univmon_shard_workers``,
+``univmon_shard_scatter_seconds`` and ``univmon_shard_merge_seconds``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as _queue
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShardFailureError
+from repro.obs.metrics import get_registry
+from repro.core.universal import UniversalSketch
+from repro.dataplane.replay import BatchIngest, IngestReport
+
+#: Shard policies: contiguous slices vs hash-of-key residues.
+RANGE = "range"
+HASH = "hash"
+_POLICIES = (RANGE, HASH)
+
+_SHM_AVAILABLE: Optional[bool] = None
+
+
+def shared_memory_available() -> bool:
+    """True when POSIX shared memory blocks can actually be created
+    (probed once per process; e.g. containers without /dev/shm fail)."""
+    global _SHM_AVAILABLE
+    if _SHM_AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+            block = shared_memory.SharedMemory(create=True, size=8)
+        except Exception:
+            _SHM_AVAILABLE = False
+        else:
+            block.close()
+            block.unlink()
+            _SHM_AVAILABLE = True
+    return _SHM_AVAILABLE
+
+
+def shard_of(keys: np.ndarray, workers: int) -> np.ndarray:
+    """The hash-policy shard of every key: ``mix64(key) % workers``.
+
+    A raw ``key % workers`` would send sequential IP blocks to one
+    shard; the splitmix64 finaliser spreads any key structure evenly
+    while staying a pure (deterministic) function of the key.
+    """
+    x = np.asarray(keys, dtype=np.uint64).copy()
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E9B5)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return (x % np.uint64(workers)).astype(np.int64)
+
+
+def _range_bounds(n: int, workers: int) -> List[int]:
+    return [n * i // workers for i in range(workers + 1)]
+
+
+def _sketch_params(sketch: UniversalSketch) -> Dict[str, int]:
+    """The constructor arguments workers rebuild their sketch from
+    (geometry + seed travel instead of a pickled factory, so lambdas
+    work under the spawn start method too)."""
+    return dict(levels=sketch.num_levels, rows=sketch.rows,
+                width=sketch.width, heap_size=sketch.heap_size,
+                seed=sketch.seed, counter_bytes=sketch.counter_bytes)
+
+
+def _merge_tree(sketches: List[UniversalSketch]) -> UniversalSketch:
+    """Binary reduction: log2(N) merge rounds, deterministic pairing."""
+    while len(sketches) > 1:
+        paired = [sketches[i].merge(sketches[i + 1])
+                  for i in range(0, len(sketches) - 1, 2)]
+        if len(sketches) % 2:
+            paired.append(sketches[-1])
+        sketches = paired
+    return sketches[0]
+
+
+def _ingest_shard(params: Dict[str, int], keys: np.ndarray,
+                  weights: Optional[np.ndarray], shard: int, workers: int,
+                  policy: str, chunk_size: int
+                  ) -> Tuple[UniversalSketch, IngestReport]:
+    """Fold shard ``shard`` of the full stream into a fresh sketch.
+
+    Runs inside the worker process; ``keys``/``weights`` are views over
+    the shared-memory blocks (range slices stay zero-copy, hash masks
+    copy only the shard's own keys).
+    """
+    if policy == HASH:
+        mask = shard_of(keys, workers) == shard
+        keys = keys[mask]
+        weights = None if weights is None else weights[mask]
+    else:
+        bounds = _range_bounds(len(keys), workers)
+        lo, hi = bounds[shard], bounds[shard + 1]
+        keys = keys[lo:hi]
+        weights = None if weights is None else weights[lo:hi]
+    sketch = UniversalSketch(**params)
+    report = BatchIngest(sketch, chunk_size=chunk_size).ingest_keys(
+        keys, weights)
+    return sketch, report
+
+
+def _worker_entry(result_queue, key_block: str, weight_block: Optional[str],
+                  n: int, params: Dict[str, int], shard: int, workers: int,
+                  policy: str, chunk_size: int) -> None:
+    """Worker process body: attach, ingest one shard, post the sealed
+    sketch back as serialized bytes (results are pickled once; the key
+    arrays themselves never are)."""
+    from multiprocessing import shared_memory
+
+    from repro.core import serialization
+
+    key_shm = shared_memory.SharedMemory(name=key_block)
+    weight_shm = None if weight_block is None \
+        else shared_memory.SharedMemory(name=weight_block)
+    keys = weights = None
+    try:
+        try:
+            keys = np.ndarray((n,), dtype=np.uint64, buffer=key_shm.buf)
+            if weight_shm is not None:
+                weights = np.ndarray((n,), dtype=np.int64,
+                                     buffer=weight_shm.buf)
+            sketch, report = _ingest_shard(params, keys, weights, shard,
+                                           workers, policy, chunk_size)
+            result_queue.put(("ok", shard, serialization.dumps(sketch),
+                              report.packets, report.chunks,
+                              report.seconds))
+        except BaseException as exc:  # surfaced as ShardFailureError
+            result_queue.put(("error", shard,
+                              f"{type(exc).__name__}: {exc}"))
+    finally:
+        # Drop the numpy views before close(): a mapped buffer with live
+        # exports cannot be released.
+        keys = weights = None  # noqa: F841
+        key_shm.close()
+        if weight_shm is not None:
+            weight_shm.close()
+
+
+@dataclass(frozen=True)
+class ShardedIngestReport:
+    """Outcome of one :meth:`ShardedIngest.ingest_keys` run."""
+
+    sketch: UniversalSketch
+    packets: int
+    workers: int
+    policy: str
+    parallel: bool
+    seconds: float
+    merge_seconds: float
+    shards: Tuple[IngestReport, ...]
+    fallback_reason: Optional[str] = None
+
+    @property
+    def packets_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("inf") if self.packets else 0.0
+        return self.packets / self.seconds
+
+
+class ShardedIngest:
+    """Split a key stream across worker processes and merge the shards.
+
+    Parameters
+    ----------
+    sketch_factory:
+        Produces the per-shard :class:`UniversalSketch`.  Called once in
+        the driver to read off geometry + seed (workers rebuild from
+        those, so the factory itself never crosses a process boundary);
+        an explicit seed is required whenever ``workers > 1`` — seedless
+        shards could not merge.
+    workers:
+        Shard count; defaults to ``os.cpu_count()``.  ``workers == 1``
+        runs in-process through :class:`BatchIngest`.
+    policy:
+        ``"range"`` (contiguous slices, default) or ``"hash"``
+        (per-key residue sharding); both partitions are exact by
+        linearity, the choice only moves scan cost vs flow affinity.
+    chunk_size:
+        Per-worker :class:`BatchIngest` chunk size.
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default;
+        tests exercise both ``"fork"`` and ``"spawn"``).
+    timeout:
+        Wall-clock budget for the worker phase; a shard still missing
+        past it raises :class:`ShardFailureError` (never a hang).
+    """
+
+    def __init__(self, sketch_factory: Callable[[], UniversalSketch],
+                 workers: Optional[int] = None, policy: str = RANGE,
+                 chunk_size: int = 8192,
+                 start_method: Optional[str] = None,
+                 timeout: float = 300.0,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if policy not in _POLICIES:
+            raise ConfigurationError(
+                f"unknown shard policy {policy!r} (want one of {_POLICIES})")
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}")
+        if timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+        self.sketch_factory = sketch_factory
+        self.workers = workers
+        self.policy = policy
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self.timeout = timeout
+        self._clock = clock
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def like(cls, sketch: UniversalSketch, **kwargs) -> "ShardedIngest":
+        """A driver whose shards share ``sketch``'s geometry and seed —
+        the result merges exactly into (or replaces) ``sketch``."""
+        if not isinstance(sketch, UniversalSketch):
+            raise ConfigurationError(
+                "ShardedIngest.like needs a UniversalSketch template, got "
+                f"{type(sketch).__name__}")
+        params = _sketch_params(sketch)
+        return cls(lambda: UniversalSketch(**params), **kwargs)
+
+    def ingest_keys(self, keys: np.ndarray,
+                    weights: Optional[np.ndarray] = None
+                    ) -> ShardedIngestReport:
+        """Shard, ingest, and merge a ``uint64`` key stream."""
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        if weights is not None:
+            weights = np.ascontiguousarray(
+                np.asarray(weights).astype(np.int64, copy=False))
+            if len(weights) != len(keys):
+                raise ConfigurationError(
+                    f"weights length {len(weights)} != keys length "
+                    f"{len(keys)}")
+        template = self.sketch_factory()
+        if not isinstance(template, UniversalSketch):
+            raise ConfigurationError(
+                "ShardedIngest shards UniversalSketch ingest only, got "
+                f"{type(template).__name__}")
+        if self.workers > 1 and template.seed is None:
+            raise ConfigurationError(
+                "sharded ingest needs an explicit sketch seed (equal-seed "
+                "shards are what makes the merge exact)")
+        reason = None
+        if self.workers == 1:
+            reason = "workers=1"
+        elif len(keys) == 0:
+            reason = "empty stream"
+        elif not shared_memory_available():
+            reason = "no shared memory"
+        if reason is not None:
+            return self._ingest_in_process(template, keys, weights, reason)
+        return self._ingest_parallel(template, keys, weights)
+
+    # ------------------------------------------------------------------ #
+    # degraded path
+    # ------------------------------------------------------------------ #
+
+    def _ingest_in_process(self, sketch: UniversalSketch, keys: np.ndarray,
+                           weights: Optional[np.ndarray],
+                           reason: str) -> ShardedIngestReport:
+        reg = get_registry()
+        reg.counter("univmon_shard_fallbacks_total",
+                    help="sharded-ingest runs degraded to in-process "
+                         "BatchIngest", reason=reason).inc()
+        report = BatchIngest(sketch, chunk_size=self.chunk_size,
+                             clock=self._clock).ingest_keys(keys, weights)
+        self._record_run(reg, (report,), workers=1)
+        return ShardedIngestReport(
+            sketch=sketch, packets=report.packets, workers=1,
+            policy=self.policy, parallel=False, seconds=report.seconds,
+            merge_seconds=0.0, shards=(report,), fallback_reason=reason)
+
+    # ------------------------------------------------------------------ #
+    # parallel path
+    # ------------------------------------------------------------------ #
+
+    def _ingest_parallel(self, template: UniversalSketch, keys: np.ndarray,
+                         weights: Optional[np.ndarray]
+                         ) -> ShardedIngestReport:
+        import multiprocessing as mp
+        from multiprocessing import shared_memory
+
+        from repro.core import serialization
+
+        reg = get_registry()
+        ctx = mp.get_context(self.start_method)
+        params = _sketch_params(template)
+        n = len(keys)
+        start = self._clock()
+
+        key_shm = weight_shm = None
+        key_view = weight_view = None
+        procs: List = []
+        try:
+            with reg.span("univmon_shard_scatter_seconds",
+                          help="copying the stream into shared memory"):
+                key_shm = shared_memory.SharedMemory(create=True,
+                                                     size=keys.nbytes)
+                key_view = np.ndarray((n,), dtype=np.uint64,
+                                      buffer=key_shm.buf)
+                key_view[:] = keys
+                if weights is not None:
+                    weight_shm = shared_memory.SharedMemory(
+                        create=True, size=weights.nbytes)
+                    weight_view = np.ndarray((n,), dtype=np.int64,
+                                             buffer=weight_shm.buf)
+                    weight_view[:] = weights
+
+            results = ctx.Queue()
+            for shard in range(self.workers):
+                proc = ctx.Process(
+                    target=_worker_entry,
+                    args=(results, key_shm.name,
+                          None if weight_shm is None else weight_shm.name,
+                          n, params, shard, self.workers, self.policy,
+                          self.chunk_size),
+                    daemon=True)
+                procs.append(proc)
+                proc.start()
+            collected = self._collect(results, procs, reg)
+            for proc in procs:
+                proc.join(timeout=5.0)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            key_view = weight_view = None  # noqa: F841  (release exports)
+            if key_shm is not None:
+                key_shm.close()
+                key_shm.unlink()
+            if weight_shm is not None:
+                weight_shm.close()
+                weight_shm.unlink()
+
+        shards = tuple(IngestReport(packets=collected[i][1],
+                                    chunks=collected[i][2],
+                                    seconds=collected[i][3])
+                       for i in range(self.workers))
+        if sum(r.packets for r in shards) != n:
+            reg.counter("univmon_shard_failures_total",
+                        help="sharded-ingest runs that failed").inc()
+            raise ShardFailureError(
+                f"shards processed {sum(r.packets for r in shards)} of "
+                f"{n} packets — the {self.policy} partition dropped data")
+
+        merge_start = self._clock()
+        with reg.span("univmon_shard_merge_seconds",
+                      help="binary merge-tree reduction of shard sketches"):
+            merged = _merge_tree([serialization.loads(collected[i][0])
+                                  for i in range(self.workers)])
+        merge_seconds = self._clock() - merge_start
+
+        self._record_run(reg, shards, workers=self.workers)
+        return ShardedIngestReport(
+            sketch=merged, packets=n, workers=self.workers,
+            policy=self.policy, parallel=True,
+            seconds=self._clock() - start, merge_seconds=merge_seconds,
+            shards=shards)
+
+    def _collect(self, results, procs, reg) -> Dict[int, tuple]:
+        """Drain one result per worker; any dead or silent shard raises."""
+        collected: Dict[int, tuple] = {}
+        deadline = time.monotonic() + self.timeout
+        while len(collected) < self.workers:
+            try:
+                item = results.get(timeout=0.2)
+            except _queue.Empty:
+                dead = [i for i, p in enumerate(procs)
+                        if i not in collected
+                        and p.exitcode not in (None, 0)]
+                if dead:
+                    self._fail(reg, f"worker(s) {dead} died with exit "
+                               f"code(s) {[procs[i].exitcode for i in dead]}")
+                if time.monotonic() > deadline:
+                    missing = [i for i in range(self.workers)
+                               if i not in collected]
+                    self._fail(reg, f"shard(s) {missing} produced no "
+                               f"result within {self.timeout:.0f}s")
+                continue
+            if item[0] == "error":
+                self._fail(reg, f"shard {item[1]} failed: {item[2]}")
+            collected[item[1]] = item[2:]
+        return collected
+
+    def _fail(self, reg, message: str) -> None:
+        reg.counter("univmon_shard_failures_total",
+                    help="sharded-ingest runs that failed").inc()
+        raise ShardFailureError(message)
+
+    def _record_run(self, reg, shards: Tuple[IngestReport, ...],
+                    workers: int) -> None:
+        reg.counter("univmon_shard_runs_total",
+                    help="completed sharded-ingest runs").inc()
+        reg.gauge("univmon_shard_workers",
+                  help="worker count of the last sharded-ingest run").set(
+                      workers)
+        for index, report in enumerate(shards):
+            reg.counter("univmon_shard_packets_total",
+                        help="packets folded in per shard",
+                        shard=str(index)).inc(report.packets)
+            reg.gauge("univmon_shard_packets_per_second",
+                      help="per-shard rate of the last run",
+                      shard=str(index)).set(report.packets_per_second)

@@ -116,8 +116,18 @@ class MonitoredSwitch:
             program.total_cost = program.total_cost \
                 + program.sketch.update_cost()
 
-    def process_trace(self, trace: Trace) -> None:
-        """Bulk path: vectorised when the sketch supports it."""
+    def process_trace(self, trace: Trace, workers: int = 1,
+                      shard_policy: str = "range") -> None:
+        """Bulk path: vectorised when the sketch supports it.
+
+        With ``workers > 1``, programs whose sketch is a seeded
+        :class:`~repro.core.universal.UniversalSketch` are fed through
+        :class:`~repro.dataplane.parallel.ShardedIngest` — the trace is
+        sharded across worker processes and the merged result (exact, by
+        linearity) is folded into the program's live sketch.  Other
+        programs, and platforms without shared memory, silently take the
+        in-process path.
+        """
         import numpy as np
         n = len(trace)
         if n == 0:
@@ -128,7 +138,13 @@ class MonitoredSwitch:
             weights = trace.size.astype(np.int64) if program.by_bytes \
                 else None
             sketch = program.sketch
-            if hasattr(sketch, "update_array"):
+            if workers > 1 and self._shardable(sketch):
+                from repro.dataplane.parallel import ShardedIngest
+                result = ShardedIngest.like(
+                    sketch, workers=workers,
+                    policy=shard_policy).ingest_keys(keys, weights)
+                program.sketch = sketch.merge(result.sketch)
+            elif hasattr(sketch, "update_array"):
                 if weights is None:
                     sketch.update_array(keys)
                 else:
@@ -143,6 +159,13 @@ class MonitoredSwitch:
             program.packets_processed += n
             program.total_cost = program.total_cost \
                 + sketch.update_cost().scaled(n)
+
+    @staticmethod
+    def _shardable(sketch) -> bool:
+        """Only seeded universal sketches can shard: the merge that
+        reassembles the shards needs equal-seed instances."""
+        from repro.core.universal import UniversalSketch
+        return isinstance(sketch, UniversalSketch) and sketch.seed is not None
 
     # ------------------------------------------------------------------ #
     # control-plane interface

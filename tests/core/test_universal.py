@@ -171,6 +171,115 @@ class TestLinearity:
             assert np.array_equal(lw.sketch.table, lm.sketch.table)
 
 
+class TestMergeHeapRebuild:
+    """The _combine heap rebuild: bulk offer_many, data-plane counters."""
+
+    @staticmethod
+    def _scalar_rebuild(level_sketch, union, heap_size):
+        """The pre-rewrite path: one scalar offer per union key in
+        ascending-|estimate| order (kept verbatim as the parity oracle)."""
+        from repro.sketches.topk import TopK
+        keys = np.fromiter(union, dtype=np.uint64, count=len(union))
+        estimates = level_sketch.query_many(keys)
+        heap = TopK(heap_size)
+        for i in np.argsort(np.abs(estimates)):
+            heap.offer(int(keys[i]), float(estimates[i]))
+        return heap
+
+    def test_merge_churn_counters_are_sum_of_inputs(self, make_rng):
+        """Regression: merging used to re-offer every union key into the
+        fresh heap, so the merged churn counters measured control-plane
+        rebuild work instead of data-plane churn."""
+        a, b = make(seed=31), make(seed=31)
+        rng = make_rng(4)
+        a.update_array(rng.integers(0, 800, size=3000).astype(np.uint64))
+        b.update_array(rng.integers(0, 800, size=3000).astype(np.uint64))
+        merged = a.merge(b)
+        for la, lb, lm in zip(a.levels, b.levels, merged.levels):
+            assert lm.topk.offers == la.topk.offers + lb.topk.offers
+            assert lm.topk.evictions == la.topk.evictions + lb.topk.evictions
+            assert lm.topk.rejections == \
+                la.topk.rejections + lb.topk.rejections
+
+    def test_merge_heap_matches_scalar_rebuild(self, make_rng):
+        """Parity: the offer_many rebuild retains exactly the keys and
+        estimates the old scalar-offer loop retained."""
+        rng = make_rng(6)
+        a, b = make(seed=32, heap=16), make(seed=32, heap=16)
+        a.update_array(rng.integers(0, 400, size=4000).astype(np.uint64))
+        b.update_array(rng.integers(200, 600, size=4000).astype(np.uint64))
+        merged = a.merge(b)
+        for la, lb, lm in zip(a.levels, b.levels, merged.levels):
+            union = set(la.topk.keys()) | set(lb.topk.keys())
+            if not union:
+                continue
+            oracle = self._scalar_rebuild(lm.sketch, union, 16)
+            mine, theirs = dict(lm.topk.items()), dict(oracle.items())
+            # offer_many documents that ties at the eviction boundary may
+            # resolve differently from the sequential order; above the
+            # boundary the survivors must match exactly, and the retained
+            # estimate multiset must match everywhere.
+            assert sorted(abs(v) for v in mine.values()) == \
+                sorted(abs(v) for v in theirs.values())
+            boundary = min(abs(v) for v in mine.values())
+            assert {k for k, v in mine.items() if abs(v) > boundary} == \
+                {k for k, v in theirs.items() if abs(v) > boundary}
+            for key in set(mine) & set(theirs):
+                assert mine[key] == theirs[key]
+
+    def test_merge_heap_capacity_respected(self, make_rng):
+        rng = make_rng(7)
+        a, b = make(seed=33, heap=8), make(seed=33, heap=8)
+        a.update_array(rng.integers(0, 300, size=2000).astype(np.uint64))
+        b.update_array(rng.integers(300, 600, size=2000).astype(np.uint64))
+        merged = a.merge(b)
+        for level in merged.levels:
+            assert len(level.topk) <= 8
+
+
+class TestWeightDtypeParity:
+    """Regression: the bulk path used to forward weight arrays uncoerced,
+    so a float array's *sum* (not its per-element truncation) landed in
+    the level weight accounting while the counter tables truncated —
+    the sketch disagreed with itself and with the scalar loop."""
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32", "int32",
+                                       "object"])
+    def test_bulk_weights_match_scalar_loop(self, dtype, make_rng):
+        rng = make_rng(9)
+        keys = rng.integers(0, 200, size=1500).astype(np.uint64)
+        raw = rng.uniform(1.0, 9.9, size=1500)
+        if dtype == "object":
+            weights = np.array([int(w) for w in raw], dtype=object)
+        elif dtype == "int32":
+            weights = raw.astype(np.int32)
+        else:
+            weights = raw.astype(dtype)
+        scalar = make(levels=4, seed=35, heap=32)
+        for k, w in zip(keys.tolist(),
+                        np.asarray(weights, dtype=np.float64).tolist()):
+            scalar.update(int(k), int(w))
+        bulk = make(levels=4, seed=35, heap=32)
+        bulk.update_array(keys, weights)
+        assert bulk.total_weight == scalar.total_weight
+        for lb, ls in zip(bulk.levels, scalar.levels):
+            assert np.array_equal(lb.sketch.table, ls.sketch.table)
+            assert lb.weight == ls.weight
+            assert lb.packets == ls.packets
+
+    def test_negative_float_weights_truncate_toward_zero(self):
+        keys = np.array([3, 3, 4], dtype=np.uint64)
+        weights = np.array([-2.9, -2.9, 5.5])
+        bulk = make(levels=2, seed=36)
+        bulk.update_array(keys, weights)
+        scalar = make(levels=2, seed=36)
+        for k, w in zip(keys.tolist(), weights.tolist()):
+            scalar.update(int(k), int(w))
+        assert bulk.total_weight == scalar.total_weight == 1  # -2-2+5
+        assert np.array_equal(bulk.levels[0].sketch.table,
+                              scalar.levels[0].sketch.table)
+
+
 class TestCopy:
     def test_copy_is_deep_for_mutable_state(self, make_rng):
         original = make(seed=20)

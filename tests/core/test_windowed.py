@@ -23,6 +23,38 @@ class TestConstruction:
             SlidingWindowUniversalSketch(window_epochs=0, seed=1)
 
 
+class TestSnapshotSemantics:
+    """Regression: with an empty epoch ring, window_sketch() used to
+    return the *live* current-epoch sketch, aliasing mutable data-plane
+    state to the caller (the UniversalSketch.copy() contract promises an
+    independent snapshot)."""
+
+    def test_window_sketch_is_independent_of_further_ingest(self):
+        w = make()
+        w.update(7, 3)
+        snap = w.window_sketch()
+        assert snap is not w._current
+        w.update(7, 100)
+        assert snap.total_weight == 3
+        assert w.window_sketch().total_weight == 103
+
+    def test_mutating_snapshot_leaves_window_untouched(self):
+        w = make()
+        w.update(1, 1)
+        snap = w.window_sketch()
+        snap.update(2, 50)
+        assert w.window_sketch().total_weight == 1
+
+    def test_snapshot_with_sealed_epochs_is_also_independent(self):
+        w = make(window=2)
+        w.update_array(np.full(100, 9, dtype=np.uint64))
+        w.advance_epoch()
+        w.update(9, 1)
+        snap = w.window_sketch()
+        w.update(9, 1000)
+        assert snap.total_weight == 101
+
+
 class TestWindowSemantics:
     def test_current_epoch_included(self):
         w = make()

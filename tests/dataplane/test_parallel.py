@@ -1,0 +1,335 @@
+"""Sharded multi-core ingest: exactness, degradation, and failure paths.
+
+The heart of the suite is the shard/merge equivalence property: for any
+partition policy and worker count, ShardedIngest must produce a sketch
+*serially indistinguishable* from BatchIngest over the same stream —
+linearity makes the partition exact, so anything less is a bug, not
+noise.  The failure-path tests pin the exact-or-nothing contract: a
+dead, erroring, or stalled worker raises ShardFailureError instead of
+hanging or silently merging partial shards.
+
+Crash/stall tests monkeypatch module internals and therefore run under
+the fork start method (spawn re-imports the module in the child and
+would shed the patch); one equivalence test runs under spawn to keep
+that start method covered end-to-end.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShardFailureError
+from repro.obs import MetricsRegistry, use_registry
+from repro.core import serialization
+from repro.core.universal import UniversalSketch
+from repro.dataplane import parallel
+from repro.dataplane.parallel import (
+    HASH,
+    RANGE,
+    ShardedIngest,
+    shard_of,
+    shared_memory_available,
+)
+from repro.dataplane.replay import BatchIngest
+from repro.sketches.countsketch import CountSketch
+
+
+def small_factory(seed=42):
+    """Geometry where every level's distinct keys fit in the heap, so
+    serial and merged heaps must agree bit-for-bit."""
+    return lambda: UniversalSketch(levels=4, rows=3, width=128,
+                                   heap_size=128, seed=seed)
+
+
+def stream(seed=0, packets=4000, flows=110, weighted=False):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, flows, size=packets).astype(np.uint64)
+    weights = rng.integers(1, 40, size=packets) if weighted else None
+    return keys, weights
+
+
+def assert_counters_identical(a: UniversalSketch, b: UniversalSketch):
+    assert a.packets == b.packets
+    assert a.total_weight == b.total_weight
+    for la, lb in zip(a.levels, b.levels):
+        assert np.array_equal(la.sketch.table, lb.sketch.table)
+        assert la.packets == lb.packets
+        assert la.weight == lb.weight
+
+
+# --------------------------------------------------------------------- #
+# shard/merge equivalence (the property the whole design rests on)
+# --------------------------------------------------------------------- #
+
+class TestEquivalence:
+    @pytest.mark.parametrize("policy", [RANGE, HASH])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_serialized_equal_to_serial_ingest(self, policy, workers, seed):
+        """Random seeds and weights, k in {1,2,4}: byte-equal sketches."""
+        keys, weights = stream(seed=seed, weighted=bool(seed % 2))
+        factory = small_factory(seed=seed + 11)
+        serial = factory()
+        BatchIngest(serial, chunk_size=len(keys)).ingest_keys(keys, weights)
+        report = ShardedIngest(factory, workers=workers, policy=policy,
+                               chunk_size=len(keys), start_method="fork",
+                               timeout=60.0).ingest_keys(keys, weights)
+        assert report.packets == len(keys)
+        assert report.parallel == (workers > 1 and shared_memory_available())
+        assert serialization.dumps(report.sketch) == \
+            serialization.dumps(serial)
+
+    @pytest.mark.parametrize("policy", [RANGE, HASH])
+    def test_level_counters_bit_identical_general_workload(self, policy,
+                                                           zipf_keys_factory):
+        """Heavy-tailed stream with far more flows than heap slots and
+        multi-chunk workers: the *counters* must still match exactly."""
+        keys = zipf_keys_factory(packets=20_000, flows=4_000, seed=5)
+        factory = lambda: UniversalSketch(levels=6, rows=3, width=512,  # noqa: E731
+                                          heap_size=16, seed=9)
+        serial = factory()
+        BatchIngest(serial, chunk_size=1024).ingest_keys(keys)
+        report = ShardedIngest(factory, workers=4, policy=policy,
+                               chunk_size=1024, start_method="fork",
+                               timeout=60.0).ingest_keys(keys)
+        assert report.parallel
+        assert_counters_identical(report.sketch, serial)
+
+    def test_spawn_start_method(self):
+        """The spawn path (worker rebuilt from pickled geometry, no
+        inherited state) produces the same bytes."""
+        keys, weights = stream(seed=3, weighted=True)
+        factory = small_factory(seed=21)
+        serial = factory()
+        BatchIngest(serial, chunk_size=len(keys)).ingest_keys(keys, weights)
+        report = ShardedIngest(factory, workers=2, start_method="spawn",
+                               chunk_size=len(keys),
+                               timeout=120.0).ingest_keys(keys, weights)
+        assert report.parallel
+        assert serialization.dumps(report.sketch) == \
+            serialization.dumps(serial)
+
+    def test_more_workers_than_keys(self):
+        """Empty range shards are legal and contribute empty sketches."""
+        keys = np.array([5, 6, 7], dtype=np.uint64)
+        factory = small_factory()
+        serial = factory()
+        BatchIngest(serial, chunk_size=8).ingest_keys(keys)
+        report = ShardedIngest(factory, workers=4, start_method="fork",
+                               chunk_size=8).ingest_keys(keys)
+        assert_counters_identical(report.sketch, serial)
+        assert sum(r.packets for r in report.shards) == 3
+
+
+# --------------------------------------------------------------------- #
+# shard policies
+# --------------------------------------------------------------------- #
+
+class TestShardOf:
+    def test_partition_is_total_and_deterministic(self):
+        keys = np.arange(10_000, dtype=np.uint64)
+        shards = shard_of(keys, 4)
+        assert shards.min() >= 0 and shards.max() < 4
+        assert np.array_equal(shards, shard_of(keys, 4))
+
+    def test_sequential_keys_spread_across_shards(self):
+        """The mixer must break up contiguous IP blocks — every shard
+        should see a fair cut of a pure arange stream."""
+        counts = np.bincount(shard_of(np.arange(8192, dtype=np.uint64), 4),
+                             minlength=4)
+        assert counts.min() > 8192 / 4 * 0.8
+
+    def test_same_key_same_shard(self):
+        keys = np.full(100, 1234567, dtype=np.uint64)
+        assert len(np.unique(shard_of(keys, 8))) == 1
+
+
+# --------------------------------------------------------------------- #
+# graceful degradation
+# --------------------------------------------------------------------- #
+
+class TestDegradation:
+    def test_workers_1_runs_in_process(self):
+        keys, _ = stream()
+        report = ShardedIngest(small_factory(), workers=1).ingest_keys(keys)
+        assert not report.parallel
+        assert report.fallback_reason == "workers=1"
+        assert report.packets == len(keys)
+
+    def test_empty_stream(self):
+        report = ShardedIngest(small_factory(), workers=4).ingest_keys(
+            np.array([], dtype=np.uint64))
+        assert not report.parallel
+        assert report.packets == 0
+        assert report.sketch.total_weight == 0
+
+    def test_missing_shared_memory_falls_back(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_SHM_AVAILABLE", False)
+        keys, _ = stream()
+        serial = small_factory()()
+        BatchIngest(serial, chunk_size=512).ingest_keys(keys)
+        report = ShardedIngest(small_factory(), workers=4,
+                               chunk_size=512).ingest_keys(keys)
+        assert not report.parallel
+        assert report.fallback_reason == "no shared memory"
+        assert_counters_identical(report.sketch, serial)
+
+    def test_workers_1_needs_no_seed(self):
+        keys, _ = stream(packets=100, flows=7)
+        factory = lambda: UniversalSketch(levels=2, rows=3, width=64,  # noqa: E731
+                                          heap_size=16)
+        report = ShardedIngest(factory, workers=1).ingest_keys(keys)
+        assert report.packets == 100
+
+
+# --------------------------------------------------------------------- #
+# failure paths: exact-or-nothing, and never a hang
+# --------------------------------------------------------------------- #
+
+class TestFailures:
+    def test_dead_worker_raises_typed_error(self, monkeypatch):
+        def die(result_queue, *args, **kwargs):
+            os._exit(23)
+
+        monkeypatch.setattr(parallel, "_worker_entry", die)
+        keys, _ = stream()
+        ingest = ShardedIngest(small_factory(), workers=2,
+                               start_method="fork", timeout=30.0)
+        with pytest.raises(ShardFailureError, match="exit code"):
+            ingest.ingest_keys(keys)
+
+    def test_worker_exception_surfaces_with_message(self, monkeypatch):
+        def boom(params, keys, weights, shard, workers, policy, chunk_size):
+            raise RuntimeError("sketch exploded on shard duty")
+
+        monkeypatch.setattr(parallel, "_ingest_shard", boom)
+        keys, _ = stream()
+        ingest = ShardedIngest(small_factory(), workers=2,
+                               start_method="fork", timeout=30.0)
+        with pytest.raises(ShardFailureError,
+                           match="sketch exploded on shard duty"):
+            ingest.ingest_keys(keys)
+
+    def test_stalled_worker_times_out(self, monkeypatch):
+        real = parallel._ingest_shard
+
+        def stall(params, keys, weights, shard, workers, policy, chunk_size):
+            if shard == 1:
+                time.sleep(60)
+            return real(params, keys, weights, shard, workers, policy,
+                        chunk_size)
+
+        monkeypatch.setattr(parallel, "_ingest_shard", stall)
+        keys, _ = stream()
+        ingest = ShardedIngest(small_factory(), workers=2,
+                               start_method="fork", timeout=1.0)
+        t0 = time.monotonic()
+        with pytest.raises(ShardFailureError, match="no result"):
+            ingest.ingest_keys(keys)
+        assert time.monotonic() - t0 < 20  # error, not a hang
+
+    def test_dropped_packets_rejected(self, monkeypatch):
+        real = parallel._ingest_shard
+
+        def lossy(params, keys, weights, shard, workers, policy, chunk_size):
+            if shard == 0:
+                keys = keys[:-7]
+            return real(params, keys, weights, shard, workers, policy,
+                        chunk_size)
+
+        monkeypatch.setattr(parallel, "_ingest_shard", lossy)
+        keys, _ = stream()
+        ingest = ShardedIngest(small_factory(), workers=2, policy=RANGE,
+                               start_method="fork", timeout=30.0)
+        with pytest.raises(ShardFailureError, match="dropped"):
+            ingest.ingest_keys(keys)
+
+
+# --------------------------------------------------------------------- #
+# configuration validation
+# --------------------------------------------------------------------- #
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ShardedIngest(small_factory(), workers=0)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            ShardedIngest(small_factory(), workers=2, policy="modulo")
+
+    def test_chunk_size_and_timeout(self):
+        with pytest.raises(ConfigurationError):
+            ShardedIngest(small_factory(), workers=2, chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            ShardedIngest(small_factory(), workers=2, timeout=0)
+
+    def test_seedless_sketch_rejected_for_parallel(self):
+        factory = lambda: UniversalSketch(levels=2, rows=3, width=64,  # noqa: E731
+                                          heap_size=16)
+        with pytest.raises(ConfigurationError, match="seed"):
+            ShardedIngest(factory, workers=2).ingest_keys(
+                np.arange(10, dtype=np.uint64))
+
+    def test_non_universal_sketch_rejected(self):
+        with pytest.raises(ConfigurationError, match="UniversalSketch"):
+            ShardedIngest(lambda: CountSketch(rows=3, width=64, seed=1),
+                          workers=2).ingest_keys(
+                              np.arange(10, dtype=np.uint64))
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ConfigurationError, match="length"):
+            ShardedIngest(small_factory(), workers=2).ingest_keys(
+                np.arange(10, dtype=np.uint64), np.ones(9, dtype=np.int64))
+
+    def test_like_clones_geometry(self):
+        template = UniversalSketch(levels=3, rows=4, width=256,
+                                   heap_size=32, seed=77, counter_bytes=8)
+        produced = ShardedIngest.like(template, workers=1).sketch_factory()
+        assert serialization.dumps(produced) == serialization.dumps(
+            UniversalSketch(levels=3, rows=4, width=256, heap_size=32,
+                            seed=77, counter_bytes=8))
+
+
+# --------------------------------------------------------------------- #
+# observability
+# --------------------------------------------------------------------- #
+
+class TestMetrics:
+    def test_parallel_run_records_shard_metrics(self):
+        keys, _ = stream()
+        with use_registry(MetricsRegistry()) as reg:
+            report = ShardedIngest(small_factory(), workers=2,
+                                   start_method="fork",
+                                   timeout=60.0).ingest_keys(keys)
+            if not report.parallel:  # pragma: no cover - no-shm platform
+                pytest.skip("platform lacks shared memory")
+            total = sum(
+                reg.get("univmon_shard_packets_total", shard=str(i)).value
+                for i in range(2))
+            assert total == len(keys)
+            assert reg.get("univmon_shard_workers").value == 2
+            assert reg.get("univmon_shard_runs_total").value == 1
+            assert reg.get("univmon_shard_merge_seconds").count == 1
+
+    def test_fallback_reason_is_counted(self):
+        keys, _ = stream(packets=200)
+        with use_registry(MetricsRegistry()) as reg:
+            ShardedIngest(small_factory(), workers=1).ingest_keys(keys)
+            assert reg.get("univmon_shard_fallbacks_total",
+                           reason="workers=1").value == 1
+
+    def test_failure_is_counted(self, monkeypatch):
+        def die(result_queue, *args, **kwargs):
+            os._exit(9)
+
+        monkeypatch.setattr(parallel, "_worker_entry", die)
+        keys, _ = stream(packets=500)
+        with use_registry(MetricsRegistry()) as reg:
+            with pytest.raises(ShardFailureError):
+                ShardedIngest(small_factory(), workers=2,
+                              start_method="fork",
+                              timeout=30.0).ingest_keys(keys)
+            assert reg.get("univmon_shard_failures_total").value == 1
