@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-network test-acceptance test-parallel coverage \
-        bench bench-quick bench-smoke results examples lint clean
+        bench bench-quick bench-query bench-smoke results examples lint \
+        clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -55,6 +56,13 @@ bench-quick:
 	REPRO_BENCH_QUICK=1 REPRO_BENCH_RUNS=4 \
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
 
+# Control-plane query smoke: asserts the >= 5x batched-vs-scalar floor
+# of the vectorised query engine (scalar/batched parity included) and
+# refreshes benchmarks/results/BENCH_query.json.
+bench-query:
+	PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest benchmarks/bench_query_latency.py -q -s
+
 # Ingest-path smoke: asserts the bulk-update speedup floors over the
 # np.add.at baseline, the BatchIngest rates, and the sharded-ingest
 # exactness sweep (plus its >= 2x floor on >= 4-core hosts), and
@@ -62,11 +70,13 @@ bench-quick:
 # remote-collection suites, the statistical acceptance suite, the
 # sharded-ingest suite, and the obs coverage gate first, so a broken
 # poll path or a degraded estimator fails the smoke check before any
-# benchmark numbers are published.
+# benchmark numbers are published. The query-engine floor rides along
+# (quick workload) so a control-plane regression blocks the smoke too.
 bench-smoke: test-network test-acceptance test-parallel coverage
 	REPRO_BENCH_QUICK=1 PYTHONPATH=src:$(PYTHONPATH) \
-	$(PYTHON) -m pytest benchmarks/bench_throughput.py -q -s \
-	    -k "speedup or batch_ingest"
+	$(PYTHON) -m pytest benchmarks/bench_throughput.py \
+	    benchmarks/bench_query_latency.py -q -s \
+	    -k "speedup or batch_ingest or matches or snapshot"
 
 results:
 	$(PYTHON) benchmarks/collect_results.py

@@ -22,7 +22,7 @@ ROOT = Path(__file__).resolve().parent.parent
 RESULTS = Path(__file__).resolve().parent / "results"
 EXPERIMENTS = ROOT / "EXPERIMENTS.md"
 
-#: marker name -> results file
+#: marker name -> results file (ASCII table, spliced as ```text)
 SOURCES = {
     "fig4": "fig4_heavy_hitters.txt",
     "fig5": "fig5_ddos.txt",
@@ -35,24 +35,34 @@ SOURCES = {
     "ablation-fsd": "ablation_fsd.txt",
 }
 
+#: marker name -> speedup-floor artifact (JSON, spliced as ```json)
+JSON_SOURCES = {
+    "bench-throughput": "BENCH_throughput.json",
+    "bench-query": "BENCH_query.json",
+}
+
 _MARKER = re.compile(
-    r"<!-- RESULT:(?P<name>[\w-]+) -->(?:\n```text\n.*?\n```)?",
+    r"<!-- RESULT:(?P<name>[\w-]+) -->(?:\n```(?:text|json)\n.*?\n```)?",
     re.DOTALL)
 
 
 def splice(text: str) -> str:
     def replace(match: re.Match) -> str:
         name = match.group("name")
-        source = SOURCES.get(name)
-        if source is None:
+        if name in JSON_SOURCES:
+            source, lang = JSON_SOURCES[name], "json"
+            hint = "pytest benchmarks/ -k speedup"
+        elif name in SOURCES:
+            source, lang = SOURCES[name], "text"
+            hint = "pytest benchmarks/ --benchmark-only"
+        else:
             return match.group(0)
         path = RESULTS / source
         if not path.exists():
-            return (f"<!-- RESULT:{name} -->\n```text\n"
-                    f"(run pytest benchmarks/ --benchmark-only to "
-                    f"generate {source})\n```")
+            return (f"<!-- RESULT:{name} -->\n```{lang}\n"
+                    f"(run {hint} to generate {source})\n```")
         table = path.read_text().rstrip("\n")
-        return f"<!-- RESULT:{name} -->\n```text\n{table}\n```"
+        return f"<!-- RESULT:{name} -->\n```{lang}\n{table}\n```"
 
     return _MARKER.sub(replace, text)
 
@@ -64,9 +74,10 @@ def main() -> int:
     original = EXPERIMENTS.read_text()
     updated = splice(original)
     EXPERIMENTS.write_text(updated)
-    spliced = sum(1 for name, src in SOURCES.items()
+    all_sources = {**SOURCES, **JSON_SOURCES}
+    spliced = sum(1 for name, src in all_sources.items()
                   if (RESULTS / src).exists())
-    print(f"spliced {spliced}/{len(SOURCES)} result tables into "
+    print(f"spliced {spliced}/{len(all_sources)} result tables into "
           f"{EXPERIMENTS}")
     return 0
 

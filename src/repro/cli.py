@@ -19,6 +19,10 @@ Subcommands
   instrumented stack and export the metrics registry as Prometheus-style
   text or JSON.  ``run`` and ``coordinate`` also take
   ``--metrics-json PATH`` to dump a registry snapshot after the run.
+- ``query`` — evaluate an arbitrary batch of statistics
+  (``hh:0.005,entropy,moment:1.5,...``) against one sealed sketch — from
+  a local trace or polled off a running agent — in a single snapshot
+  pass through the vectorised query engine.
 """
 
 from __future__ import annotations
@@ -165,6 +169,30 @@ def _add_coordinate(sub: argparse._SubParsersAction) -> None:
     _add_retry_options(p)
 
 
+def _add_query(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "query",
+        help="evaluate a batch of statistics against one sealed sketch")
+    p.add_argument("--stats", default="hh,cardinality,l1,entropy,f2",
+                   help="comma list of name[:param] specs: hh[:frac], "
+                        "cardinality|f0, l1, l2, f2, entropy[:base|e], "
+                        "moment:p")
+    p.add_argument("--trace", default=None,
+                   help="build the sketch locally from this .csv/.pcap "
+                        "trace (mutually exclusive with --host)")
+    p.add_argument("--host", default=None,
+                   help="poll a running switch agent instead")
+    p.add_argument("--port", type=int, default=9099)
+    p.add_argument("--program", default="univmon")
+    p.add_argument("--memory-kb", type=int, default=512,
+                   help="sketch memory budget (local --trace mode)")
+    p.add_argument("--key", default="src_ip",
+                   choices=["src_ip", "dst_ip", "src_dst", "five_tuple"])
+    p.add_argument("--json", action="store_true",
+                   help="print results as a JSON object")
+    _add_retry_options(p)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="univmon",
@@ -180,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_poll(sub)
     _add_coordinate(sub)
     _add_metrics(sub)
+    _add_query(sub)
     return parser
 
 
@@ -472,6 +501,74 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.core.query import QueryEngine, Statistic
+    from repro.dataplane.packet import format_ipv4
+
+    if (args.trace is None) == (args.host is None):
+        print("query needs exactly one sketch source: --trace PATH or "
+              "--host HOST", file=sys.stderr)
+        return 2
+    try:
+        stats = [Statistic.parse(spec)
+                 for spec in args.stats.split(",") if spec.strip()]
+    except (ConfigurationError, ValueError) as exc:
+        print(f"bad --stats: {exc}", file=sys.stderr)
+        return 2
+    if not stats:
+        print("bad --stats: no statistics given", file=sys.stderr)
+        return 2
+
+    if args.trace is not None:
+        from repro.dataplane.keys import KEY_FUNCTIONS
+        from repro.dataplane.switch import MonitoredSwitch
+        from repro.core.universal import UniversalSketch
+
+        trace = _load_trace(args.trace)
+        budget = args.memory_kb * 1024
+        switch = MonitoredSwitch("query")
+        switch.attach(
+            "univmon",
+            lambda: UniversalSketch.for_memory_budget(
+                budget, levels=12, rows=5, heap_size=64, seed=1),
+            KEY_FUNCTIONS[args.key])
+        switch.process_trace(trace)
+        sketch = switch.poll("univmon")
+        show_ip = args.key in ("src_ip", "dst_ip")
+    else:
+        from repro.controlplane.rpc import RemoteSwitchClient
+
+        with RemoteSwitchClient(args.host, args.port, timeout=args.timeout,
+                                retry=_retry_policy(args)) as client:
+            sketch = client.poll(args.program)
+        show_ip = True
+
+    results = QueryEngine(sketch).evaluate_many(stats)
+    if args.json:
+        payload = {
+            "packets": sketch.total_weight,
+            "memory_kb": sketch.memory_bytes() / 1024,
+            "results": {name: value for name, value in results.items()},
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(f"sealed sketch: {sketch.total_weight} packets, "
+          f"{sketch.memory_bytes() / 1024:.0f} KB")
+    for name, value in results.items():
+        if isinstance(value, list):
+            rendered = ", ".join(
+                (format_ipv4(int(k)) if show_ip else str(int(k)))
+                + f"={w:.0f}" for k, w in value[:8])
+            print(f"  {name:14s}: {rendered or '(none)'}")
+        else:
+            print(f"  {name:14s}: {value:.4f}")
+    return 0
+
+
 def _cmd_coordinate(args: argparse.Namespace) -> int:
     return _with_metrics_json(args.metrics_json,
                               lambda: _coordinate_loop(args))
@@ -553,6 +650,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_coordinate(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "query":
+        return _cmd_query(args)
     return 2
 
 

@@ -18,6 +18,7 @@ from repro.controlplane.apps.base import MonitoringApp
 from repro.dataplane.keys import KeyFunction, src_ip_key
 from repro.dataplane.switch import MonitoredSwitch
 from repro.dataplane.trace import Trace
+from repro.core.query import QueryEngine
 from repro.core.universal import UniversalSketch
 
 
@@ -117,6 +118,11 @@ class Controller:
         t1 = float(epoch_trace.timestamps[-1]) if len(epoch_trace) else 0.0
         report = EpochReport(epoch_index=epoch_index, start_time=t0,
                              end_time=t1, packets=len(epoch_trace))
+        if self._apps:
+            # Materialise the epoch's query snapshot once, up front: every
+            # app below reads the sealed (immutable-from-here) sketch, so
+            # they all share this build via the version-guarded cache.
+            QueryEngine(sealed).warm()
         for app in self._apps:
             with reg.span("univmon_app_seconds",
                           help="per-app estimation latency",

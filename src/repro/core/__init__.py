@@ -27,11 +27,13 @@ from repro.core.gsum import (
     estimate_cardinality,
     estimate_entropy,
     estimate_gsum,
+    estimate_gsum_scalar,
     estimate_l1,
     estimate_moment,
     g_core,
 )
 from repro.core.level import SketchLevel
+from repro.core.query import QueryEngine, QuerySnapshot, Statistic
 from repro.core.universal import UniversalSketch
 from repro.core.windowed import SlidingWindowUniversalSketch
 
@@ -48,9 +50,13 @@ __all__ = [
     "ENTROPY_NATS",
     "is_stream_polylog",
     "estimate_gsum",
+    "estimate_gsum_scalar",
     "estimate_cardinality",
     "estimate_entropy",
     "estimate_l1",
     "estimate_moment",
     "g_core",
+    "QueryEngine",
+    "QuerySnapshot",
+    "Statistic",
 ]

@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+import numpy as np
+
 from repro.errors import NotSketchableError
 
 
@@ -31,19 +33,27 @@ class GFunction:
         Human-readable identifier (used in reports and error messages).
     fn:
         The scalar function; must satisfy ``g(0) = 0`` so absent keys
-        contribute nothing.
+        contribute nothing.  This is the *reference implementation*; the
+        vectorised estimators are tested against it element by element.
     description:
         What the statistic measures.
     stream_polylog:
         Whether the function is (claimed) a member of Stream-PolyLog.
         Stock functions set this from the theory; user functions can be
         validated numerically with :func:`is_stream_polylog`.
+    vec:
+        Optional NumPy path: maps a ``float64`` array elementwise to
+        ``g`` of it.  Stock functions ship one; user functions without
+        it fall back to a (cached) ``np.vectorize`` of ``fn``, so every
+        g works with the array estimators — a native ``vec`` is purely
+        a speed upgrade.
     """
 
     name: str
     fn: Callable[[float], float]
     description: str = ""
     stream_polylog: bool = True
+    vec: Optional[Callable[[np.ndarray], np.ndarray]] = None
 
     def __call__(self, x: float) -> float:
         return self.fn(x)
@@ -52,6 +62,21 @@ class GFunction:
         """``g(|x|)`` — used on difference streams whose "frequencies"
         (signed per-key deltas) may be negative."""
         return self.fn(abs(x))
+
+    def apply_array(self, xs: np.ndarray) -> np.ndarray:
+        """Elementwise ``g`` over a ``float64`` array (the NumPy path).
+
+        Uses :attr:`vec` when present; otherwise a ``np.vectorize`` of
+        the scalar ``fn``, built once per GFunction and cached.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        if self.vec is not None:
+            return np.asarray(self.vec(xs), dtype=np.float64)
+        vfn = self.__dict__.get("_np_fallback")
+        if vfn is None:
+            vfn = np.vectorize(self.fn, otypes=[np.float64])
+            object.__setattr__(self, "_np_fallback", vfn)
+        return vfn(xs)
 
 
 def _g_identity(x: float) -> float:
@@ -83,27 +108,69 @@ def _g_xlogx_nats(x: float) -> float:
     return float(x) * math.log(x)
 
 
+# Vectorised twins of the scalar g's above.  Each masks the x <= 0 case
+# the same way its scalar sibling special-cases it, so the two paths
+# agree elementwise (up to libm rounding of log/pow).
+
+def _gv_identity(xs: np.ndarray) -> np.ndarray:
+    return xs
+
+
+def _gv_square(xs: np.ndarray) -> np.ndarray:
+    return xs * xs
+
+
+def _gv_abs(xs: np.ndarray) -> np.ndarray:
+    return np.abs(xs)
+
+
+def _gv_zeroth(xs: np.ndarray) -> np.ndarray:
+    return (xs > 0).astype(np.float64)
+
+
+def _gv_xlogx_base2(xs: np.ndarray) -> np.ndarray:
+    out = np.zeros_like(xs)
+    mask = xs > 0
+    vals = xs[mask]
+    out[mask] = vals * np.log2(vals)
+    return out
+
+
+def _gv_xlogx_nats(xs: np.ndarray) -> np.ndarray:
+    out = np.zeros_like(xs)
+    mask = xs > 0
+    vals = xs[mask]
+    out[mask] = vals * np.log(vals)
+    return out
+
+
 #: g(x) = x  →  G-sum = L1 (total traffic); G-core = heavy hitters (§3.4 HH).
 IDENTITY = GFunction("identity", _g_identity,
-                     "L1 / total volume; G-core gives heavy hitters")
+                     "L1 / total volume; G-core gives heavy hitters",
+                     vec=_gv_identity)
 
 #: g(x) = x**2  →  G-sum = F2, the boundary of Stream-PolyLog.
-SQUARE = GFunction("square", _g_square, "second frequency moment F2")
+SQUARE = GFunction("square", _g_square, "second frequency moment F2",
+                   vec=_gv_square)
 
 #: g(x) = |x|  →  L1 of a (signed) difference stream (§3.4 Change Detection).
-ABS = GFunction("abs", _g_abs, "L1 norm of a signed difference stream")
+ABS = GFunction("abs", _g_abs, "L1 norm of a signed difference stream",
+                vec=_gv_abs)
 
 #: g(x) = x**0 (0↦0)  →  G-sum = F0 = #distinct keys (§3.4 DDoS).
 CARDINALITY = GFunction("cardinality", _g_zeroth,
-                        "distinct key count F0 (DDoS victim test)")
+                        "distinct key count F0 (DDoS victim test)",
+                        vec=_gv_zeroth)
 
 #: g(x) = x·log2(x)  →  S in H = log2(m) - S/m (§3.4 Entropy, bits).
 ENTROPY_SUM = GFunction("entropy_sum", _g_xlogx_base2,
-                        "sum f·log2 f, the entropy numerator (bits)")
+                        "sum f·log2 f, the entropy numerator (bits)",
+                        vec=_gv_xlogx_base2)
 
 #: Same in natural log, for nat-denominated entropy.
 ENTROPY_NATS = GFunction("entropy_sum_nats", _g_xlogx_nats,
-                         "sum f·ln f, the entropy numerator (nats)")
+                         "sum f·ln f, the entropy numerator (nats)",
+                         vec=_gv_xlogx_nats)
 
 
 def is_stream_polylog(g: Callable[[float], float],
@@ -165,5 +232,11 @@ def make_moment(p: float) -> GFunction:
             return 0.0
         return float(x) ** p
 
+    def vec(xs: np.ndarray, _p: float = p) -> np.ndarray:
+        out = np.zeros_like(xs)
+        mask = xs > 0
+        out[mask] = xs[mask] ** _p
+        return out
+
     return GFunction(f"moment_{p:g}", fn, f"frequency moment F{p:g}",
-                     stream_polylog=(p <= 2))
+                     stream_polylog=(p <= 2), vec=vec)

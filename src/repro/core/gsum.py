@@ -18,13 +18,26 @@ the directly-observed contribution of keys that did not (bit = 0, factor
 All estimators apply ``g`` to the *magnitude* of the Count Sketch
 estimate: on insert-only streams estimates are already ≈ positive, and on
 difference streams the "frequency" of a key is the magnitude of its delta.
+
+Since the query-engine rewrite, every estimator runs Recursive Sum as
+array reductions over a :class:`~repro.core.query.QuerySnapshot` — the
+per-level heaps and sampling bits materialised once per sketch state and
+cached (on :class:`~repro.core.universal.UniversalSketch`) behind a
+mutation version counter, so all apps polling the same sealed sketch
+share one build.  :func:`estimate_gsum_scalar` keeps the original scalar
+loop as the tested reference implementation.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import weakref
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.obs.metrics import get_registry
 from repro.core.gfunctions import (
@@ -37,8 +50,12 @@ from repro.core.gfunctions import (
     make_moment,
     require_stream_polylog,
 )
+from repro.core.query import QuerySnapshot
+
+_SPAN_STATE = threading.local()
 
 
+@contextmanager
 def _query_span(op: str):
     """Latency span for one control-plane estimate (no-op by default).
 
@@ -46,30 +63,72 @@ def _query_span(op: str):
     :class:`~repro.core.universal.UniversalSketch` wrapper methods, so
     the apps (which call these functions directly) and the sketch
     methods record into the same ``op=`` series exactly once.
+
+    Nested estimates are guarded: :func:`estimate_gsum` records its own
+    ``op="gsum"`` span when called directly, but when it runs inside a
+    named wrapper (``estimate_entropy``, ``heavy_changes``, …) only the
+    outermost span observes, keeping "one span per estimate" true on
+    every path.
     """
-    return get_registry().span("univmon_sketch_query_seconds",
-                               help="control-plane estimate latency", op=op)
+    if getattr(_SPAN_STATE, "depth", 0):
+        yield
+        return
+    _SPAN_STATE.depth = 1
+    try:
+        with get_registry().span("univmon_sketch_query_seconds",
+                                 help="control-plane estimate latency",
+                                 op=op):
+            yield
+    finally:
+        _SPAN_STATE.depth = 0
+
 
 # Validation cache keyed by g-function *identity* (id -> weakref).  Keying
 # by name let a user-defined GFunction reuse a stock name (e.g.
 # "identity") and silently skip validation; the weakref guards against a
-# recycled id() after the original object is collected.
-_VALIDATED: Dict[int, "weakref.ref[GFunction]"] = {}
+# recycled id() after the original object is collected, and its callback
+# drops the entry as soon as the g-function dies.  The LRU bound is a
+# backstop for the pathological case of many *live* transient g-functions:
+# the cache can then forget (and later re-validate) the oldest, but it can
+# never grow past ``_VALIDATED_MAX`` entries.
+_VALIDATED: "OrderedDict[int, weakref.ref]" = OrderedDict()
+_VALIDATED_MAX = 256
 
 
 def _check(g: GFunction) -> None:
     """Validate Stream-PolyLog membership once per g-function object."""
     ref = _VALIDATED.get(id(g))
     if ref is not None and ref() is g:
+        _VALIDATED.move_to_end(id(g))
         return
     require_stream_polylog(g)
     _VALIDATED[id(g)] = weakref.ref(
         g, lambda _ref, _key=id(g): _VALIDATED.pop(_key, None))
+    while len(_VALIDATED) > _VALIDATED_MAX:
+        _VALIDATED.popitem(last=False)
+
+
+def snapshot_of(sketch) -> QuerySnapshot:
+    """The sketch state's :class:`QuerySnapshot`.
+
+    Uses the sketch's version-guarded cache when it has one
+    (:meth:`UniversalSketch.query_snapshot`); duck-typed sketches get an
+    uncached build.
+    """
+    cached = getattr(sketch, "query_snapshot", None)
+    if cached is not None:
+        return cached()
+    return QuerySnapshot.build(sketch)
 
 
 def estimate_gsum(sketch, g: GFunction,
                   min_weight: float = 0.5) -> float:
     """Algorithm 2: unbiased estimate of ``G-sum = sum_i g(f_i)``.
+
+    Runs the Recursive Sum as array reductions over the sketch state's
+    snapshot; numerically equivalent to the scalar reference
+    (:func:`estimate_gsum_scalar`), which walks the heaps one key at a
+    time.
 
     Parameters
     ----------
@@ -81,6 +140,20 @@ def estimate_gsum(sketch, g: GFunction,
     min_weight:
         Heap entries with ``|w| < min_weight`` are treated as noise and
         skipped (a key actually present has true frequency >= 1).
+    """
+    _check(g)
+    with _query_span("gsum"):
+        return snapshot_of(sketch).gsum(g, min_weight=min_weight)
+
+
+def estimate_gsum_scalar(sketch, g: GFunction,
+                         min_weight: float = 0.5) -> float:
+    """The original scalar Recursive Sum — the reference implementation.
+
+    One ``g`` call and one sampling-bit hash per heavy hitter per level.
+    Kept (and property-tested against :func:`estimate_gsum`) as the
+    ground truth the vectorised path must match; also the baseline the
+    query-latency benchmark measures speedups against.
     """
     _check(g)
     levels = sketch.levels
@@ -112,11 +185,10 @@ def g_core(sketch, fraction: float,
     difference sketch (heavy changes).
     """
     with _query_span("heavy_hitters"):
+        snapshot = snapshot_of(sketch)
         if total is None:
-            total = float(sketch.total_weight)
-        threshold = fraction * total
-        q0 = sketch.levels[0].heavy_hitters()
-        return [(key, w) for key, w in q0 if abs(w) >= threshold]
+            total = snapshot.total_weight
+        return snapshot.gcore(fraction, total=total)
 
 
 def estimate_cardinality(sketch) -> float:
@@ -150,19 +222,56 @@ def estimate_f2(sketch) -> float:
 
 # One GFunction per entropy log-base: rebuilding the lambda per call both
 # wasted work and (with an identity-keyed validation cache) re-validated
-# the same g on every estimate.
-_ENTROPY_BASE: Dict[float, GFunction] = {}
+# the same g on every estimate.  Bounded LRU: a workload cycling through
+# many distinct bases (or sweeping bases programmatically) recycles the
+# oldest entry instead of growing the cache forever.
+_ENTROPY_BASE: "OrderedDict[float, GFunction]" = OrderedDict()
+_ENTROPY_BASE_MAX = 8
 
 
 def _entropy_gfunction(base: float) -> GFunction:
     g = _ENTROPY_BASE.get(base)
     if g is None:
+        log_base = math.log(base)
+
+        def vec(xs: np.ndarray, _lb: float = log_base) -> np.ndarray:
+            out = np.zeros_like(xs)
+            mask = xs > 0
+            vals = xs[mask]
+            out[mask] = vals * np.log(vals) / _lb
+            return out
+
         g = GFunction(
             f"entropy_sum_base{base:g}",
-            lambda x, _b=base: 0.0 if x <= 0 else x * math.log(x) / math.log(_b),
-            stream_polylog=True)
+            lambda x, _lb=log_base: 0.0 if x <= 0 else x * math.log(x) / _lb,
+            stream_polylog=True, vec=vec)
         _ENTROPY_BASE[base] = g
+        while len(_ENTROPY_BASE) > _ENTROPY_BASE_MAX:
+            _ENTROPY_BASE.popitem(last=False)
+    else:
+        _ENTROPY_BASE.move_to_end(base)
     return g
+
+
+def _entropy_g_and_log_m(base: float, m: float) -> Tuple[GFunction, float]:
+    if base == 2.0:
+        return ENTROPY_SUM, math.log2(m)
+    log_m = math.log(m) / math.log(base)
+    return (ENTROPY_NATS if base == math.e
+            else _entropy_gfunction(base)), log_m
+
+
+def entropy_from_snapshot(snapshot: QuerySnapshot,
+                          base: float = 2.0) -> float:
+    """``H = log m - S/m`` over an already-built snapshot (batch path)."""
+    m = float(snapshot.total_weight)
+    if m <= 0:
+        return 0.0
+    g, log_m = _entropy_g_and_log_m(base, m)
+    _check(g)
+    s = snapshot.gsum(g)
+    h = log_m - s / m
+    return min(max(h, 0.0), log_m)
 
 
 def estimate_entropy(sketch, base: float = 2.0) -> float:
@@ -173,18 +282,7 @@ def estimate_entropy(sketch, base: float = 2.0) -> float:
     spread over more than ``m`` distinct keys).
     """
     with _query_span("entropy"):
-        m = float(sketch.total_weight)
-        if m <= 0:
-            return 0.0
-        if base == 2.0:
-            g = ENTROPY_SUM
-            log_m = math.log2(m)
-        else:
-            log_m = math.log(m) / math.log(base)
-            g = ENTROPY_NATS if base == math.e else _entropy_gfunction(base)
-        s = estimate_gsum(sketch, g)
-        h = log_m - s / m
-        return min(max(h, 0.0), log_m)
+        return entropy_from_snapshot(snapshot_of(sketch), base=base)
 
 
 def estimate_moment(sketch, p: float) -> float:
@@ -197,9 +295,10 @@ def heavy_changes(sketch_a, sketch_b, phi: float,
                   min_change: float = 1.0) -> Tuple[List[Tuple[int, float]], float]:
     """Change detection between two epochs (§3.4).
 
-    Subtracts the epoch sketches (Count Sketch linearity), estimates the
-    total change ``D`` with ``g(x)=|x|``, and returns the candidate keys
-    whose estimated |delta| is at least ``phi * D``, plus D itself.
+    Subtracts the epoch sketches (Count Sketch linearity), snapshots the
+    difference sketch *once*, estimates the total change ``D`` with
+    ``g(x)=|x|``, and returns the candidate keys whose estimated |delta|
+    is at least ``phi * D``, plus D itself.
 
     Returns
     -------
@@ -209,24 +308,28 @@ def heavy_changes(sketch_a, sketch_b, phi: float,
     """
     with _query_span("heavy_changes"):
         diff = sketch_a.subtract(sketch_b)
-        # estimate_gsum directly (not estimate_l1): one span per query.
-        total = max(0.0, estimate_gsum(diff, ABS))
+        # One snapshot serves both the D estimate and the G-core listing.
+        snapshot = snapshot_of(diff)
+        _check(ABS)
+        total = max(0.0, snapshot.gsum(ABS))
         if total <= 0:
             return [], 0.0
         threshold = max(phi * total, min_change)
-        q0 = diff.levels[0].heavy_hitters()
-        changes = [(key, w) for key, w in q0 if abs(w) >= threshold]
+        changes = snapshot.gcore(1.0, total=threshold)
         return changes, total
 
 
 __all__ = [
     "estimate_gsum",
+    "estimate_gsum_scalar",
+    "snapshot_of",
     "g_core",
     "estimate_cardinality",
     "estimate_l1",
     "estimate_l2",
     "estimate_f2",
     "estimate_entropy",
+    "entropy_from_snapshot",
     "estimate_moment",
     "heavy_changes",
     "IDENTITY",

@@ -52,7 +52,8 @@ class UniversalSketch(Sketch):
     """
 
     __slots__ = ("num_levels", "rows", "width", "heap_size", "seed",
-                 "counter_bytes", "sampler", "levels", "packets")
+                 "counter_bytes", "sampler", "levels", "packets",
+                 "_version", "_snapshot")
 
     def __init__(self, levels: int = 16, rows: int = 5, width: int = 1024,
                  heap_size: int = 64, seed: Optional[int] = None,
@@ -74,6 +75,8 @@ class UniversalSketch(Sketch):
             for _ in range(levels + 1)
         ]
         self.packets = 0
+        self._version = 0     # bumped on every mutation
+        self._snapshot = None  # cached QuerySnapshot for _version
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -125,6 +128,7 @@ class UniversalSketch(Sketch):
         for j in range(depth + 1):
             levels[j].update(key, weight)
         self.packets += 1
+        self._version += 1
 
     def update_array(self, keys: np.ndarray,
                      weights: Optional[np.ndarray] = None) -> None:
@@ -180,11 +184,61 @@ class UniversalSketch(Sketch):
                                None if weights is None else weights[lo:],
                                distinct=uniq[uniq_depths >= j])
         self.packets += n
+        self._version += 1
 
     @property
     def total_weight(self) -> int:
         """Total stream weight ``m`` (level 0 sees everything)."""
         return self.levels[0].weight
+
+    # ------------------------------------------------------------------ #
+    # query snapshot cache
+    # ------------------------------------------------------------------ #
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumps on every update/bulk update, so query
+        state caches can tell whether the sketch moved underneath them."""
+        return self._version
+
+    def invalidate_snapshot(self) -> None:
+        """Drop the cached query snapshot (and bump the version).
+
+        Mutations through the sketch API invalidate automatically; call
+        this after mutating level internals directly (heap surgery,
+        counter edits) so the next query rebuilds.
+        """
+        self._version += 1
+        self._snapshot = None
+
+    def query_snapshot(self):
+        """This sketch state's :class:`~repro.core.query.QuerySnapshot`.
+
+        Built at most once per mutation version: all control-plane
+        estimates between two mutations — no matter how many apps ask —
+        share one materialisation of the heaps and sampling bits.
+        Instrumented via ``univmon_query_snapshot_*`` (builds, cache
+        hits, invalidations, build latency).
+        """
+        from repro.core.query import QuerySnapshot
+        reg = get_registry()
+        snapshot = self._snapshot
+        if snapshot is not None:
+            if snapshot.version == self._version:
+                reg.counter("univmon_query_snapshot_cache_hits_total",
+                            help="queries served from a cached "
+                                 "snapshot").inc()
+                return snapshot
+            reg.counter("univmon_query_snapshot_invalidations_total",
+                        help="cached snapshots discarded because the "
+                             "sketch mutated").inc()
+        with reg.span("univmon_query_snapshot_build_seconds",
+                      help="snapshot materialisation latency"):
+            snapshot = QuerySnapshot.build(self, version=self._version)
+        self._snapshot = snapshot
+        reg.counter("univmon_query_snapshot_builds_total",
+                    help="query snapshots materialised").inc()
+        return snapshot
 
     # ------------------------------------------------------------------ #
     # control-plane entry points (thin wrappers over repro.core.gsum)
@@ -193,8 +247,9 @@ class UniversalSketch(Sketch):
     # Query-latency spans (univmon_sketch_query_seconds{op=}) are
     # recorded inside repro.core.gsum's public estimators, so the apps
     # (which call those functions directly) and these wrappers land in
-    # the same series exactly once.  g_sum is the exception: it wraps
-    # the unspanned estimate_gsum primitive.
+    # the same series exactly once.  estimate_gsum itself records
+    # op="gsum" when it is the outermost estimate (nested calls from the
+    # named wrappers are span-guarded).
 
     def heavy_hitters(self, fraction: float) -> List[Tuple[int, float]]:
         """G-core for g(x)=x: keys estimated above ``fraction`` of total."""
@@ -204,10 +259,7 @@ class UniversalSketch(Sketch):
     def g_sum(self, g) -> float:
         """Estimate ``G-sum`` for any Stream-PolyLog g (Algorithm 2)."""
         from repro.core.gsum import estimate_gsum
-        with get_registry().span("univmon_sketch_query_seconds",
-                                 help="control-plane estimate latency",
-                                 op="g_sum"):
-            return estimate_gsum(self, g)
+        return estimate_gsum(self, g)
 
     def cardinality(self) -> float:
         from repro.core.gsum import estimate_cardinality
@@ -283,6 +335,8 @@ class UniversalSketch(Sketch):
         out.sampler = self.sampler
         out.levels = [level.copy() for level in self.levels]
         out.packets = self.packets
+        out._version = 0
+        out._snapshot = None
         return out
 
     def merge(self, other: "UniversalSketch") -> "UniversalSketch":

@@ -61,6 +61,53 @@ class LevelSampler:
                 f"level must be in [1, {self.levels}], got {level}")
         return self._hashes[level - 1](key) & 1
 
+    def _packed_parity(self):
+        """The fused parity table, or ``False`` when it cannot be packed
+        (more than 63 levels).  Built lazily and cached."""
+        if self._parity is None:
+            if self.levels <= 63:
+                self._parity = pack_tabulation_fields(
+                    self._hashes, lambda t: t & np.uint64(1), 1)
+            else:
+                self._parity = False
+        return self._parity
+
+    def bit_array(self, level: int, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`bit`: ``h_level`` over a ``uint64`` key array.
+
+        Fast path reuses the packed-tabulation parity table built for
+        :meth:`deepest_level_array` — one XOR-gather yields every level's
+        parity bit at once, and bit ``level - 1`` of the gathered word is
+        selected.  The control plane uses this to precompute, per
+        snapshot, the sampling bits Algorithm 2's Recursive Sum consumes,
+        instead of re-hashing one key at a time per estimate.
+        """
+        if not 1 <= level <= self.levels:
+            raise ConfigurationError(
+                f"level must be in [1, {self.levels}], got {level}")
+        words = self.parity_words(keys)
+        if words is not None:
+            return ((words >> np.int64(level - 1)) & np.int64(1)) \
+                .astype(np.int64)
+        return (self._hashes[level - 1].hash_array(
+            np.asarray(keys, dtype=np.uint64))
+            & np.uint64(1)).astype(np.int64)
+
+    def parity_words(self, keys: np.ndarray) -> Optional[np.ndarray]:
+        """All levels' sampling bits for ``keys`` in one XOR-gather.
+
+        Bit ``j - 1`` of the returned ``int64`` word is ``h_j(key) & 1``.
+        The query snapshot concatenates every level's heavy-hitter keys
+        and calls this once, amortising the gather's fixed cost across
+        the whole cascade.  ``None`` when the parity table cannot be
+        packed (more than 63 levels) — callers fall back to per-level
+        hashing.
+        """
+        packed = self._packed_parity()
+        if packed is False:
+            return None
+        return gather_packed(packed, np.asarray(keys, dtype=np.uint64))
+
     def deepest_level(self, key: int) -> int:
         """Deepest substream index ``j`` such that key is in ``D_j``.
 
@@ -89,14 +136,9 @@ class LevelSampler:
         n = len(keys)
         if self.levels == 0:
             return np.zeros(n, dtype=np.int64)
-        if self._parity is None:
-            if self.levels <= 63:
-                self._parity = pack_tabulation_fields(
-                    self._hashes, lambda t: t & np.uint64(1), 1)
-            else:
-                self._parity = False
-        if self._parity is not False:
-            bits = gather_packed(self._parity, keys)
+        packed = self._packed_parity()
+        if packed is not False:
+            bits = gather_packed(packed, keys)
             mask = np.int64((1 << self.levels) - 1)
             inv = ~bits & mask          # zero bits of the parity word
             low = inv & -inv            # lowest zero bit (0 if none)

@@ -36,6 +36,7 @@ from repro.controlplane.apps.base import MonitoringApp
 from repro.controlplane.controller import EpochReport
 from repro.controlplane.rpc import RemoteSwitchClient, RetryPolicy
 from repro.network.health import HealthTracker
+from repro.core.query import QueryEngine
 from repro.core.universal import UniversalSketch
 
 
@@ -205,6 +206,9 @@ class RemoteCoordinator:
             "transport_failures": epoch_failures,
             "health": self.health.snapshot(),
         }
+        if polled and self._apps:
+            # One snapshot build per merged epoch, shared by every app.
+            QueryEngine(merged).warm()
         if polled:
             for app in self._apps:
                 report.results[app.name] = app.on_sketch(merged, epoch_index)

@@ -154,3 +154,48 @@ class TestEntropy:
             errors.append(relative_error(estimate, truth.entropy(base=2.0)))
         assert max(errors) <= self.ERR_CEILING, errors
         assert float(np.median(errors)) <= 0.02
+
+
+class TestBatchedQueryPath:
+    """The batched engine must meet the same ceilings as the individual
+    estimators above — and agree with them exactly, statistic for
+    statistic, because both routes reduce over one shared snapshot."""
+
+    ALPHA = 0.005
+    FP_CEILING = 0.15
+    FN_CEILING = 0.15
+    F0_ERR_CEILING = 0.30
+    ENTROPY_ERR_CEILING = 0.05
+
+    def test_ceilings_and_exact_agreement(self):
+        from repro.core.query import QueryEngine, Statistic
+
+        statistics = (Statistic.heavy_hitters(self.ALPHA),
+                      Statistic.cardinality(),
+                      Statistic.entropy())
+        fps, fns, f0_errors, h_errors = [], [], [], []
+        for seed in SEEDS:
+            trace = generate_trace(WORKLOAD.epoch_config(seed))
+            truth = GroundTruth(trace, src_ip_key)
+            sketch = _sketch(seed)
+            sketch.update_array(trace.key_array(src_ip_key))
+            results = QueryEngine(sketch).evaluate_many(statistics)
+
+            # Statistic-for-statistic equality with the scalar wrappers.
+            assert results["heavy_hitters"] == g_core(sketch, self.ALPHA)
+            assert results["cardinality"] == estimate_cardinality(sketch)
+            assert results["entropy"] == estimate_entropy(sketch, base=2.0)
+
+            true_hh = truth.heavy_hitter_keys(self.ALPHA)
+            fp, fn = detection_rates(
+                true_hh, {k for k, _ in results["heavy_hitters"]})
+            fps.append(fp)
+            fns.append(fn)
+            f0_errors.append(relative_error(
+                results["cardinality"], trace.distinct(src_ip_key)))
+            h_errors.append(relative_error(
+                results["entropy"], truth.entropy(base=2.0)))
+        assert max(fps) <= self.FP_CEILING, fps
+        assert max(fns) <= self.FN_CEILING, fns
+        assert max(f0_errors) <= self.F0_ERR_CEILING, f0_errors
+        assert max(h_errors) <= self.ENTROPY_ERR_CEILING, h_errors

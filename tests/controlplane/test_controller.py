@@ -85,6 +85,39 @@ class TestPollLoop:
         c.reset()
         assert app._previous is None
 
+    def test_one_snapshot_build_per_epoch_regardless_of_apps(
+            self, small_trace):
+        """The controller warms one query snapshot per sealed sketch;
+        every registered app shares it via the version-guarded cache, so
+        the build count equals the epoch count whether one app polls or
+        three do."""
+        from repro.obs import MetricsRegistry, use_registry
+        build_counts = {}
+        for label, apps in (
+                ("one", [CardinalityApp()]),
+                ("three", [CardinalityApp(), EntropyApp(),
+                           HeavyHitterApp(alpha=0.01)])):
+            c = make_controller(epoch_seconds=1.0)
+            for app in apps:
+                c.register(app)
+            reg = MetricsRegistry()
+            with use_registry(reg):
+                reports = c.run_trace(small_trace)
+            builds = reg.get("univmon_query_snapshot_builds_total")
+            assert builds is not None
+            build_counts[label] = (builds.value, len(reports))
+        for value, epochs in build_counts.values():
+            assert value == epochs
+        assert build_counts["one"] == build_counts["three"]
+
+    def test_no_apps_no_snapshot_builds(self, small_trace):
+        from repro.obs import MetricsRegistry, use_registry
+        c = make_controller(epoch_seconds=2.0)
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            c.run_trace(small_trace)
+        assert reg.get("univmon_query_snapshot_builds_total") is None
+
     def test_heavy_hitter_app_integration(self, small_trace):
         from repro.eval.groundtruth import GroundTruth
         c = make_controller(epoch_seconds=10.0)  # one epoch = whole trace

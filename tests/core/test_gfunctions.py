@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -54,6 +55,54 @@ class TestStockFunctions:
         for g in (IDENTITY, SQUARE, ABS, CARDINALITY, ENTROPY_SUM,
                   ENTROPY_NATS):
             assert is_stream_polylog(g.fn), g.name
+
+
+class TestApplyArray:
+    """The vectorised twins must agree elementwise with the scalar fn,
+    and user g's without a vec must work through the cached fallback."""
+
+    XS = np.array([0.0, 0.5, 1.0, 2.0, 3.5, 1000.0, 1e6])
+
+    @pytest.mark.parametrize("g", [IDENTITY, SQUARE, ABS, CARDINALITY,
+                                   ENTROPY_SUM, ENTROPY_NATS,
+                                   make_moment(0.5), make_moment(1.5)],
+                             ids=lambda g: g.name)
+    def test_stock_vec_matches_scalar_fn(self, g):
+        assert g.vec is not None
+        vec = g.apply_array(self.XS)
+        scalar = np.array([g(float(x)) for x in self.XS])
+        np.testing.assert_allclose(vec, scalar, rtol=1e-12, atol=0)
+
+    def test_user_g_falls_back_to_vectorize(self):
+        g = GFunction("user_sqrt",
+                      lambda x: math.sqrt(x) if x > 0 else 0.0)
+        assert g.vec is None
+        vec = g.apply_array(self.XS)
+        scalar = np.array([g(float(x)) for x in self.XS])
+        np.testing.assert_allclose(vec, scalar, rtol=1e-12, atol=0)
+
+    def test_fallback_vectorize_is_built_once(self):
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            return float(x)
+
+        g = GFunction("counting", fn)
+        g.apply_array(np.array([1.0, 2.0]))
+        first = g.__dict__.get("_np_fallback")
+        assert first is not None
+        g.apply_array(np.array([3.0]))
+        assert g.__dict__.get("_np_fallback") is first
+        assert len(calls) == 3  # one fn call per element, no rebuild cost
+
+    def test_apply_array_returns_float64(self):
+        out = IDENTITY.apply_array(np.array([1, 2, 3], dtype=np.int64))
+        assert out.dtype == np.float64
+
+    def test_empty_input(self):
+        for g in (IDENTITY, ENTROPY_SUM, make_moment(0.5)):
+            assert g.apply_array(np.array([])).shape == (0,)
 
 
 class TestScreen:

@@ -1,5 +1,6 @@
 """Tests for the Recursive Sum estimator (Algorithm 2) and its wrappers."""
 
+import gc
 import math
 
 import numpy as np
@@ -19,6 +20,7 @@ from repro.core.gsum import (
     heavy_changes,
 )
 from repro.core.universal import UniversalSketch
+from repro.obs import MetricsRegistry, use_registry
 from repro.sketches.exact import ExactCounter
 
 
@@ -199,3 +201,103 @@ class TestValidationCache:
         before = dict(_ENTROPY_BASE)
         estimate_entropy(zipf_sketch, base=math.e)
         assert _ENTROPY_BASE == before  # no per-base lambda built for e
+
+
+class TestQuerySpans:
+    """Regression: every public estimate records exactly one
+    ``univmon_sketch_query_seconds`` span, whether called directly
+    (op="gsum") or through a named wrapper (only the wrapper's op)."""
+
+    def _spans(self, reg):
+        return {dict(m.labels)["op"]: m.count for m in reg.metrics()
+                if m.name == "univmon_sketch_query_seconds"}
+
+    def test_direct_gsum_records_one_span(self, zipf_sketch):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            estimate_gsum(zipf_sketch, IDENTITY)
+        assert self._spans(reg) == {"gsum": 1}
+
+    def test_wrapped_estimates_record_only_the_wrapper(self, zipf_sketch):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            estimate_cardinality(zipf_sketch)  # wraps estimate_gsum
+            estimate_l1(zipf_sketch)           # wraps estimate_gsum
+            estimate_entropy(zipf_sketch)      # wraps snapshot gsum
+            estimate_moment(zipf_sketch, 0.5)  # wraps estimate_gsum
+            g_core(zipf_sketch, 0.01)
+            estimate_f2(zipf_sketch)
+            estimate_l2(zipf_sketch)
+        spans = self._spans(reg)
+        assert spans == {"cardinality": 1, "l1": 1, "entropy": 1,
+                         "moment": 1, "heavy_hitters": 1, "f2": 1,
+                         "l2": 1}
+        assert "gsum" not in spans
+
+    def test_sketch_methods_share_the_series(self, zipf_sketch):
+        # UniversalSketch.g_sum delegates to estimate_gsum: same op.
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            zipf_sketch.g_sum(IDENTITY)
+            zipf_sketch.cardinality()
+        spans = self._spans(reg)
+        assert spans["gsum"] == 1
+        assert spans["cardinality"] == 1
+
+    def test_heavy_changes_is_one_span(self):
+        keys = np.arange(300, dtype=np.uint64)
+        a = UniversalSketch(levels=5, rows=3, width=512, heap_size=16,
+                            seed=6)
+        b = a.copy()
+        a.update_array(keys)
+        b.update_array(keys[:100])
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            heavy_changes(a, b, phi=0.05)
+        assert self._spans(reg) == {"heavy_changes": 1}
+
+
+class TestCacheBounds:
+    """The validation and entropy-base caches must stay bounded and drop
+    entries for dead g-functions (weakref callback)."""
+
+    def test_validated_drops_dead_gfunctions(self, zipf_sketch):
+        from repro.core.gsum import _VALIDATED
+        g = GFunction("transient_test", lambda x: float(x))
+        estimate_gsum(zipf_sketch, g)
+        key = id(g)
+        assert key in _VALIDATED
+        del g
+        gc.collect()
+        assert key not in _VALIDATED
+
+    def test_validated_bounded_with_live_gfunctions(self, zipf_sketch):
+        from repro.core.gsum import _VALIDATED, _VALIDATED_MAX
+        live = [GFunction(f"live_{i}", lambda x: float(x))
+                for i in range(_VALIDATED_MAX + 16)]
+        for g in live:
+            estimate_gsum(zipf_sketch, g)
+        assert len(_VALIDATED) <= _VALIDATED_MAX
+        # LRU: the most recent g's survive, the oldest were evicted.
+        assert id(live[-1]) in _VALIDATED
+        assert id(live[0]) not in _VALIDATED
+        # An evicted-but-live g is simply re-validated on next use.
+        assert estimate_gsum(zipf_sketch, live[0]) >= 0.0
+
+    def test_entropy_base_cache_bounded(self, zipf_sketch):
+        from repro.core.gsum import _ENTROPY_BASE, _ENTROPY_BASE_MAX
+        _ENTROPY_BASE.clear()
+        for base in range(3, 3 + _ENTROPY_BASE_MAX + 6):
+            estimate_entropy(zipf_sketch, base=float(base))
+        assert len(_ENTROPY_BASE) <= _ENTROPY_BASE_MAX
+
+    def test_entropy_base_cache_is_lru(self, zipf_sketch):
+        from repro.core.gsum import _ENTROPY_BASE, _ENTROPY_BASE_MAX
+        _ENTROPY_BASE.clear()
+        bases = [float(b) for b in range(3, 3 + _ENTROPY_BASE_MAX)]
+        for base in bases:
+            estimate_entropy(zipf_sketch, base=base)
+        estimate_entropy(zipf_sketch, base=bases[0])  # refresh oldest
+        estimate_entropy(zipf_sketch, base=99.0)      # force one eviction
+        assert bases[0] in _ENTROPY_BASE   # refreshed entry survived
+        assert bases[1] not in _ENTROPY_BASE  # true oldest evicted

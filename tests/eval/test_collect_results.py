@@ -52,9 +52,24 @@ class TestSplice:
         text = "<!-- RESULT:mystery -->"
         assert collect.splice(text) == text
 
+    def test_json_marker_spliced_as_json_block(self, collect, tmp_path,
+                                               monkeypatch):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_query.json").write_text('{"speedup": 7.5}')
+        monkeypatch.setattr(collect, "RESULTS", results)
+        out = collect.splice("<!-- RESULT:bench-query -->")
+        assert "```json" in out and '"speedup": 7.5' in out
+        # idempotent for json blocks too
+        (results / "BENCH_query.json").write_text('{"speedup": 8.0}')
+        again = collect.splice(out)
+        assert '"speedup": 8.0' in again and '"speedup": 7.5' not in again
+        assert again.count("```json") == 1
+
     def test_repo_experiments_markers_all_known(self, collect):
         """Every marker in the real EXPERIMENTS.md must have a source."""
         experiments = collect.EXPERIMENTS.read_text()
         import re
+        known = {**collect.SOURCES, **collect.JSON_SOURCES}
         for match in re.finditer(r"<!-- RESULT:([\w-]+) -->", experiments):
-            assert match.group(1) in collect.SOURCES, match.group(1)
+            assert match.group(1) in known, match.group(1)

@@ -101,6 +101,50 @@ class TestLevelSampler:
         assert not LevelSampler(8).compatible_with(LevelSampler(8))
 
 
+class TestBitArray:
+    """The bulk sampling-bit path (one packed gather for all levels)
+    must match the scalar ``bit`` walk, including past the 63-level
+    packing boundary where it falls back to per-level hashing."""
+
+    @pytest.mark.parametrize("levels", [1, 8, 63, 64, 70])
+    def test_bit_array_matches_scalar(self, levels):
+        sampler = LevelSampler(levels, seed=21)
+        keys = (np.arange(200, dtype=np.uint64)
+                * np.uint64(0x9E3779B97F4A7C15))
+        for level in range(1, min(levels, 5) + 1):
+            bits = sampler.bit_array(level, keys)
+            assert bits.dtype == np.int64
+            assert bits.tolist() == [sampler.bit(level, int(k))
+                                     for k in keys.tolist()]
+
+    def test_bit_array_bounds_checked(self):
+        sampler = LevelSampler(4, seed=22)
+        keys = np.arange(5, dtype=np.uint64)
+        with pytest.raises(ConfigurationError):
+            sampler.bit_array(0, keys)
+        with pytest.raises(ConfigurationError):
+            sampler.bit_array(5, keys)
+
+    def test_bit_array_empty_keys(self):
+        sampler = LevelSampler(6, seed=23)
+        assert sampler.bit_array(
+            3, np.array([], dtype=np.uint64)).tolist() == []
+
+    def test_parity_words_pack_every_level(self):
+        sampler = LevelSampler(12, seed=24)
+        keys = np.arange(300, dtype=np.uint64)
+        words = sampler.parity_words(keys)
+        assert words is not None
+        for level in range(1, 13):
+            extracted = ((words >> np.int64(level - 1)) & np.int64(1))
+            assert extracted.tolist() == \
+                sampler.bit_array(level, keys).tolist()
+
+    def test_parity_words_unpackable_past_63_levels(self):
+        sampler = LevelSampler(64, seed=25)
+        assert sampler.parity_words(np.arange(4, dtype=np.uint64)) is None
+
+
 class TestPackedDepthParity:
     """The fused parity-table fast path must match the scalar depth walk,
     including at the 63-level packing boundary and past it (fallback)."""

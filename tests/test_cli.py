@@ -139,6 +139,80 @@ class TestPollCommand:
         assert "entropy" in out
 
 
+class TestQueryCommand:
+    def _trace(self, tmp_path):
+        out = tmp_path / "trace.csv"
+        main(["generate", "--out", str(out), "--packets", "3000",
+              "--flows", "300", "--duration", "2", "--seed", "9"])
+        return out
+
+    def test_local_trace_batch(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        code = main(["query", "--trace", str(trace),
+                     "--stats", "hh:0.01,cardinality,l1,entropy,f2",
+                     "--memory-kb", "128"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("heavy_hitters", "cardinality", "l1", "entropy",
+                     "f2"):
+            assert name in out
+        assert "3000 packets" in out
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        import json
+        trace = self._trace(tmp_path)
+        capsys.readouterr()  # flush the generate-step output
+        assert main(["query", "--trace", str(trace),
+                     "--stats", "cardinality,entropy:e,moment:1.5",
+                     "--memory-kb", "128", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["packets"] == 3000
+        results = payload["results"]
+        assert set(results) == {"cardinality", "entropy", "moment_1.5"}
+        assert results["cardinality"] > 0
+
+    def test_query_against_live_agent(self, tmp_path, capsys):
+        from repro.controlplane.rpc import SwitchAgent
+        from repro.dataplane.keys import src_ip_key
+        from repro.dataplane.switch import MonitoredSwitch
+        from repro.dataplane.trace import (SyntheticTraceConfig,
+                                           generate_trace)
+        from repro.core.universal import UniversalSketch
+
+        switch = MonitoredSwitch("s1")
+        switch.attach(
+            "univmon",
+            lambda: UniversalSketch(levels=5, rows=3, width=256,
+                                    heap_size=16, seed=3),
+            src_ip_key)
+        switch.process_trace(generate_trace(SyntheticTraceConfig(
+            packets=800, flows=100, duration=1.0, seed=5)))
+        with SwitchAgent(switch) as agent:
+            host, port = agent.address
+            code = main(["query", "--host", host, "--port", str(port),
+                         "--stats", "hh,cardinality,entropy"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cardinality" in out and "entropy" in out
+
+    def test_needs_exactly_one_source(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        assert main(["query", "--stats", "l1"]) == 2
+        assert main(["query", "--trace", str(trace), "--host",
+                     "127.0.0.1", "--stats", "l1"]) == 2
+        err = capsys.readouterr().err
+        assert "exactly one sketch source" in err
+
+    def test_bad_stats_rejected(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        assert main(["query", "--trace", str(trace),
+                     "--stats", "bogus"]) == 2
+        assert main(["query", "--trace", str(trace),
+                     "--stats", "moment"]) == 2
+        assert main(["query", "--trace", str(trace), "--stats", ","]) == 2
+        assert "bad --stats" in capsys.readouterr().err
+
+
 class TestPlotFlag:
     def test_experiment_plot_renders_chart(self, capsys):
         assert main(["experiment", "fig7", "--quick", "--plot"]) == 0
