@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-network test-acceptance test-parallel coverage \
-        bench bench-quick bench-query bench-smoke results examples lint \
-        clean
+        bench bench-quick bench-query bench-parallel bench-smoke results \
+        examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -63,20 +63,33 @@ bench-query:
 	PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest benchmarks/bench_query_latency.py -q -s
 
+# Serial-vs-pooled crossover sweep on the persistent shard worker pool:
+# one warm pool per worker count, swept across stream sizes, with the
+# by_workers crossover curve recorded into BENCH_throughput.json and
+# spliced into EXPERIMENTS.md by collect_results.py. The full 1M-10M
+# sweep and the >= 2x floor only engage on >= 4-core hosts; smaller
+# hosts record a reduced curve (and the floor test skips cleanly).
+bench-parallel:
+	PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest benchmarks/bench_throughput.py -q -s \
+	    -k "crossover or sharded or workers_sweep"
+	$(PYTHON) benchmarks/collect_results.py
+
 # Ingest-path smoke: asserts the bulk-update speedup floors over the
-# np.add.at baseline, the BatchIngest rates, and the sharded-ingest
-# exactness sweep (plus its >= 2x floor on >= 4-core hosts), and
-# refreshes benchmarks/results/BENCH_throughput.json. Runs the
-# remote-collection suites, the statistical acceptance suite, the
-# sharded-ingest suite, and the obs coverage gate first, so a broken
-# poll path or a degraded estimator fails the smoke check before any
-# benchmark numbers are published. The query-engine floor rides along
-# (quick workload) so a control-plane regression blocks the smoke too.
+# np.add.at baseline, the BatchIngest rates, the sharded-ingest
+# exactness sweep, and the pool crossover curve (plus the >= 2x floors
+# on >= 4-core hosts), and refreshes
+# benchmarks/results/BENCH_throughput.json. Runs the remote-collection
+# suites, the statistical acceptance suite, the sharded-ingest suite,
+# and the obs coverage gate first, so a broken poll path or a degraded
+# estimator fails the smoke check before any benchmark numbers are
+# published. The query-engine floor rides along (quick workload) so a
+# control-plane regression blocks the smoke too.
 bench-smoke: test-network test-acceptance test-parallel coverage
 	REPRO_BENCH_QUICK=1 PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest benchmarks/bench_throughput.py \
 	    benchmarks/bench_query_latency.py -q -s \
-	    -k "speedup or batch_ingest or matches or snapshot"
+	    -k "speedup or batch_ingest or crossover or matches or snapshot"
 
 results:
 	$(PYTHON) benchmarks/collect_results.py

@@ -273,7 +273,6 @@ def _run_monitor(args: argparse.Namespace) -> int:
                                     Controller, DDoSApp, EntropyApp,
                                     HeavyHitterApp)
     from repro.dataplane.keys import KEY_FUNCTIONS
-    from repro.dataplane.packet import format_ipv4
     from repro.core.universal import UniversalSketch
 
     trace = _load_trace(args.trace)
@@ -302,7 +301,16 @@ def _run_monitor(args: argparse.Namespace) -> int:
             return 2
 
     show_ip = key_function.reversible and args.key in ("src_ip", "dst_ip")
-    for report in controller.run_trace(trace):
+    try:
+        _print_reports(controller.run_trace(trace), show_ip)
+    finally:
+        controller.close()  # release the shard worker pool, if any
+    return 0
+
+
+def _print_reports(reports, show_ip: bool) -> None:
+    from repro.dataplane.packet import format_ipv4
+    for report in reports:
         print(f"epoch {report.epoch_index} "
               f"[{report.start_time:.1f}s, {report.end_time:.1f}s] "
               f"{report.packets} pkts")
@@ -328,7 +336,6 @@ def _run_monitor(args: argparse.Namespace) -> int:
                 print(f"  entropy: {result['entropy']:.3f} bits")
             elif name == "cardinality":
                 print(f"  cardinality: {result['distinct']:.0f}")
-    return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:

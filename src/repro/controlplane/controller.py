@@ -134,3 +134,14 @@ class Controller:
         """Drop cross-epoch app state (trace boundary)."""
         for app in self._apps:
             app.reset()
+
+    def close(self) -> None:
+        """Release the switch's persistent shard worker pool (no-op for
+        ``workers=1`` controllers that never started one)."""
+        self.switch.close()
+
+    def __enter__(self) -> "Controller":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

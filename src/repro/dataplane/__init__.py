@@ -32,6 +32,7 @@ from repro.dataplane.netflow import SampledFlowTable
 from repro.dataplane.parallel import (
     ShardedIngest,
     ShardedIngestReport,
+    ShardWorkerPool,
     shard_of,
     shared_memory_available,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "IngestReport",
     "ShardedIngest",
     "ShardedIngestReport",
+    "ShardWorkerPool",
     "shard_of",
     "shared_memory_available",
     "Trace",

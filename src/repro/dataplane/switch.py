@@ -67,6 +67,7 @@ class MonitoredSwitch:
         self.name = name
         self._programs: Dict[str, SwitchProgram] = {}
         self.packets_seen = 0
+        self._shard_pool = None  # lazy ShardWorkerPool, hot across epochs
 
     # ------------------------------------------------------------------ #
     # program management
@@ -123,10 +124,13 @@ class MonitoredSwitch:
         With ``workers > 1``, programs whose sketch is a seeded
         :class:`~repro.core.universal.UniversalSketch` are fed through
         :class:`~repro.dataplane.parallel.ShardedIngest` — the trace is
-        sharded across worker processes and the merged result (exact, by
+        sharded across a switch-held persistent
+        :class:`~repro.dataplane.parallel.ShardWorkerPool` (workers stay
+        hot across epochs and traces; the pool is geometry-agnostic, so
+        one pool serves every program) and the merged result (exact, by
         linearity) is folded into the program's live sketch.  Other
         programs, and platforms without shared memory, silently take the
-        in-process path.
+        in-process path.  :meth:`close` releases the pool.
         """
         import numpy as np
         n = len(trace)
@@ -141,8 +145,9 @@ class MonitoredSwitch:
             if workers > 1 and self._shardable(sketch):
                 from repro.dataplane.parallel import ShardedIngest
                 result = ShardedIngest.like(
-                    sketch, workers=workers,
-                    policy=shard_policy).ingest_keys(keys, weights)
+                    sketch, workers=workers, policy=shard_policy,
+                    pool=self._ingest_pool(workers)).ingest_keys(
+                        keys, weights)
                 program.sketch = sketch.merge(result.sketch)
             elif hasattr(sketch, "update_array"):
                 if weights is None:
@@ -166,6 +171,31 @@ class MonitoredSwitch:
         reassembles the shards needs equal-seed instances."""
         from repro.core.universal import UniversalSketch
         return isinstance(sketch, UniversalSketch) and sketch.seed is not None
+
+    def _ingest_pool(self, workers: int):
+        """The switch's persistent worker pool, rebuilt only when the
+        requested worker count changes."""
+        from repro.dataplane.parallel import ShardWorkerPool
+        pool = self._shard_pool
+        if pool is None or pool.workers != workers:
+            if pool is not None:
+                pool.close()
+            pool = self._shard_pool = ShardWorkerPool(workers=workers)
+        return pool
+
+    def close(self) -> None:
+        """Release the shard worker pool (workers + shared-memory
+        slabs).  The switch stays usable; the next sharded
+        ``process_trace`` starts a fresh pool."""
+        if self._shard_pool is not None:
+            self._shard_pool.close()
+            self._shard_pool = None
+
+    def __enter__(self) -> "MonitoredSwitch":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # control-plane interface

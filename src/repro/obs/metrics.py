@@ -263,6 +263,21 @@ class MetricsRegistry:
         """The metric at ``(name, labels)``, or None (no creation)."""
         return self._metrics.get((name, _labelset(labels)))
 
+    def clear_family(self, name: str) -> int:
+        """Drop every metric of family ``name`` (all label sets).
+
+        The family's type/help registration survives, so the series can
+        be re-created with the same kind.  Used by instrumentation whose
+        label space shrinks between runs (e.g. per-shard series after a
+        narrower worker sweep) — without this, stale series would keep
+        exporting their last values forever.  Returns the number of
+        metrics removed.
+        """
+        doomed = [key for key in self._metrics if key[0] == name]
+        for key in doomed:
+            del self._metrics[key]
+        return len(doomed)
+
     # ------------------------------------------------------------------ #
     # merge
     # ------------------------------------------------------------------ #
@@ -373,6 +388,9 @@ class NullRegistry:
 
     def get(self, name: str, **labels: str) -> Optional[object]:
         return None
+
+    def clear_family(self, name: str) -> int:
+        return 0
 
     def __len__(self) -> int:
         return 0

@@ -29,6 +29,7 @@ from repro.dataplane.parallel import (
     HASH,
     RANGE,
     ShardedIngest,
+    ShardWorkerPool,
     shard_of,
     shared_memory_available,
 )
@@ -246,6 +247,22 @@ class TestFailures:
         with pytest.raises(ShardFailureError, match="dropped"):
             ingest.ingest_keys(keys)
 
+    def test_silent_exit_zero_worker_fails_fast(self, monkeypatch):
+        """Regression: a worker that exits *cleanly* without posting a
+        result (``os._exit(0)`` in user code, a lost queue feeder) must
+        fail as fast as a crash — not stall out the full timeout."""
+        def vanish(task_queue, *args, **kwargs):
+            os._exit(0)
+
+        monkeypatch.setattr(parallel, "_worker_entry", vanish)
+        keys, _ = stream()
+        ingest = ShardedIngest(small_factory(), workers=2,
+                               start_method="fork", timeout=300.0)
+        t0 = time.monotonic()
+        with pytest.raises(ShardFailureError, match="exit code"):
+            ingest.ingest_keys(keys)
+        assert time.monotonic() - t0 < 30  # nowhere near the 300s budget
+
 
 # --------------------------------------------------------------------- #
 # configuration validation
@@ -283,6 +300,36 @@ class TestValidation:
         with pytest.raises(ConfigurationError, match="length"):
             ShardedIngest(small_factory(), workers=2).ingest_keys(
                 np.arange(10, dtype=np.uint64), np.ones(9, dtype=np.int64))
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_non_finite_weights_rejected(self, bad, workers):
+        """Regression: NaN/inf float weights used to be cast straight to
+        int64 — platform-dependent garbage counts — instead of erroring
+        like the scalar path.  Both the in-process and pooled paths must
+        reject them before any counter is touched."""
+        keys = np.arange(64, dtype=np.uint64)
+        weights = np.ones(64, dtype=np.float64)
+        weights[13] = bad
+        ingest = ShardedIngest(small_factory(), workers=workers,
+                               start_method="fork", timeout=30.0)
+        with pytest.raises(ConfigurationError, match="finite"):
+            ingest.ingest_keys(keys, weights)
+
+    def test_finite_float_weights_still_accepted(self):
+        keys = np.arange(64, dtype=np.uint64)
+        report = ShardedIngest(small_factory(), workers=1).ingest_keys(
+            keys, np.full(64, 2.0))
+        assert report.sketch.total_weight == 128
+
+    def test_pool_worker_count_mismatch_rejected(self):
+        pool = ShardWorkerPool(workers=2)
+        try:
+            with pytest.raises(ConfigurationError, match="workers"):
+                ShardedIngest(small_factory(), workers=4, pool=pool)
+        finally:
+            pool.close()
 
     def test_like_clones_geometry(self):
         template = UniversalSketch(levels=3, rows=4, width=256,
@@ -333,3 +380,188 @@ class TestMetrics:
                               start_method="fork",
                               timeout=30.0).ingest_keys(keys)
             assert reg.get("univmon_shard_failures_total").value == 1
+
+    def test_stale_shard_series_cleared_by_narrower_run(self):
+        """Regression: a 4-worker run used to leave shard="2"/"3" gauges
+        behind; a following 2-worker run must export exactly 2 shard
+        series, not scrape-corrupting leftovers."""
+        keys, _ = stream()
+
+        def shard_labels(reg, family):
+            return sorted(dict(m.labels)["shard"] for m in reg.metrics()
+                          if m.name == family)
+
+        with use_registry(MetricsRegistry()) as reg:
+            wide = ShardedIngest(small_factory(), workers=4,
+                                 start_method="fork", timeout=60.0)
+            report = wide.ingest_keys(keys)
+            if not report.parallel:  # pragma: no cover - no-shm platform
+                pytest.skip("platform lacks shared memory")
+            wide.close()
+            assert shard_labels(reg, "univmon_shard_packets_total") == \
+                ["0", "1", "2", "3"]
+            narrow = ShardedIngest(small_factory(), workers=2,
+                                   start_method="fork", timeout=60.0)
+            narrow.ingest_keys(keys)
+            narrow.close()
+            for family in ("univmon_shard_packets_total",
+                           "univmon_shard_packets_per_second"):
+                assert shard_labels(reg, family) == ["0", "1"]
+            total = sum(
+                reg.get("univmon_shard_packets_total", shard=str(i)).value
+                for i in range(2))
+            assert total == len(keys)
+
+
+# --------------------------------------------------------------------- #
+# pool lifecycle: persistence, slab reuse, crash recovery, clean shutdown
+# --------------------------------------------------------------------- #
+
+needs_shm = pytest.mark.skipif(not shared_memory_available(),
+                               reason="platform lacks shared memory")
+
+
+@needs_shm
+class TestPoolLifecycle:
+    def test_workers_persist_across_epochs(self):
+        """Three consecutive epochs ride the same worker generation and
+        the same slabs — spawn cost is paid exactly once."""
+        factory = small_factory(seed=7)
+        ingest = ShardedIngest(factory, workers=2, start_method="fork",
+                               timeout=60.0)
+        with use_registry(MetricsRegistry()) as reg:
+            with ingest:
+                pids = names = None
+                for epoch in range(3):
+                    keys, weights = stream(seed=epoch, weighted=True)
+                    serial = factory()
+                    BatchIngest(serial, chunk_size=8192).ingest_keys(
+                        keys, weights)
+                    report = ingest.ingest_keys(keys, weights)
+                    assert report.parallel
+                    assert serialization.dumps(report.sketch) == \
+                        serialization.dumps(serial)
+                    if pids is None:
+                        pids = ingest.pool.worker_pids()
+                        names = ingest.pool.slab_names()
+                    else:
+                        assert ingest.pool.worker_pids() == pids
+                        assert ingest.pool.slab_names() == names
+            assert reg.get("univmon_pool_starts_total").value == 1
+            assert reg.get("univmon_pool_spawns_total").value == 2
+            assert reg.get("univmon_pool_epochs_total").value == 3
+            assert reg.get("univmon_pool_stops_total").value == 1
+            assert reg.get("univmon_pool_workers").value == 0  # closed
+
+    def test_multi_batch_stream_refills_the_slab(self):
+        """A stream longer than the slab is fed in double-buffered
+        batches through the same two blocks — and still merges to the
+        exact serial bytes."""
+        keys, weights = stream(seed=9, packets=4000, weighted=True)
+        factory = small_factory(seed=3)
+        serial = factory()
+        BatchIngest(serial, chunk_size=8192).ingest_keys(keys, weights)
+        with use_registry(MetricsRegistry()) as reg:
+            with ShardedIngest(factory, workers=2, start_method="fork",
+                               timeout=60.0, slab_packets=512) as ingest:
+                report = ingest.ingest_keys(keys, weights)
+                assert report.parallel
+                assert serialization.dumps(report.sketch) == \
+                    serialization.dumps(serial)
+            assert reg.get("univmon_pool_batches_total").value == \
+                -(-4000 // 512)
+            assert reg.get("univmon_pool_slab_refills_total").value > 0
+
+    def test_crash_mid_epoch_breaks_then_recovers(self):
+        """A worker killed between epochs fails the next run fast, and
+        the run after that rides a fresh worker generation."""
+        import signal
+
+        factory = small_factory(seed=5)
+        keys, _ = stream(seed=1)
+        serial = factory()
+        BatchIngest(serial, chunk_size=8192).ingest_keys(keys)
+        ingest = ShardedIngest(factory, workers=2, start_method="fork",
+                               timeout=60.0)
+        with ingest:
+            assert serialization.dumps(ingest.ingest_keys(keys).sketch) \
+                == serialization.dumps(serial)
+            first_pids = ingest.pool.worker_pids()
+            os.kill(first_pids[0], signal.SIGKILL)
+            t0 = time.monotonic()
+            with pytest.raises(ShardFailureError, match="exit code"):
+                ingest.ingest_keys(keys)
+            assert time.monotonic() - t0 < 30
+            # next run restarts the pool transparently
+            report = ingest.ingest_keys(keys)
+            assert report.parallel
+            assert serialization.dumps(report.sketch) == \
+                serialization.dumps(serial)
+            assert ingest.pool.worker_pids() != first_pids
+
+    def test_spawn_pool_persists_too(self):
+        """The spawn start method (no inherited state at all) reuses its
+        worker generation across epochs just like fork."""
+        factory = small_factory(seed=21)
+        with ShardedIngest(factory, workers=2, start_method="spawn",
+                           chunk_size=4096, timeout=120.0) as ingest:
+            pids = None
+            for epoch in range(2):
+                keys, weights = stream(seed=epoch + 3, weighted=True)
+                serial = factory()
+                BatchIngest(serial, chunk_size=4096).ingest_keys(
+                    keys, weights)
+                report = ingest.ingest_keys(keys, weights)
+                assert report.parallel
+                assert serialization.dumps(report.sketch) == \
+                    serialization.dumps(serial)
+                if pids is None:
+                    pids = ingest.pool.worker_pids()
+                else:
+                    assert ingest.pool.worker_pids() == pids
+
+    def test_close_releases_every_shared_memory_block(self):
+        """Shutdown must unlink the slabs (no leaked blocks) and reap
+        every worker process."""
+        from multiprocessing import shared_memory
+
+        keys, _ = stream()
+        ingest = ShardedIngest(small_factory(), workers=2,
+                               start_method="fork", timeout=60.0)
+        ingest.ingest_keys(keys)
+        pool = ingest.pool
+        names, procs = pool.slab_names(), list(pool._procs)
+        assert len(names) == 2
+        ingest.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        assert all(proc.exitcode is not None for proc in procs)
+        assert not pool.running
+
+    def test_shared_pool_serves_multiple_drivers(self):
+        """One pool, several geometries: the pool is geometry-agnostic
+        (params travel per epoch), so drivers for different sketches can
+        share the same hot workers — the switch does exactly this."""
+        keys, _ = stream(seed=4)
+        with ShardWorkerPool(workers=2, start_method="fork",
+                             timeout=60.0) as pool:
+            pids = None
+            for seed, levels in ((11, 3), (12, 4)):
+                factory = lambda: UniversalSketch(  # noqa: E731
+                    levels=levels, rows=3, width=128, heap_size=128,
+                    seed=seed)
+                serial = factory()
+                BatchIngest(serial, chunk_size=8192).ingest_keys(keys)
+                driver = ShardedIngest(factory, pool=pool, timeout=60.0)
+                assert driver.workers == 2  # inherited from the pool
+                report = driver.ingest_keys(keys)
+                assert report.parallel
+                assert serialization.dumps(report.sketch) == \
+                    serialization.dumps(serial)
+                driver.close()  # must NOT close the shared pool
+                assert pool.running
+                if pids is None:
+                    pids = pool.worker_pids()
+                else:
+                    assert pool.worker_pids() == pids
