@@ -2,9 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-network test-acceptance test-parallel coverage \
-        bench bench-quick bench-query bench-parallel bench-smoke results \
-        examples lint clean
+.PHONY: install test test-network test-network-scale test-acceptance \
+        test-parallel coverage bench bench-quick bench-query bench-network \
+        bench-parallel bench-smoke results examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -22,6 +22,17 @@ test-out:
 test-network:
 	REPRO_TEST_TIMEOUT=30 PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest tests/controlplane/test_rpc.py tests/network -q
+
+# Seeded 200-switch chaos suite for the aggregation tree: 30% connection
+# drops, a whole rack killed, and one intermediate aggregator killed
+# mid-epoch, every epoch asserting published coverage reports, exact
+# packet conservation over survivors, and 2-epoch recovery. Marked
+# `scale` (excluded from the default run); the tightened SIGALRM
+# watchdog fails a wedged epoch loop fast.
+test-network-scale:
+	REPRO_TEST_TIMEOUT=120 PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest tests/network/test_chaos_scale.py -q \
+	    -m scale -o addopts=''
 
 # Statistical acceptance suite (seeded error ceilings per paper task)
 # plus the instrumentation-overhead guard; excluded from `make test` by
@@ -63,6 +74,15 @@ bench-query:
 	PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest benchmarks/bench_query_latency.py -q -s
 
+# Aggregation-tree scale bench: bytes-on-wire (raw vs delta transfer,
+# with the >= 3x codec floor) and root merge time (flat vs tree) swept
+# across switch counts, recorded into BENCH_network.json plus the
+# bytes-vs-switch-count figure, then spliced into EXPERIMENTS.md.
+bench-network:
+	PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest benchmarks/bench_network_scale.py -q -s
+	$(PYTHON) benchmarks/collect_results.py
+
 # Serial-vs-pooled crossover sweep on the persistent shard worker pool:
 # one warm pool per worker count, swept across stream sizes, with the
 # by_workers crossover curve recorded into BENCH_throughput.json and
@@ -84,12 +104,17 @@ bench-parallel:
 # and the obs coverage gate first, so a broken poll path or a degraded
 # estimator fails the smoke check before any benchmark numbers are
 # published. The query-engine floor rides along (quick workload) so a
-# control-plane regression blocks the smoke too.
-bench-smoke: test-network test-acceptance test-parallel coverage
+# control-plane regression blocks the smoke too, and the 200-switch
+# chaos suite plus the aggregation-tree codec floor (quick sweep) gate
+# the network collection path.
+bench-smoke: test-network test-network-scale test-acceptance \
+             test-parallel coverage
 	REPRO_BENCH_QUICK=1 PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest benchmarks/bench_throughput.py \
-	    benchmarks/bench_query_latency.py -q -s \
-	    -k "speedup or batch_ingest or crossover or matches or snapshot"
+	    benchmarks/bench_query_latency.py \
+	    benchmarks/bench_network_scale.py -q -s \
+	    -k "speedup or batch_ingest or crossover or matches or snapshot \
+	        or bytes_on_wire or merge_time or cumulative"
 
 results:
 	$(PYTHON) benchmarks/collect_results.py

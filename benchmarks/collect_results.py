@@ -33,12 +33,14 @@ SOURCES = {
     "ablation-topk": "ablation_topk.txt",
     "ablation-sampling": "ablation_sampling.txt",
     "ablation-fsd": "ablation_fsd.txt",
+    "network-scale-figure": "network_scale.txt",
 }
 
 #: marker name -> speedup-floor artifact (JSON, spliced as ```json)
 JSON_SOURCES = {
     "bench-throughput": "BENCH_throughput.json",
     "bench-query": "BENCH_query.json",
+    "bench-network": "BENCH_network.json",
 }
 
 _MARKER = re.compile(

@@ -163,6 +163,21 @@ def _add_coordinate(sub: argparse._SubParsersAction) -> None:
                    help="consecutive failures before a switch is FAILED")
     p.add_argument("--probe-every", type=int, default=1,
                    help="probe FAILED switches every N epochs")
+    p.add_argument("--topology", choices=["flat", "tree"], default="flat",
+                   help="flat fan-in (default) or a rack/pod/root "
+                        "aggregation tree with re-parenting")
+    p.add_argument("--fanout", type=int, default=8,
+                   help="children per tree aggregator (tree topology)")
+    p.add_argument("--transfer", choices=["raw", "delta"], default="raw",
+                   help="full-sketch polls or delta-compressed frames")
+    p.add_argument("--min-coverage", type=float, default=0.0,
+                   help="fraction of switches an epoch must represent")
+    p.add_argument("--quorum", type=float, default=0.0,
+                   help="fraction of root subtrees that must contribute")
+    p.add_argument("--fail-mode", choices=["open", "closed"],
+                   default="open",
+                   help="publish (open) or withhold (closed) epochs "
+                        "violating --min-coverage/--quorum")
     p.add_argument("--metrics-json", default=None, metavar="PATH",
                    help="collect metrics during the run and write a JSON "
                         "registry snapshot to PATH")
@@ -604,40 +619,75 @@ def _coordinate_loop(args: argparse.Namespace) -> int:
     budget = args.memory_kb * 1024
     factory = lambda: UniversalSketch.for_memory_budget(  # noqa: E731
         budget, levels=12, rows=5, heap_size=64, seed=1)
-    coordinator = RemoteCoordinator(
-        agents, sketch_factory=factory, program=args.program,
-        retry=_retry_policy(args), timeout=args.timeout,
-        health=HealthTracker(agents, suspect_after=1,
-                             fail_after=args.fail_after,
-                             probe_every=args.probe_every))
+    health = HealthTracker(agents, suspect_after=1,
+                           fail_after=args.fail_after,
+                           probe_every=args.probe_every,
+                           probe_policy=_retry_policy(args))
+    if args.topology == "tree":
+        import dataclasses
+
+        from repro.controlplane.rpc import RemoteSwitchClient
+        from repro.network.hierarchy import (
+            AgentLink, HierarchicalCoordinator, ResiliencePolicy)
+
+        retry = _retry_policy(args)
+        clients = {
+            name: RemoteSwitchClient(
+                host, port, timeout=args.timeout,
+                retry=dataclasses.replace(retry, seed=retry.seed + index))
+            for index, (name, (host, port)) in enumerate(agents.items())}
+        coordinator = HierarchicalCoordinator(
+            {name: AgentLink(client, program=args.program)
+             for name, client in clients.items()},
+            sketch_factory=factory, fanout=args.fanout, health=health,
+            transfer=args.transfer,
+            policy=ResiliencePolicy(min_coverage=args.min_coverage,
+                                    quorum=args.quorum,
+                                    fail_open=args.fail_mode == "open"))
+        closer = lambda: [c.close() for c in clients.values()]  # noqa: E731
+        print(f"coordinating {len(agents)} agent(s) over "
+              f"{coordinator.plan.describe()}")
+    else:
+        coordinator = RemoteCoordinator(
+            agents, sketch_factory=factory, program=args.program,
+            retry=_retry_policy(args), timeout=args.timeout,
+            health=health, transfer=args.transfer)
+        closer = coordinator.close
+        print(f"coordinating {len(agents)} agent(s): {', '.join(agents)}")
     coordinator.register(CardinalityApp()).register(EntropyApp()) \
                .register(HeavyHitterApp(alpha=args.alpha))
-    print(f"coordinating {len(agents)} agent(s): {', '.join(agents)}")
     try:
-        with coordinator:
-            epoch = 0
-            while args.epochs <= 0 or epoch < args.epochs:
-                report = coordinator.run_epoch()
-                cov = report["coverage"]
-                line = (f"epoch {report.epoch_index}: "
-                        f"{cov['switches_polled']}/{cov['switches_total']} "
-                        f"switches, {cov['packets_covered']} packets")
-                if cov["failed"]:
-                    line += f", failed={','.join(cov['failed'])}"
-                if cov["recovered"]:
-                    line += f", recovered={','.join(cov['recovered'])}"
-                if cov["retries"]:
-                    line += f", retries={cov['retries']}"
-                if "cardinality" in report.results:
-                    line += (f" | distinct="
-                             f"{report['cardinality']['distinct']:.0f}"
-                             f" entropy={report['entropy']['entropy']:.3f}")
-                print(line)
-                epoch += 1
-                if args.epochs <= 0 or epoch < args.epochs:
-                    time.sleep(args.epoch)
+        epoch = 0
+        while args.epochs <= 0 or epoch < args.epochs:
+            report = coordinator.run_epoch()
+            cov = report["coverage"]
+            polled = cov.get("switches_polled",
+                             cov.get("switches_covered"))
+            line = (f"epoch {report.epoch_index}: "
+                    f"{polled}/{cov['switches_total']} "
+                    f"switches, {cov['packets_covered']} packets")
+            if "status" in cov:
+                line += f", status={cov['status']}"
+            if cov.get("bytes_wire"):
+                line += f", wire={cov['bytes_wire']}B"
+            if cov["failed"]:
+                line += f", failed={','.join(cov['failed'])}"
+            if cov["recovered"]:
+                line += f", recovered={','.join(cov['recovered'])}"
+            if cov.get("retries"):
+                line += f", retries={cov['retries']}"
+            if "cardinality" in report.results:
+                line += (f" | distinct="
+                         f"{report['cardinality']['distinct']:.0f}"
+                         f" entropy={report['entropy']['entropy']:.3f}")
+            print(line)
+            epoch += 1
+            if args.epochs <= 0 or epoch < args.epochs:
+                time.sleep(args.epoch)
     except KeyboardInterrupt:
         pass
+    finally:
+        closer()
     return 0
 
 

@@ -32,6 +32,10 @@ stream can no longer be trusted and the connection must be rebuilt.
 Commands:
 
 - ``POLL <program>``  -> payload = serialized sealed sketch
+- ``DELTA <program> <base_epoch>`` -> payload = one
+  :mod:`repro.network.codec` frame of the sealed sketch: a sparse delta
+  when ``base_epoch`` matches the epoch the agent last framed for this
+  program (the receiver's *ack*), a compressed full frame otherwise
 - ``MEMORY``          -> payload = ascii decimal total data-plane bytes
 - ``STATS``           -> payload = ascii ``packets=<n> programs=<k>``
 - ``PING``            -> payload = ``pong``
@@ -255,6 +259,7 @@ class SwitchAgent:
     def __init__(self, switch: MonitoredSwitch, host: str = "127.0.0.1",
                  port: int = 0) -> None:
         self.switch = switch
+        self._encoders: Dict[str, object] = {}  # program -> DeltaEncoder
         self._lock = threading.Lock()
         self._conn_lock = threading.Lock()
         self._connections: set = set()
@@ -338,6 +343,25 @@ class SwitchAgent:
                 with self._lock:
                     sealed = self.switch.poll(parts[1])
                 return STATUS_OK, serialization.dumps(sealed)
+            if verb == "DELTA":
+                if len(parts) != 3:
+                    raise RpcError("usage: DELTA <program> <base_epoch>")
+                try:
+                    base_epoch = int(parts[2])
+                except ValueError:
+                    raise RpcError(
+                        f"base_epoch must be an integer, got "
+                        f"{parts[2]!r}") from None
+                # Imported lazily: repro.network pulls this module back
+                # in through its coordinator re-exports.
+                from repro.network.codec import DeltaEncoder
+                with self._lock:
+                    encoder = self._encoders.get(parts[1])
+                    if encoder is None:
+                        encoder = self._encoders[parts[1]] = DeltaEncoder()
+                    sealed = self.switch.poll(parts[1])
+                    return STATUS_OK, encoder.encode(
+                        sealed, base_epoch=base_epoch)
             raise RpcError(f"unknown command {verb!r}")
         except ReproError as exc:
             return STATUS_ERROR, str(exc).encode()
@@ -380,6 +404,7 @@ class RemoteSwitchClient:
         self._rng = random.Random(self.retry.seed)
         self._max_frame_bytes = max_frame_bytes
         self._sock: Optional[socket.socket] = None
+        self._decoders: Dict[str, object] = {}  # program -> DeltaDecoder
 
     # -- connection management ---------------------------------------- #
 
@@ -488,3 +513,29 @@ class RemoteSwitchClient:
     def poll(self, program: str):
         """Poll-and-reset one program; returns the reconstructed sketch."""
         return serialization.loads(self._call(f"POLL {program}"))
+
+    def poll_frame(self, program: str, base_epoch: int) -> bytes:
+        """Poll-and-reset one program as a codec frame, acking
+        ``base_epoch`` as the epoch this side already holds.  Returns
+        the raw frame bytes; decode with a
+        :class:`~repro.network.codec.DeltaDecoder`."""
+        return self._call(f"DELTA {program} {int(base_epoch)}")
+
+    def poll_delta(self, program: str):
+        """Poll-and-reset one program over delta transfer, managing the
+        decoder state internally.  A frame this side cannot apply (peer
+        restarted mid-lineage, corrupt frame) resets the decoder and
+        forces exactly one full-frame re-poll — note that re-poll
+        returns the *next* sealed epoch, so the coverage accounting of
+        the caller should treat it like any other lost response."""
+        from repro.network.codec import NO_BASE, DeltaDecoder
+        from repro.errors import CodecError
+        decoder = self._decoders.get(program)
+        if decoder is None:
+            decoder = self._decoders[program] = DeltaDecoder()
+        try:
+            return decoder.decode(
+                self.poll_frame(program, decoder.base_epoch))
+        except CodecError:
+            decoder.reset()
+            return decoder.decode(self.poll_frame(program, NO_BASE))

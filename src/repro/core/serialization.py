@@ -43,10 +43,18 @@ _TYPE_UNIVERSAL = 4
 # must not translate into a multi-gigabyte allocation or a numpy reshape
 # traceback; anything outside these bounds is rejected as a format error.
 # The largest geometry the experiments use is orders of magnitude smaller.
-_MAX_LEVELS = 64
-_MAX_ROWS = 512
-_MAX_WIDTH = 1 << 24
-_MAX_HEAP = 1 << 20
+# Shared with :mod:`repro.network.codec`, whose delta frames carry the
+# same geometry fields and face the same hostile inputs.
+MAX_LEVELS = 64
+MAX_ROWS = 512
+MAX_WIDTH = 1 << 24
+MAX_HEAP = 1 << 20
+
+# Backwards-compatible private aliases.
+_MAX_LEVELS = MAX_LEVELS
+_MAX_ROWS = MAX_ROWS
+_MAX_WIDTH = MAX_WIDTH
+_MAX_HEAP = MAX_HEAP
 
 
 def _check_range(name: str, value: int, lo: int, hi: int) -> int:
@@ -54,6 +62,19 @@ def _check_range(name: str, value: int, lo: int, hi: int) -> int:
         raise TraceFormatError(
             f"corrupt sketch payload: {name}={value} outside [{lo}, {hi}]")
     return value
+
+
+def check_geometry(levels: int, rows: int, width: int,
+                   heap_size: int) -> None:
+    """Reject universal-sketch geometry outside the sanity ceilings.
+
+    Raises :class:`~repro.errors.TraceFormatError` — the caller decides
+    whether that means a corrupt file or a hostile peer.
+    """
+    _check_range("levels", levels, 0, MAX_LEVELS)
+    _check_range("rows", rows, 1, MAX_ROWS)
+    _check_range("width", width, 1, MAX_WIDTH)
+    _check_range("heap_size", heap_size, 1, MAX_HEAP)
 
 
 def _require_seed(sketch) -> int:
@@ -147,10 +168,7 @@ def _dump_universal(out: BinaryIO, sketch: UniversalSketch) -> None:
 def _load_universal(buf: BinaryIO) -> UniversalSketch:
     levels, rows, width, heap_size, seed, packets = struct.unpack(
         "<IIIIqq", _read_exact(buf, 32))
-    _check_range("levels", levels, 0, _MAX_LEVELS)
-    _check_range("rows", rows, 1, _MAX_ROWS)
-    _check_range("width", width, 1, _MAX_WIDTH)
-    _check_range("heap_size", heap_size, 1, _MAX_HEAP)
+    check_geometry(levels, rows, width, heap_size)
     if packets < 0:
         raise TraceFormatError(
             f"corrupt sketch payload: negative packet count {packets}")

@@ -13,7 +13,6 @@ single O(levels) pass per packet instead of the naive O(levels**2).
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional
 
 import numpy as np
@@ -23,6 +22,7 @@ from repro.hashing.tabulation import (
     TabulationHash,
     gather_packed,
     pack_tabulation_fields,
+    tabulation_family,
 )
 
 
@@ -47,11 +47,9 @@ class LevelSampler:
             raise ConfigurationError(f"levels must be >= 0, got {levels}")
         self.levels = levels
         self.seed = seed
-        rng = random.Random(seed)
         # One independent hash per level; bit j of a key is hash_j's parity.
-        self._hashes: List[TabulationHash] = [
-            TabulationHash(rng=rng) for _ in range(levels)
-        ]
+        self._hashes: List[TabulationHash] = \
+            list(tabulation_family(seed, levels))
         self._parity = None
 
     def bit(self, level: int, key: int) -> int:

@@ -84,6 +84,41 @@ def gather_packed(packed: np.ndarray, xs: np.ndarray) -> np.ndarray:
     return out
 
 
+#: Memoized seed-derived hash families (see :func:`tabulation_family`).
+#: Bounded: a pathological sweep over thousands of distinct seeds clears
+#: the cache rather than growing it without limit.
+_FAMILY_CACHE: dict = {}
+_FAMILY_CACHE_MAX = 512
+
+
+def tabulation_family(seed: Optional[int],
+                      count: int) -> "tuple[TabulationHash, ...]":
+    """The first ``count`` hashes of ``random.Random(seed)``'s
+    deterministic tabulation stream.
+
+    Hash construction is the dominant cost of building a sketch (2048
+    ``getrandbits`` calls per function), and a fleet of equal-seed
+    sketches — every frame decode, every merge fold, every simulated
+    switch — rebuilds the *same* functions.  Since
+    :class:`TabulationHash` is immutable after construction (sketch
+    copies already share hash machinery on that basis), equal-seed
+    families can be shared globally.  ``seed=None`` means "fresh
+    randomness" and is never cached.
+    """
+    if seed is None:
+        rng = random.Random(None)
+        return tuple(TabulationHash(rng=rng) for _ in range(count))
+    key = (int(seed), count)
+    family = _FAMILY_CACHE.get(key)
+    if family is None:
+        if len(_FAMILY_CACHE) >= _FAMILY_CACHE_MAX:
+            _FAMILY_CACHE.clear()
+        rng = random.Random(seed)
+        family = tuple(TabulationHash(rng=rng) for _ in range(count))
+        _FAMILY_CACHE[key] = family
+    return family
+
+
 class TabulationHash:
     """A single tabulation hash function ``h : [2**64) -> [2**64)``."""
 

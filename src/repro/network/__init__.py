@@ -15,7 +15,13 @@ Implements the §5 research directions that have concrete constructions:
   loop over TCP switch agents with retries, auto-degradation, and
   per-epoch coverage reporting.
 - :mod:`~repro.network.faults` — a seeded chaos TCP proxy for testing the
-  poll protocol under drops, truncation, corruption, and delay.
+  poll protocol under drops, truncation, corruption, and delay, plus the
+  in-process switch/link simulators the scale suites run on.
+- :mod:`~repro.network.codec` — delta-encoded, compressed sketch frames
+  with CRC-protected framing and reject-never-corrupt decoding.
+- :mod:`~repro.network.hierarchy` — the resilient aggregation tree:
+  rack/pod/root tiers, re-parenting around dead aggregators, coverage
+  accounting, and resilience policies.
 """
 
 from repro.network.topology import NetworkTopology
@@ -23,9 +29,16 @@ from repro.network.distributed import DistributedMonitor
 from repro.network.coordinator import NetworkCoordinator
 from repro.network.health import HealthState, HealthTracker
 from repro.network.remote import RemoteCoordinator
-from repro.network.faults import FaultPlan, FaultyProxy
+from repro.network.faults import FaultPlan, FaultyProxy, SimLink, \
+    SimulatedSwitch, zipf_keys
+from repro.network.codec import DeltaDecoder, DeltaEncoder
+from repro.network.hierarchy import AgentLink, HierarchicalCoordinator, \
+    ResiliencePolicy, TreePlan
 from repro.network.zoom import ZoomMonitor
 
 __all__ = ["NetworkTopology", "DistributedMonitor", "NetworkCoordinator",
            "HealthState", "HealthTracker", "RemoteCoordinator",
-           "FaultPlan", "FaultyProxy", "ZoomMonitor"]
+           "FaultPlan", "FaultyProxy", "SimLink", "SimulatedSwitch",
+           "zipf_keys", "DeltaDecoder", "DeltaEncoder", "AgentLink",
+           "HierarchicalCoordinator", "ResiliencePolicy", "TreePlan",
+           "ZoomMonitor"]

@@ -31,7 +31,10 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.errors import ConfigurationError
+import numpy as np
+
+from repro.errors import ConfigurationError, TransportError
+from repro.network.codec import DeltaEncoder
 
 
 @dataclass(frozen=True)
@@ -189,3 +192,154 @@ def _close(sock: socket.socket) -> None:
         sock.close()
     except OSError:
         pass
+
+
+# --------------------------------------------------------------------- #
+# in-process chaos simulation (hundreds of switches, no sockets)
+# --------------------------------------------------------------------- #
+
+class SimulatedSwitch:
+    """One in-process switch agent for the scale chaos suite.
+
+    The TCP chaos proxy above exercises the real transport, but at 200+
+    switches a socket per agent is all overhead and no extra coverage.
+    :class:`SimulatedSwitch` keeps the *semantics* that matter to the
+    resilience story — seal-and-swap polling, a per-uplink
+    :class:`~repro.network.codec.DeltaEncoder`, and exact packet
+    accounting (``fed_total == polled + lost + pending`` at all times,
+    which is what the conservation assertions check) — without the
+    sockets.
+
+    ``kill()`` loses whatever the current epoch sketch holds (a dead
+    switch's un-polled counters are gone for good) and forgets the
+    encoder base, exactly as a restarted process would.
+    """
+
+    def __init__(self, name: str, sketch_factory, delta: bool = True,
+                 compress: bool = True) -> None:
+        self.name = name
+        self.sketch_factory = sketch_factory
+        self._delta = delta
+        self._compress = compress
+        self.sketch = sketch_factory()
+        self.encoder = DeltaEncoder(delta=delta, compress=compress)
+        self.alive = True
+        self.fed_total = 0    # packets ever offered while alive
+        self.lost_total = 0   # packets destroyed by kills (pending at death)
+        self.polled_total = 0  # packets shipped in sealed epochs
+
+    def feed(self, keys) -> int:
+        """Offer a packet batch; returns how many were ingested (0 if
+        dead — a dead switch simply sees no traffic)."""
+        if not self.alive:
+            return 0
+        self.sketch.update_array(keys)
+        self.fed_total += len(keys)
+        return len(keys)
+
+    def kill(self) -> None:
+        """Crash: pending epoch state and encoder lineage are lost."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.lost_total += self.sketch.packets
+        self.sketch = self.sketch_factory()
+        self.encoder.reset()
+
+    def restart(self) -> None:
+        """Come back empty, starting a fresh encoder lineage."""
+        if self.alive:
+            return
+        self.alive = True
+        self.sketch = self.sketch_factory()
+        self.encoder = DeltaEncoder(delta=self._delta,
+                                    compress=self._compress)
+
+    @property
+    def pending(self) -> int:
+        """Packets ingested but not yet sealed into a polled epoch."""
+        return self.sketch.packets if self.alive else 0
+
+    def poll(self, base_epoch: int) -> bytes:
+        """Seal the current epoch and frame it for a receiver that
+        claims to hold ``base_epoch``."""
+        sealed = self.sketch
+        self.sketch = self.sketch_factory()
+        self.polled_total += sealed.packets
+        return self.encoder.encode(sealed, base_epoch=base_epoch)
+
+
+class SimLink:
+    """A lossy request/response link to one :class:`SimulatedSwitch`.
+
+    Faults are injected *request-side* — before the switch seals — so a
+    failed poll leaves the epoch's data pending on the switch rather
+    than destroying it in flight (that is also what the real protocol
+    guarantees: the agent seals only after parsing a valid request).
+    Each poll retries up to ``max_attempts`` times against the seeded
+    drop probability, mirroring the RPC client's retry loop.
+    """
+
+    def __init__(self, switch: SimulatedSwitch, drop_rate: float = 0.0,
+                 max_attempts: int = 3, seed: int = 0) -> None:
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ConfigurationError(
+                f"drop_rate must be a probability, got {drop_rate}")
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.switch = switch
+        self.name = switch.name
+        self.drop_rate = drop_rate
+        self.max_attempts = max_attempts
+        self._rng = random.Random(seed)
+        self.attempts = 0
+        self.drops = 0
+
+    def _attempt(self) -> None:
+        self.attempts += 1
+        if not self.switch.alive:
+            raise TransportError(f"switch {self.name} is down")
+        if self.drop_rate and self._rng.random() < self.drop_rate:
+            self.drops += 1
+            raise TransportError(f"connection to {self.name} dropped")
+
+    def ping(self) -> bool:
+        """One-shot liveness probe (no retries — probes are cheap and
+        the health tracker owns the cadence)."""
+        self._attempt()
+        return True
+
+    def poll(self, base_epoch: int) -> bytes:
+        last: Exception = TransportError(f"poll of {self.name} failed")
+        for _ in range(self.max_attempts):
+            try:
+                self._attempt()
+            except TransportError as exc:
+                last = exc
+                if not self.switch.alive:
+                    raise
+                continue
+            return self.switch.poll(base_epoch)
+        raise last
+
+
+def zipf_keys(rng, packets: int, flows: int = 1024, skew: float = 1.1,
+              key_base: int = 0):
+    """Draw ``packets`` flow keys from a Zipf(``skew``) popularity
+    distribution over ``flows`` distinct flows — the steady-state
+    traffic model of the scale benchmarks.
+
+    ``rng`` is a :class:`numpy.random.Generator`; returns a ``uint64``
+    key array ready for :meth:`UniversalSketch.update_array`.
+    ``key_base`` offsets the flow-ID space so different racks can carry
+    overlapping or disjoint flow populations.
+    """
+    if packets < 0 or flows < 1:
+        raise ConfigurationError(
+            f"need packets >= 0 and flows >= 1, got {packets}/{flows}")
+    ranks = np.arange(1, flows + 1, dtype=np.float64)
+    probs = ranks ** -skew
+    probs /= probs.sum()
+    draws = rng.choice(flows, size=packets, p=probs)
+    return (draws.astype(np.uint64) + np.uint64(key_base))

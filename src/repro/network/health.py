@@ -16,13 +16,23 @@ known-dead; hammering it slows the epoch), but every ``probe_every``
 epochs it becomes *probe-due* and the coordinator sends a cheap ``PING``
 to see whether it came back.  Any success — poll or probe — resets the
 switch to HEALTHY.
+
+With a ``probe_policy`` (a :class:`~repro.controlplane.rpc.RetryPolicy`
+read in *epochs*: ``base_delay`` is the gap before the first probe,
+doubling per failed probe up to ``max_delay``, with the policy's seeded
+jitter), successive probes to a switch that stays dead back off instead
+of firing every ``probe_every`` epochs — a rack that is down for an
+hour costs a handful of probes, not one per switch per epoch.  The
+schedule is still driven entirely by epoch ticks, so it stays
+deterministic for a fixed seed.
 """
 
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.obs.metrics import get_registry
@@ -46,6 +56,8 @@ class SwitchHealth:
     successes: int = 0
     recoveries: int = 0
     epochs_failed: int = 0  # epoch ticks spent FAILED since the transition
+    probe_attempts: int = 0  # failed probes since the FAILED transition
+    next_probe_tick: int = 0  # earliest tick the next probe is due
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -54,6 +66,7 @@ class SwitchHealth:
             "failures": self.failures,
             "successes": self.successes,
             "recoveries": self.recoveries,
+            "probe_attempts": self.probe_attempts,
         }
 
 
@@ -72,11 +85,20 @@ class HealthTracker:
         >= ``suspect_after``; a poll is still attempted while SUSPECT).
     probe_every:
         A FAILED switch becomes probe-due every this-many epoch ticks
-        (1 = probe every epoch).
+        (1 = probe every epoch).  Ignored when ``probe_policy`` is set.
+    probe_policy:
+        Optional backoff schedule for recovery probes — any object with
+        the :class:`~repro.controlplane.rpc.RetryPolicy` surface
+        (``backoff(attempt_index, rng)`` and ``seed``), interpreted in
+        *epochs*: the gap before probe ``k+1`` of a still-dead switch is
+        ``max(1, round(policy.backoff(k, rng)))`` ticks.  Without it,
+        probes fire at the fixed ``probe_every`` cadence — a probe storm
+        when hundreds of switches stay dead for hours.
     """
 
     def __init__(self, switches: Iterable[str], suspect_after: int = 1,
-                 fail_after: int = 3, probe_every: int = 1) -> None:
+                 fail_after: int = 3, probe_every: int = 1,
+                 probe_policy: Optional[object] = None) -> None:
         if suspect_after < 1:
             raise ConfigurationError(
                 f"suspect_after must be >= 1, got {suspect_after}")
@@ -90,6 +112,10 @@ class HealthTracker:
         self.suspect_after = suspect_after
         self.fail_after = fail_after
         self.probe_every = probe_every
+        self.probe_policy = probe_policy
+        self._probe_rng = random.Random(
+            getattr(probe_policy, "seed", 0)) if probe_policy else None
+        self._tick = 0
         self._records: Dict[str, SwitchHealth] = {
             name: SwitchHealth() for name in switches}
         if not self._records:
@@ -114,6 +140,12 @@ class HealthTracker:
             from_state=record.state.value, to_state=to.value).inc()
         record.state = to
 
+    def _schedule_probe(self, record: SwitchHealth) -> None:
+        """Set the tick the next recovery probe becomes due."""
+        gap = max(1, round(self.probe_policy.backoff(
+            record.probe_attempts, self._probe_rng)))
+        record.next_probe_tick = self._tick + gap
+
     def record_success(self, name: str) -> HealthState:
         record = self._record(name)
         record.successes += 1
@@ -123,16 +155,25 @@ class HealthTracker:
                 record.recoveries += 1
             self._transition(record, HealthState.HEALTHY)
             record.epochs_failed = 0
+            record.probe_attempts = 0
         return record.state
 
     def record_failure(self, name: str) -> HealthState:
         record = self._record(name)
         record.failures += 1
         record.consecutive_failures += 1
+        if record.state is HealthState.FAILED:
+            # A failed recovery probe: back the next one off.
+            record.probe_attempts += 1
+            if self.probe_policy is not None:
+                self._schedule_probe(record)
+            return record.state
         if record.consecutive_failures >= self.fail_after:
-            if record.state is not HealthState.FAILED:
-                self._transition(record, HealthState.FAILED)
-                record.epochs_failed = 0
+            self._transition(record, HealthState.FAILED)
+            record.epochs_failed = 0
+            record.probe_attempts = 0
+            if self.probe_policy is not None:
+                self._schedule_probe(record)
         elif record.consecutive_failures >= self.suspect_after:
             if record.state is HealthState.HEALTHY:
                 self._transition(record, HealthState.SUSPECT)
@@ -140,6 +181,7 @@ class HealthTracker:
 
     def tick(self) -> None:
         """Advance one epoch: FAILED switches age toward their next probe."""
+        self._tick += 1
         for record in self._records.values():
             if record.state is HealthState.FAILED:
                 record.epochs_failed += 1
@@ -158,8 +200,11 @@ class HealthTracker:
     def should_probe(self, name: str) -> bool:
         """True when a FAILED switch is due its periodic recovery probe."""
         record = self._record(name)
-        return (record.state is HealthState.FAILED
-                and record.epochs_failed % self.probe_every == 0)
+        if record.state is not HealthState.FAILED:
+            return False
+        if self.probe_policy is not None:
+            return self._tick >= record.next_probe_tick
+        return record.epochs_failed % self.probe_every == 0
 
     def live(self) -> List[str]:
         return sorted(n for n, r in self._records.items()

@@ -1,0 +1,589 @@
+"""Resilient hierarchical collection: an aggregation tree over switches.
+
+The paper's controller collects one universal sketch per switch and
+composes them by linearity; a flat fan-in works for a handful of agents
+but not for the "hundreds of switches" the RISC vision assumes — the
+root would decode and merge every leaf itself, and one slow or dead
+rack stalls the epoch.  :class:`HierarchicalCoordinator` arranges the
+switches into configurable fan-in tiers (rack → pod → … → root), each
+tier merging its children's sketches *before* shipping one combined
+frame upward, so the root does ``fanout`` merges instead of ``n``.
+Linearity (§5) is what makes this sound: merging per-rack then per-pod
+is exactly the network-wide sum.
+
+Resilience is the point, not an afterthought:
+
+- **per-leaf health** — the same :class:`~repro.network.health`
+  state machine the flat coordinator uses, with probe backoff;
+- **re-parenting** — when an intermediate aggregator is down, its
+  children are adopted by the first live sibling (or, with the whole
+  tier down, escalate toward the root, which is the coordinator process
+  itself and never "fails" separately);
+- **explicit coverage accounting** — every epoch reports the fraction
+  of switches its merge represents, which subtrees are missing, and
+  whether data died *in flight* (collected by an aggregator that was
+  then killed before shipping);
+- **a resilience policy** — ``min_coverage`` / ``quorum`` /
+  ``fail_open`` decide whether a degraded epoch is published,
+  published-degraded, or withheld, instead of exact-or-nothing.
+
+Transfers use :mod:`repro.network.codec` end to end: leaves frame their
+sealed epoch sketches against the collector's acked base, and each
+aggregator's uplink does the same one tier up.  Re-parenting composes
+with the codec's ack discipline for free — a fresh collector claims
+``NO_BASE`` and simply receives a full frame.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import CodecError, ConfigurationError, TransportError
+from repro.obs.metrics import get_registry
+from repro.controlplane.apps.base import MonitoringApp
+from repro.controlplane.controller import EpochReport
+from repro.network.codec import NO_BASE, DeltaDecoder, DeltaEncoder, \
+    frame_info
+from repro.network.health import HealthTracker
+from repro.core.query import QueryEngine
+from repro.core.universal import UniversalSketch
+
+#: The root aggregator: the coordinator process itself.  It has no
+#: uplink and cannot be killed independently of the epoch loop.
+ROOT = "root"
+
+#: Tier naming, bottom-up; deeper trees fall back to ``t<k>``.
+_TIER_NAMES = ("rack", "pod", "zone")
+
+
+def _tier_prefix(index: int) -> str:
+    if index < len(_TIER_NAMES):
+        return _TIER_NAMES[index]
+    return f"t{index}"
+
+
+@dataclass(frozen=True)
+class TreePlan:
+    """The static shape of an aggregation tree (who reports to whom).
+
+    Built bottom-up from the sorted leaf names: leaves are grouped
+    ``fanout`` at a time under rack aggregators, racks under pods, and
+    so on until one tier fits under the root.  The plan is geometry
+    only — liveness and re-parenting are the coordinator's job.
+    """
+
+    leaves: Tuple[str, ...]
+    fanout: int
+    #: Bottom-up tiers; each entry is ``(aggregator, children)`` where
+    #: tier 0's children are leaves and the last tier is ``[(ROOT, …)]``.
+    tiers: Tuple[Tuple[Tuple[str, Tuple[str, ...]], ...], ...]
+    parent: Mapping[str, str]
+    children: Mapping[str, Tuple[str, ...]]
+    leaves_under: Mapping[str, Tuple[str, ...]]
+
+    @classmethod
+    def build(cls, leaves: Sequence[str], fanout: int) -> "TreePlan":
+        names = sorted(leaves)
+        if not names:
+            raise ConfigurationError("a tree needs at least one leaf")
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate leaf names")
+        if fanout < 2:
+            raise ConfigurationError(f"fanout must be >= 2, got {fanout}")
+        if ROOT in names:
+            raise ConfigurationError(f"{ROOT!r} is reserved")
+
+        tiers: List[Tuple[Tuple[str, Tuple[str, ...]], ...]] = []
+        current: List[str] = list(names)
+        tier_index = 0
+        while len(current) > fanout:
+            prefix = _tier_prefix(tier_index)
+            groups = tuple(
+                (f"{prefix}{i:02d}",
+                 tuple(current[i * fanout:(i + 1) * fanout]))
+                for i in range((len(current) + fanout - 1) // fanout))
+            tiers.append(groups)
+            current = [name for name, _ in groups]
+            tier_index += 1
+        tiers.append(((ROOT, tuple(current)),))
+
+        parent: Dict[str, str] = {}
+        children: Dict[str, Tuple[str, ...]] = {}
+        for tier in tiers:
+            for agg, kids in tier:
+                children[agg] = kids
+                for kid in kids:
+                    parent[kid] = agg
+
+        leaves_under: Dict[str, Tuple[str, ...]] = {}
+
+        def _collect(node: str) -> Tuple[str, ...]:
+            if node not in children:
+                return (node,)
+            found: List[str] = []
+            for kid in children[node]:
+                found.extend(_collect(kid))
+            leaves_under[node] = tuple(found)
+            return leaves_under[node]
+
+        _collect(ROOT)
+        return cls(leaves=tuple(names), fanout=fanout, tiers=tuple(tiers),
+                   parent=parent, children=children,
+                   leaves_under=leaves_under)
+
+    @property
+    def depth(self) -> int:
+        """Number of aggregation tiers, root included."""
+        return len(self.tiers)
+
+    def aggregators(self) -> List[str]:
+        """Every aggregator name, bottom-up, root last."""
+        return [agg for tier in self.tiers for agg, _ in tier]
+
+    def describe(self) -> str:
+        sizes = " -> ".join(str(len(tier)) for tier in self.tiers)
+        return (f"{len(self.leaves)} leaves, fanout {self.fanout}, "
+                f"tiers {sizes}")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """When is a degraded epoch still worth publishing?
+
+    ``min_coverage`` is the fraction of switches that must be
+    represented; ``quorum`` is the fraction of the root's direct child
+    subtrees that must contribute at least one switch (a whole missing
+    pod is worse than the same switches missing uniformly — locality of
+    loss biases network-wide views).  An epoch below either threshold is
+    *policy-violating*: with ``fail_open`` it is still published (marked
+    degraded), with ``fail_closed`` it is withheld — apps see no data
+    rather than silently biased data.
+    """
+
+    min_coverage: float = 0.0
+    quorum: float = 0.0
+    fail_open: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("min_coverage", "quorum"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value}")
+
+    def decide(self, coverage: float,
+               subtree_quorum: float) -> Tuple[str, bool]:
+        """Return ``(status, policy_violated)`` for one epoch."""
+        if coverage >= 1.0:
+            return "published", False
+        if coverage >= self.min_coverage and subtree_quorum >= self.quorum:
+            return "published_degraded", False
+        if self.fail_open:
+            return "published_degraded", True
+        return "withheld", True
+
+
+@dataclass
+class _AggregatorState:
+    """Mutable per-aggregator runtime state (liveness + codec peers)."""
+
+    name: str
+    alive: bool = True
+    #: Receive-side codec state, one decoder per child this node has
+    #: ever collected from (adopted children included).
+    decoders: Dict[str, DeltaDecoder] = field(default_factory=dict)
+    #: Send-side codec state for this node's uplink.
+    encoder: DeltaEncoder = field(default_factory=DeltaEncoder)
+
+    def crash(self) -> None:
+        """Process death: every codec lineage this node held is gone."""
+        self.alive = False
+        self.decoders.clear()
+        self.encoder.reset()
+
+
+class HierarchicalCoordinator:
+    """Epoch loop over an aggregation tree of switch links.
+
+    Parameters
+    ----------
+    links:
+        ``{leaf_name: link}`` where a link has ``poll(base_epoch) ->
+        frame bytes`` and ``ping()``, both raising
+        :class:`~repro.errors.TransportError` on failure —
+        :class:`~repro.network.faults.SimLink` in the chaos suites,
+        :class:`AgentLink` over real TCP agents.
+    sketch_factory:
+        Produces the empty sketch each merge fold starts from; must
+        match the leaves' geometry/seed.
+    fanout:
+        Fan-in per aggregator; a fanout >= the leaf count degenerates to
+        the flat topology (one root, no intermediate tiers).
+    plan:
+        Explicit :class:`TreePlan` overriding ``fanout``.
+    policy:
+        :class:`ResiliencePolicy`; default publishes everything.
+    health:
+        Leaf failure detection; defaults to ``suspect_after=1,
+        fail_after=2`` like the flat coordinator.
+    transfer:
+        ``"delta"`` (default) keeps per-link decoder state so leaves and
+        uplinks can ship sparse deltas; ``"raw"`` forces every frame to
+        claim ``NO_BASE`` — the uncompressed-baseline mode of the
+        benchmarks is the links' own business (their encoders).
+    """
+
+    def __init__(self, links: Mapping[str, object],
+                 sketch_factory: Callable[[], UniversalSketch],
+                 fanout: int = 8,
+                 plan: Optional[TreePlan] = None,
+                 policy: Optional[ResiliencePolicy] = None,
+                 health: Optional[HealthTracker] = None,
+                 transfer: str = "delta") -> None:
+        if not links:
+            raise ConfigurationError("no links to coordinate")
+        if transfer not in ("delta", "raw"):
+            raise ConfigurationError(
+                f"transfer must be 'delta' or 'raw', got {transfer!r}")
+        if sketch_factory().seed is None:
+            raise ConfigurationError(
+                "hierarchical coordination needs a seeded sketch factory "
+                "(polled sketches must be mergeable)")
+        self.links = dict(links)
+        self._factory = sketch_factory
+        if plan is None:
+            plan = TreePlan.build(sorted(self.links),
+                                  min(fanout, max(2, len(self.links))))
+        missing = set(plan.leaves) - set(self.links)
+        if missing or set(self.links) - set(plan.leaves):
+            raise ConfigurationError(
+                "plan leaves and links disagree "
+                f"(missing links: {sorted(missing)})")
+        self.plan = plan
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.health = health if health is not None else HealthTracker(
+            plan.leaves, suspect_after=1, fail_after=2)
+        self.transfer = transfer
+        self._apps: List[MonitoringApp] = []
+        self._epoch = 0
+        self.aggregators: Dict[str, _AggregatorState] = {
+            name: _AggregatorState(name, encoder=self._uplink_encoder())
+            for name in plan.aggregators()}
+
+    def _uplink_encoder(self) -> DeltaEncoder:
+        """Send-side codec for an aggregator's uplink, honouring the
+        coordinator's transfer mode (raw = uncompressed full frames)."""
+        on = self.transfer == "delta"
+        return DeltaEncoder(delta=on, compress=on)
+
+    # ------------------------------------------------------------------ #
+    # configuration / fault injection
+    # ------------------------------------------------------------------ #
+
+    def register(self, app: MonitoringApp) -> "HierarchicalCoordinator":
+        if any(existing.name == app.name for existing in self._apps):
+            raise ConfigurationError(f"duplicate app name {app.name!r}")
+        self._apps.append(app)
+        return self
+
+    def kill_aggregator(self, name: str) -> None:
+        """Crash an intermediate aggregator (mid-epoch capable: any
+        sketch it has collected but not shipped this epoch is lost)."""
+        if name == ROOT:
+            raise ConfigurationError(
+                "the root is the coordinator process itself; stop the "
+                "epoch loop instead of killing it")
+        state = self._aggregator(name)
+        if not state.alive:
+            return
+        state.crash()
+        acc = getattr(self, "_acc", None)
+        if acc is not None and name in acc:
+            sketch, leaves = acc.pop(name)
+            self._lost_in_flight += sketch.packets
+            self._lost_leaves.update(leaves)
+
+    def restart_aggregator(self, name: str) -> None:
+        """Bring an aggregator back empty (fresh codec lineages)."""
+        state = self._aggregator(name)
+        if state.alive:
+            return
+        state.alive = True
+        state.decoders = {}
+        state.encoder = self._uplink_encoder()
+
+    def _aggregator(self, name: str) -> _AggregatorState:
+        try:
+            return self.aggregators[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown aggregator {name!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # re-parenting
+    # ------------------------------------------------------------------ #
+
+    def collector_for(self, node: str) -> str:
+        """The live aggregator that collects ``node`` this epoch.
+
+        The primary is ``parent(node)``; when it is down the first live
+        sibling (sorted order) adopts the orphans; with the whole tier
+        down the search escalates toward the root, which is always
+        alive.
+        """
+        primary = self.plan.parent[node]
+        return self._resolve(primary)
+
+    def _resolve(self, agg: str) -> str:
+        if self.aggregators[agg].alive:
+            return agg
+        if agg == ROOT:  # pragma: no cover - kill_aggregator forbids this
+            return ROOT
+        parent = self.plan.parent[agg]
+        for sibling in self.plan.children[parent]:
+            if sibling != agg and self.aggregators[sibling].alive:
+                return sibling
+        return self._resolve(parent)
+
+    def _decoder(self, collector: str, child: str) -> DeltaDecoder:
+        return self.aggregators[collector].decoders.setdefault(
+            child, DeltaDecoder())
+
+    # ------------------------------------------------------------------ #
+    # epoch loop
+    # ------------------------------------------------------------------ #
+
+    def run_epochs(self, count: int,
+                   on_tier: Optional[Callable[[int,
+                                               "HierarchicalCoordinator"],
+                                              None]] = None) \
+            -> List[EpochReport]:
+        return [self.run_epoch(on_tier=on_tier) for _ in range(count)]
+
+    def _poll_leaf(self, name: str, collector: str) -> \
+            Optional[UniversalSketch]:
+        """One leaf poll with codec recovery: a rejected frame resets
+        the decoder and forces exactly one full-frame re-poll."""
+        link = self.links[name]
+        decoder = self._decoder(collector, name)
+        base = decoder.base_epoch if self.transfer == "delta" else NO_BASE
+        for attempt in range(2):
+            frame = link.poll(base)
+            self._count_frame(frame, "leaf")
+            try:
+                return decoder.decode(frame)
+            except CodecError:
+                decoder.reset()
+                base = NO_BASE
+                if attempt:
+                    raise
+        return None  # pragma: no cover - loop always returns or raises
+
+    def _count_frame(self, frame: bytes, hop: str) -> None:
+        info = frame_info(frame)
+        self._bytes_wire += len(frame)
+        if info.kind == "delta":
+            self._frames_delta += 1
+        else:
+            self._frames_full += 1
+        get_registry().counter(
+            "univmon_tree_bytes_total",
+            help="framed sketch bytes shipped through the tree",
+            hop=hop).inc(len(frame))
+
+    def run_epoch(self, on_tier: Optional[
+            Callable[[int, "HierarchicalCoordinator"], None]] = None) \
+            -> EpochReport:
+        """Collect the tree bottom-up once.
+
+        ``on_tier(tier_index, self)`` is the chaos hook: it fires after
+        leaf collection (``tier_index=0``) and after each aggregator
+        tier ships (``1..depth-1``), which is exactly the window where a
+        killed aggregator takes collected-but-unshipped data with it.
+        """
+        epoch_index = self._epoch
+        self._epoch += 1
+        reg = get_registry()
+
+        # Per-epoch accounting, visible to kill_aggregator mid-epoch.
+        self._bytes_wire = 0
+        self._frames_full = 0
+        self._frames_delta = 0
+        self._lost_in_flight = 0
+        self._lost_leaves: set = set()
+        self._root_merge_s = 0.0
+        #: collector -> (accumulated sketch, leaves it represents)
+        self._acc: Dict[str, Tuple[UniversalSketch, set]] = {}
+
+        lost: List[str] = []
+        recovered: List[str] = []
+        reparented: Dict[str, str] = {}
+
+        # ---- tier 0: poll the leaves into their collectors ---------- #
+        for name in self.plan.leaves:
+            was_failed = not self.health.is_live(name)
+            if was_failed:
+                if not self.health.should_probe(name):
+                    continue
+                try:
+                    self.links[name].ping()
+                except TransportError:
+                    self.health.record_failure(name)
+                    continue
+            collector = self.collector_for(name)
+            if collector != self.plan.parent[name]:
+                reparented[name] = collector
+            try:
+                sketch = self._poll_leaf(name, collector)
+            except (TransportError, CodecError):
+                self.health.record_failure(name)
+                if not was_failed and not self.health.is_live(name):
+                    lost.append(name)
+                continue
+            self.health.record_success(name)
+            if was_failed:
+                recovered.append(name)
+            self._merge_into(collector, sketch, {name})
+        if on_tier is not None:
+            on_tier(0, self)
+
+        # ---- aggregator tiers ship bottom-up ------------------------ #
+        for tier_index, tier in enumerate(self.plan.tiers[:-1], start=1):
+            for agg, _ in tier:
+                state = self.aggregators[agg]
+                if not state.alive or agg not in self._acc:
+                    continue
+                sketch, leaves = self._acc.pop(agg)
+                target = self._resolve(self.plan.parent[agg])
+                if target == agg:  # pragma: no cover - cannot self-ship
+                    continue
+                if target != self.plan.parent[agg]:
+                    reparented[agg] = target
+                decoder = self._decoder(target, agg)
+                base = decoder.base_epoch if self.transfer == "delta" \
+                    else NO_BASE
+                frame = state.encoder.encode(sketch, base_epoch=base)
+                self._count_frame(frame, "uplink")
+                try:
+                    shipped = decoder.decode(frame)
+                except CodecError:  # pragma: no cover - same-process pair
+                    decoder.reset()
+                    frame = state.encoder.encode(sketch,
+                                                 base_epoch=NO_BASE)
+                    self._count_frame(frame, "uplink")
+                    shipped = decoder.decode(frame)
+                self._merge_into(target, shipped, leaves)
+            if on_tier is not None:
+                on_tier(tier_index, self)
+
+        # ---- root merge + policy ------------------------------------ #
+        if ROOT in self._acc:
+            merged, covered_leaves = self._acc.pop(ROOT)
+        else:
+            merged, covered_leaves = self._factory(), set()
+        # The root's share of this epoch's folding work (accumulated in
+        # _merge_into: every merge whose collector is the root).
+        reg.histogram(
+            "univmon_tree_merge_seconds",
+            help="root-of-tree epoch merge latency").observe(
+                self._root_merge_s)
+        covered_packets = merged.packets
+
+        total = len(self.plan.leaves)
+        coverage = len(covered_leaves) / total
+        root_children = self.plan.children[ROOT]
+        represented = sum(
+            1 for child in root_children
+            if any(leaf in covered_leaves
+                   for leaf in self.plan.leaves_under.get(child, (child,))))
+        subtree_quorum = represented / len(root_children)
+        status, violated = self.policy.decide(coverage, subtree_quorum)
+
+        missing = sorted(set(self.plan.leaves) - covered_leaves)
+        missing_subtrees = [
+            agg for tier in self.plan.tiers[:-1] for agg, _ in tier
+            if not any(leaf in covered_leaves
+                       for leaf in self.plan.leaves_under[agg])]
+
+        reg.counter("univmon_tree_epochs_total",
+                    help="tree epochs by publication status",
+                    status=status).inc()
+        reg.gauge("univmon_tree_coverage",
+                  help="fraction of switches the last epoch represents"
+                  ).set(coverage)
+        reg.gauge("univmon_tree_packets_covered",
+                  help="packets the last epoch's merge covers").set(
+                      covered_packets)
+        reg.counter("univmon_tree_reparented_total",
+                    help="children collected by a stand-in aggregator"
+                    ).inc(len(reparented))
+        reg.counter("univmon_tree_lost_in_flight_total",
+                    help="packets lost with a mid-epoch aggregator kill"
+                    ).inc(self._lost_in_flight)
+
+        report = EpochReport(epoch_index=epoch_index, start_time=0.0,
+                             end_time=0.0, packets=covered_packets)
+        report.results["coverage"] = {
+            "topology": self.plan.describe(),
+            "switches_total": total,
+            "switches_covered": len(covered_leaves),
+            "coverage": coverage,
+            "subtree_quorum": subtree_quorum,
+            "status": status,
+            "policy_violated": violated,
+            "degraded": status != "published",
+            "missing_switches": missing,
+            "missing_subtrees": missing_subtrees,
+            "reparented": dict(sorted(reparented.items())),
+            "lost_in_flight_packets": self._lost_in_flight,
+            "lost_in_flight_switches": sorted(self._lost_leaves),
+            "bytes_wire": self._bytes_wire,
+            "frames_full": self._frames_full,
+            "frames_delta": self._frames_delta,
+            "packets_covered": covered_packets,
+            "failed": self.health.failed(),
+            "lost": sorted(lost),
+            "recovered": sorted(recovered),
+            "dead_aggregators": sorted(
+                name for name, state in self.aggregators.items()
+                if not state.alive),
+            "health": self.health.snapshot(),
+        }
+        if status != "withheld" and covered_leaves and self._apps:
+            QueryEngine(merged).warm()
+            for app in self._apps:
+                report.results[app.name] = app.on_sketch(merged,
+                                                         epoch_index)
+        self.health.tick()
+        self._acc = None
+        return report
+
+    def _merge_into(self, collector: str, sketch: UniversalSketch,
+                    leaves: set) -> None:
+        t0 = time.perf_counter()
+        if collector in self._acc:
+            acc, acc_leaves = self._acc[collector]
+            self._acc[collector] = (acc.merge(sketch),
+                                    acc_leaves | set(leaves))
+        else:
+            self._acc[collector] = (self._factory().merge(sketch),
+                                    set(leaves))
+        if collector == ROOT:
+            self._root_merge_s += time.perf_counter() - t0
+
+
+class AgentLink:
+    """Adapt a :class:`~repro.controlplane.rpc.RemoteSwitchClient` to
+    the link surface :class:`HierarchicalCoordinator` expects."""
+
+    def __init__(self, client, program: str = "univmon") -> None:
+        self.client = client
+        self.program = program
+
+    def ping(self) -> bool:
+        return self.client.ping(retry=self.client.retry.fail_fast())
+
+    def poll(self, base_epoch: int) -> bytes:
+        return self.client.poll_frame(self.program, base_epoch)

@@ -30,7 +30,7 @@ import dataclasses
 import time
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.errors import ConfigurationError, TransportError
+from repro.errors import CodecError, ConfigurationError, TransportError
 from repro.obs.metrics import get_registry
 from repro.controlplane.apps.base import MonitoringApp
 from repro.controlplane.controller import EpochReport
@@ -60,7 +60,18 @@ class RemoteCoordinator:
         ``HealthTracker(agents, suspect_after=1, fail_after=2)``.
     sleep:
         Injected into every client — pass a no-op for simulated time.
+    transfer:
+        ``"raw"`` (default) polls full serialized sketches; ``"delta"``
+        uses the codec's ``DELTA`` exchange, shipping sparse frames when
+        the agent's encoder and this side's decoder agree on a base
+        epoch.
     """
+
+    #: Metric families labelled per switch name.  A coordinator clears
+    #: them on construction so a renamed or removed agent from a
+    #: previous run does not linger as a stale series (same bug PR 6
+    #: fixed for shard series).
+    _PER_AGENT_FAMILIES = ("univmon_remote_poll_seconds",)
 
     def __init__(self, agents: Mapping[str, Tuple[str, int]],
                  sketch_factory: Optional[Callable[[], UniversalSketch]] = None,
@@ -68,9 +79,13 @@ class RemoteCoordinator:
                  retry: Optional[RetryPolicy] = None,
                  health: Optional[HealthTracker] = None,
                  timeout: float = 5.0,
-                 sleep: Callable[[float], None] = time.sleep) -> None:
+                 sleep: Callable[[float], None] = time.sleep,
+                 transfer: str = "raw") -> None:
         if not agents:
             raise ConfigurationError("no agents to coordinate")
+        if transfer not in ("raw", "delta"):
+            raise ConfigurationError(
+                f"transfer must be 'raw' or 'delta', got {transfer!r}")
         if sketch_factory is None:
             sketch_factory = lambda: UniversalSketch(  # noqa: E731
                 levels=10, rows=5, width=2048, heap_size=64, seed=1)
@@ -79,8 +94,12 @@ class RemoteCoordinator:
                 "remote coordination needs a seeded sketch factory "
                 "(polled sketches must be mergeable)")
         self.program = program
+        self.transfer = transfer
         self._factory = sketch_factory
         self.retry = retry if retry is not None else RetryPolicy()
+        registry = get_registry()
+        for family in self._PER_AGENT_FAMILIES:
+            registry.clear_family(family)
         self.health = health if health is not None else HealthTracker(
             agents, suspect_after=1, fail_after=2)
         self._apps: List[MonitoringApp] = []
@@ -150,8 +169,11 @@ class RemoteCoordinator:
                 with reg.span("univmon_remote_poll_seconds",
                               help="per-switch poll latency (incl. retries)",
                               switch=name):
-                    sketch = client.poll(self.program)
-            except TransportError:
+                    if self.transfer == "delta":
+                        sketch = client.poll_delta(self.program)
+                    else:
+                        sketch = client.poll(self.program)
+            except (TransportError, CodecError):
                 self.health.record_failure(name)
                 if not was_failed and not self.health.is_live(name):
                     lost.append(name)

@@ -12,7 +12,6 @@ heavy-hitter pipeline uses it, so the baseline here supports it too.
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional
 
 import numpy as np
@@ -22,6 +21,7 @@ from repro.hashing.tabulation import (
     TabulationHash,
     gather_packed,
     pack_tabulation_fields,
+    tabulation_family,
 )
 from repro.sketches.base import Sketch, UpdateCost
 
@@ -73,10 +73,8 @@ class CountMinSketch(Sketch):
         self.conservative = conservative
         self.counter_bytes = counter_bytes
         self.table = np.zeros((rows, width), dtype=np.int64)
-        rng = random.Random(seed)
-        self._hashes: List[TabulationHash] = [
-            TabulationHash(rng=rng) for _ in range(rows)
-        ]
+        self._hashes: List[TabulationHash] = \
+            list(tabulation_family(seed, rows))
         self._packed = None
 
     def _buckets(self, key: int) -> List[int]:

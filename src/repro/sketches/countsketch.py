@@ -18,7 +18,6 @@ independent, more than the pairwise independence the analysis needs.
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional
 
 import numpy as np
@@ -28,6 +27,7 @@ from repro.hashing.tabulation import (
     TabulationHash,
     gather_packed,
     pack_tabulation_fields,
+    tabulation_family,
 )
 from repro.sketches.base import Sketch, UpdateCost
 
@@ -63,10 +63,8 @@ class CountSketch(Sketch):
         self.seed = seed
         self.counter_bytes = counter_bytes
         self.table = np.zeros((rows, width), dtype=np.int64)
-        rng = random.Random(seed)
-        self._hashes: List[TabulationHash] = [
-            TabulationHash(rng=rng) for _ in range(rows)
-        ]
+        self._hashes: List[TabulationHash] = \
+            list(tabulation_family(seed, rows))
         self._packed = None
 
     def _packed_state(self):

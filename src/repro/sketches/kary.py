@@ -15,13 +15,16 @@ seeds, takes the counter-wise difference, and reports keys whose estimated
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError, IncompatibleSketchError
-from repro.hashing.tabulation import TabulationHash, gather_packed
+from repro.hashing.tabulation import (
+    TabulationHash,
+    gather_packed,
+    tabulation_family,
+)
 from repro.sketches.countmin import _bincount_rows, _packed_bucket_state
 from repro.sketches.base import Sketch, UpdateCost
 
@@ -42,10 +45,8 @@ class KArySketch(Sketch):
         self.seed = seed
         self.counter_bytes = counter_bytes
         self.table = np.zeros((rows, width), dtype=np.int64)
-        rng = random.Random(seed)
-        self._hashes: List[TabulationHash] = [
-            TabulationHash(rng=rng) for _ in range(rows)
-        ]
+        self._hashes: List[TabulationHash] = \
+            list(tabulation_family(seed, rows))
         self._packed = None
 
     def update(self, key: int, weight: int = 1) -> None:

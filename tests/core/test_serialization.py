@@ -70,6 +70,62 @@ class TestRoundTrips:
         assert merged.total_weight == 2 * u.total_weight
 
 
+class TestSparseAndEmptyStates:
+    """Boundary states the delta codec leans on: empty sketches (a
+    restarted switch's first poll), heap-only occupancy, and geometry
+    at the serializer's documented limits."""
+
+    def assert_round_trips(self, u):
+        back = serialization.loads(serialization.dumps(u))
+        assert back.packets == u.packets
+        assert len(back.levels) == len(u.levels)
+        for la, lb in zip(u.levels, back.levels):
+            assert np.array_equal(la.sketch.table, lb.sketch.table)
+            assert dict(la.topk.items()) == dict(lb.topk.items())
+            assert (la.packets, la.weight) == (lb.packets, lb.weight)
+        return back
+
+    def test_empty_universal_round_trip(self):
+        u = UniversalSketch(levels=4, rows=2, width=64, heap_size=8, seed=1)
+        back = self.assert_round_trips(u)
+        assert back.packets == 0
+        assert all(not lv.sketch.table.any() for lv in back.levels)
+
+    def test_zero_levels_round_trip(self):
+        u = UniversalSketch(levels=0, rows=2, width=32, heap_size=4, seed=1)
+        u.update(11)
+        self.assert_round_trips(u)
+
+    def test_single_key_sparse_round_trip(self):
+        # One update leaves all-but-rows counters zero per level and a
+        # single heap entry; the sparse state must survive exactly.
+        u = UniversalSketch(levels=4, rows=2, width=64, heap_size=8, seed=1)
+        u.update(42, 3)
+        back = self.assert_round_trips(u)
+        assert back.levels[0].topk.items() == [(42, 3.0)]
+
+    def test_heap_only_levels_round_trip(self):
+        # Deep levels often have heap entries but near-empty tables.
+        u = UniversalSketch(levels=8, rows=1, width=8, heap_size=4, seed=2)
+        for key in range(4):
+            u.update(key)
+        self.assert_round_trips(u)
+
+    def test_max_levels_geometry_round_trip(self):
+        u = UniversalSketch(levels=serialization.MAX_LEVELS, rows=1,
+                            width=8, heap_size=2, seed=3)
+        u.update(5)
+        self.assert_round_trips(u)
+
+    def test_empty_tableau_sketches_round_trip(self):
+        for cls in (CountSketch, CountMinSketch, KArySketch):
+            sk = cls(rows=2, width=8, seed=9)
+            back = serialization.loads(serialization.dumps(sk))
+            assert isinstance(back, cls)
+            assert np.array_equal(back.table, sk.table)
+            assert not back.table.any()
+
+
 class TestErrors:
     def test_unseeded_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.controlplane.rpc import RetryPolicy
 from repro.errors import ConfigurationError
 from repro.network.health import HealthState, HealthTracker
 
@@ -10,6 +11,18 @@ def make(**kwargs):
     defaults = dict(suspect_after=1, fail_after=3, probe_every=2)
     defaults.update(kwargs)
     return HealthTracker(["s0", "s1"], **defaults)
+
+
+def probes_over(tracker, name, epochs):
+    """Drive a dead switch for ``epochs`` ticks, counting probes sent
+    (every due probe fails — the switch never comes back)."""
+    sent = 0
+    for _ in range(epochs):
+        if tracker.should_probe(name):
+            sent += 1
+            tracker.record_failure(name)
+        tracker.tick()
+    return sent
 
 
 class TestConfiguration:
@@ -81,3 +94,71 @@ class TestProbing:
         assert not tracker.should_probe("s0")
         tracker.tick()
         assert not tracker.should_probe("s0")
+
+
+class TestProbeBackoff:
+    """With a ``probe_policy``, dead switches cost O(log) probes, not
+    one per epoch — the satellite fix for the probe storm."""
+
+    POLICY = RetryPolicy(max_attempts=4, base_delay=1.0, multiplier=2.0,
+                         max_delay=8.0, jitter=0.0, seed=0)
+
+    def dead(self, **kwargs):
+        tracker = make(fail_after=1, **kwargs)
+        tracker.record_failure("s0")
+        return tracker
+
+    def test_backoff_schedule_is_exponential(self):
+        # Gaps 1, 2, 4, 8, 8, ... -> probes due at ticks 1, 3, 7, 15,
+        # 23, 31, 39: seven probes over 40 epochs.
+        tracker = self.dead(probe_policy=self.POLICY)
+        due = []
+        for epoch in range(40):
+            if tracker.should_probe("s0"):
+                due.append(epoch)
+                tracker.record_failure("s0")
+            tracker.tick()
+        assert due == [1, 3, 7, 15, 23, 31, 39]
+
+    def test_probe_storm_is_bounded(self):
+        legacy = probes_over(self.dead(probe_every=1), "s0", 40)
+        backed_off = probes_over(
+            self.dead(probe_policy=self.POLICY), "s0", 40)
+        assert legacy == 40
+        assert backed_off == 7
+
+    def test_seeded_jitter_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            tracker = self.dead(probe_policy=RetryPolicy(
+                base_delay=1.0, multiplier=2.0, max_delay=8.0,
+                jitter=0.25, seed=42))
+            due = []
+            for epoch in range(40):
+                if tracker.should_probe("s0"):
+                    due.append(epoch)
+                    tracker.record_failure("s0")
+                tracker.tick()
+            runs.append(due)
+        assert runs[0] == runs[1]
+        assert 0 < len(runs[0]) < 40  # jitter never defeats the backoff
+
+    def test_recovery_resets_the_backoff(self):
+        tracker = self.dead(probe_policy=self.POLICY)
+        # Burn through a few failed probes: attempts grow, gaps widen.
+        probes_over(tracker, "s0", 10)
+        assert tracker.snapshot()["s0"]["probe_attempts"] > 1
+        tracker.record_success("s0")
+        assert tracker.snapshot()["s0"]["probe_attempts"] == 0
+        # The next FAILED transition starts again at the base gap.
+        tracker.record_failure("s0")
+        assert tracker.should_probe("s0") is False
+        tracker.tick()
+        assert tracker.should_probe("s0")
+
+    def test_fixed_cadence_unchanged_without_policy(self):
+        # Legacy behaviour is preserved: probe_every still governs.
+        tracker = self.dead(probe_every=3)
+        due = [e for e in range(1, 10)
+               if (tracker.tick() or tracker.should_probe("s0"))]
+        assert due == [3, 6, 9]

@@ -195,6 +195,54 @@ class TestDeterministicBackoff:
         assert schedules[0] == schedules[1]
 
 
+class TestMetricsHygiene:
+    def test_stale_per_agent_series_cleared_on_construction(self, two_agents):
+        """Regression: a rebuilt coordinator with a different agent set
+        must not leave the old coordinator's per-switch poll timings in
+        the registry (they read as live series for absent agents)."""
+        from repro.obs.metrics import MetricsRegistry, use_registry
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with make_coordinator(two_agents) as coordinator:
+                coordinator.run_epoch()
+            assert registry.get("univmon_remote_poll_seconds",
+                                switch="s0") is not None
+            assert registry.get("univmon_remote_poll_seconds",
+                                switch="s1") is not None
+
+            survivor = {"s0": two_agents["s0"]}
+            with make_coordinator(
+                    survivor,
+                    health=HealthTracker(survivor,
+                                         fail_after=1)) as coordinator:
+                # construction alone must have dropped the stale series
+                assert registry.get("univmon_remote_poll_seconds",
+                                    switch="s1") is None
+                coordinator.run_epoch()
+            assert registry.get("univmon_remote_poll_seconds",
+                                switch="s0") is not None
+            assert registry.get("univmon_remote_poll_seconds",
+                                switch="s1") is None
+
+
+class TestDeltaTransfer:
+    def test_delta_transfer_matches_raw(self, two_agents, tiny_trace):
+        for agent in two_agents.values():
+            agent.switch.process_trace(tiny_trace)
+        with make_coordinator(two_agents,
+                              transfer="delta") as coordinator:
+            coordinator.register(CardinalityApp())
+            report = coordinator.run_epoch()
+        coverage = report["coverage"]
+        assert coverage["switches_polled"] == 2
+        assert coverage["packets_covered"] == 2 * len(tiny_trace)
+        assert report["cardinality"]["distinct"] > 0
+
+    def test_transfer_mode_validated(self, two_agents):
+        with pytest.raises(ConfigurationError):
+            make_coordinator(two_agents, transfer="carrier-pigeon")
+
+
 class TestHealthStates:
     def test_suspect_before_failed(self, two_agents):
         tracker = HealthTracker(two_agents, suspect_after=1, fail_after=2)
