@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-network test-network-scale test-acceptance \
-        test-parallel coverage bench bench-quick bench-query bench-network \
-        bench-parallel bench-smoke results examples lint clean
+        test-parallel test-scenarios coverage bench bench-quick bench-query \
+        bench-network bench-parallel bench-smoke results examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -40,6 +40,21 @@ test-network-scale:
 test-acceptance:
 	PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest tests/acceptance -q -m "acceptance or slow"
+
+# Workload scenario suites: the property tests for the scenario
+# library (seeded determinism, Counter self-consistency of the exact
+# ground truth, CDF moment checks), the scenario x statistic acceptance
+# matrix with its calibrated ceilings, and the DDoS-ramp fleet smoke
+# through the 200-switch chaos tree.
+test-scenarios:
+	PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest tests/dataplane/test_scenarios.py -q
+	PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest tests/acceptance/test_scenarios.py -q \
+	    -m acceptance -o addopts=''
+	REPRO_TEST_TIMEOUT=120 PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest tests/network/test_chaos_scale.py -q \
+	    -m scale -o addopts='' -k DDoSRampFleet
 
 # Sharded multi-process ingest suite: shard/merge exactness, crash and
 # stall handling, degradation paths, under both fork and spawn start
@@ -106,15 +121,19 @@ bench-parallel:
 # published. The query-engine floor rides along (quick workload) so a
 # control-plane regression blocks the smoke too, and the 200-switch
 # chaos suite plus the aggregation-tree codec floor (quick sweep) gate
-# the network collection path.
+# the network collection path.  The scenario suites ride along too
+# (test-scenarios prerequisite + the per-scenario ingest/error bench),
+# so a degraded scenario ceiling or a broken scenario generator blocks
+# the smoke as well.
 bench-smoke: test-network test-network-scale test-acceptance \
-             test-parallel coverage
+             test-parallel test-scenarios coverage
 	REPRO_BENCH_QUICK=1 PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest benchmarks/bench_throughput.py \
 	    benchmarks/bench_query_latency.py \
-	    benchmarks/bench_network_scale.py -q -s \
+	    benchmarks/bench_network_scale.py \
+	    benchmarks/bench_scenarios.py -q -s \
 	    -k "speedup or batch_ingest or crossover or matches or snapshot \
-	        or bytes_on_wire or merge_time or cumulative"
+	        or bytes_on_wire or merge_time or cumulative or scenario_ingest"
 
 results:
 	$(PYTHON) benchmarks/collect_results.py

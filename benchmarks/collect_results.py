@@ -34,6 +34,7 @@ SOURCES = {
     "ablation-sampling": "ablation_sampling.txt",
     "ablation-fsd": "ablation_fsd.txt",
     "network-scale-figure": "network_scale.txt",
+    "scenario-sweep": "scenarios.txt",
 }
 
 #: marker name -> speedup-floor artifact (JSON, spliced as ```json)
@@ -41,6 +42,7 @@ JSON_SOURCES = {
     "bench-throughput": "BENCH_throughput.json",
     "bench-query": "BENCH_query.json",
     "bench-network": "BENCH_network.json",
+    "bench-scenarios": "BENCH_scenarios.json",
 }
 
 _MARKER = re.compile(

@@ -2,9 +2,13 @@
 
 Subcommands
 -----------
-- ``generate`` — write a synthetic trace (CSV or pcap).
+- ``generate`` — write a synthetic trace (CSV or pcap); ``--scenario``
+  writes a scenario from the workload library instead.
 - ``run`` — monitor a trace with the UnivMon controller and print
-  per-epoch reports for the selected tasks.
+  per-epoch reports for the selected tasks.  ``--scenario NAME`` runs a
+  library scenario (DDoS ramp, flash crowd, port scan, heavy churn,
+  key-space shift, websearch/data-mining mixes) instead of a trace file;
+  ``--scenario help`` lists them.
 - ``experiment`` — regenerate one of the paper's figures/tables
   (fig4 | fig5 | fig6 | fig7 | overhead | ablation-levels |
   ablation-heap) as a text table (``--plot`` adds an ASCII chart).
@@ -37,6 +41,12 @@ from repro._version import __version__
 def _add_generate(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("generate", help="generate a synthetic trace")
     p.add_argument("--out", required=True, help="output path (.csv or .pcap)")
+    p.add_argument("--scenario", default=None, metavar="NAME",
+                   help="generate a named workload scenario instead of "
+                        "the plain Zipf trace (see `univmon run "
+                        "--scenario help` for the list)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="scenario size multiplier (with --scenario)")
     p.add_argument("--packets", type=int, default=100_000)
     p.add_argument("--flows", type=int, default=10_000)
     p.add_argument("--skew", type=float, default=1.1,
@@ -51,7 +61,16 @@ def _add_generate(sub: argparse._SubParsersAction) -> None:
 
 def _add_run(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("run", help="monitor a trace with UnivMon")
-    p.add_argument("--trace", required=True, help="input .csv or .pcap trace")
+    p.add_argument("--trace", default=None,
+                   help="input .csv or .pcap trace (or use --scenario)")
+    p.add_argument("--scenario", default=None, metavar="NAME",
+                   help="monitor a named workload scenario from the "
+                        "scenario library instead of a trace file "
+                        "(`--scenario help` lists the scenarios)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="scenario seed (with --scenario)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="scenario size multiplier (with --scenario)")
     p.add_argument("--epoch", type=float, default=5.0,
                    help="polling interval in seconds")
     p.add_argument("--tasks", default="hh,ddos,change,entropy",
@@ -237,15 +256,22 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.dataplane.trace import (DDoSEvent, SyntheticTraceConfig,
                                        generate_trace)
 
-    events = ()
-    if args.ddos_at is not None:
-        events = (DDoSEvent(start=args.ddos_at,
-                            end=min(args.ddos_at + 5.0, args.duration),
-                            num_sources=args.ddos_sources),)
-    config = SyntheticTraceConfig(
-        packets=args.packets, flows=args.flows, zipf_skew=args.skew,
-        duration=args.duration, seed=args.seed, ddos_events=events)
-    trace = generate_trace(config)
+    if args.scenario is not None:
+        scenario, code = _scenario_or_exit_code(args.scenario, args.seed,
+                                                args.scale)
+        if scenario is None:
+            return code
+        trace = scenario.trace
+    else:
+        events = ()
+        if args.ddos_at is not None:
+            events = (DDoSEvent(start=args.ddos_at,
+                                end=min(args.ddos_at + 5.0, args.duration),
+                                num_sources=args.ddos_sources),)
+        config = SyntheticTraceConfig(
+            packets=args.packets, flows=args.flows, zipf_skew=args.skew,
+            duration=args.duration, seed=args.seed, ddos_events=events)
+        trace = generate_trace(config)
     if args.out.endswith(".pcap"):
         save_pcap(trace, args.out)
     else:
@@ -260,6 +286,24 @@ def _load_trace(path: str):
     if path.endswith(".pcap"):
         return load_pcap(path)
     return load_csv(path)
+
+
+def _scenario_or_exit_code(name: str, seed: int, scale: float):
+    """Build a library scenario; returns ``(scenario, exit_code)`` where
+    the scenario is None for ``help`` listings (code 0) and unknown
+    names (code 2)."""
+    from repro.errors import ConfigurationError
+    from repro.dataplane.scenarios import SCENARIOS, make_scenario
+
+    if name in ("help", "list"):
+        for spec in sorted(SCENARIOS.values(), key=lambda s: s.name):
+            print(f"  {spec.name:16s} {spec.description}")
+        return None, 0
+    try:
+        return make_scenario(name, seed=seed, scale=scale), 0
+    except ConfigurationError as exc:
+        print(f"{exc}", file=sys.stderr)
+        return None, 2
 
 
 def _with_metrics_json(path: Optional[str], command) -> int:
@@ -290,7 +334,22 @@ def _run_monitor(args: argparse.Namespace) -> int:
     from repro.dataplane.keys import KEY_FUNCTIONS
     from repro.core.universal import UniversalSketch
 
-    trace = _load_trace(args.trace)
+    if (args.trace is None) == (args.scenario is None):
+        print("run needs exactly one input: --trace PATH or "
+              "--scenario NAME", file=sys.stderr)
+        return 2
+    if args.scenario is not None:
+        scenario, code = _scenario_or_exit_code(args.scenario, args.seed,
+                                                args.scale)
+        if scenario is None:
+            return code
+        trace = scenario.trace
+        print(f"scenario {scenario.name!r} (seed {scenario.seed}): "
+              f"{len(trace)} packets over {scenario.n_epochs} "
+              f"{scenario.epoch_seconds:.0f}s epochs — "
+              f"{scenario.description}")
+    else:
+        trace = _load_trace(args.trace)
     key_function = KEY_FUNCTIONS[args.key]
     budget = args.memory_kb * 1024
     factory = lambda: UniversalSketch.for_memory_budget(  # noqa: E731

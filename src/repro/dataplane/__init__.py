@@ -17,6 +17,10 @@ the CAIDA backbone trace and the router the sketches run on:
 - :mod:`~repro.dataplane.parallel` — sharded multi-core ingest: split a
   key stream across worker processes over shared memory and merge the
   equal-seed shard sketches back into one (exact, by linearity).
+- :mod:`~repro.dataplane.scenarios` — workload scenario library:
+  empirical flow-size CDF mixes (websearch / data-mining) and seeded
+  adversarial scenarios (DDoS ramp, flash crowd, port scan, heavy-key
+  churn, key-space shift) with exact per-epoch ground truth.
 """
 
 from repro.dataplane.keys import (
@@ -37,6 +41,16 @@ from repro.dataplane.parallel import (
     shared_memory_available,
 )
 from repro.dataplane.packet import FiveTuple, Packet, format_ipv4, parse_ipv4
+from repro.dataplane.scenarios import (
+    DATAMINING_CDF,
+    WEBSEARCH_CDF,
+    EpochTruth,
+    FlowSizeCDF,
+    SCENARIOS,
+    Scenario,
+    make_scenario,
+    scenario_names,
+)
 from repro.dataplane.replay import BatchIngest, IngestReport, TraceReplayer
 from repro.dataplane.switch import MonitoredSwitch, SwitchProgram
 from repro.dataplane.trace import (
@@ -73,6 +87,14 @@ __all__ = [
     "DDoSEvent",
     "ChangeEvent",
     "generate_trace",
+    "FlowSizeCDF",
+    "WEBSEARCH_CDF",
+    "DATAMINING_CDF",
+    "EpochTruth",
+    "Scenario",
+    "SCENARIOS",
+    "make_scenario",
+    "scenario_names",
     "MonitoredSwitch",
     "SwitchProgram",
 ]

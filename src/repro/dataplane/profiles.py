@@ -48,10 +48,15 @@ def profile(name: str, duration: float = 5.0,
         raise ConfigurationError(
             f"unknown profile {name!r} (have {sorted(PROFILES)})") from None
     scale = duration / base.duration
+    packets = max(1, int(round(base.packets * scale)))
+    # Sublinear flow scaling can cross the packet count for tiny
+    # durations (flows shrink as sqrt(scale), packets linearly); the
+    # generator needs flows <= packets to give every flow a packet.
+    flows = min(packets, max(1, int(round(base.flows * scale ** 0.5))))
     return replace(
         base,
-        packets=max(1, int(round(base.packets * scale))),
-        flows=max(1, int(round(base.flows * scale ** 0.5))),
+        packets=packets,
+        flows=flows,
         duration=duration,
         seed=seed,
     )

@@ -1,0 +1,726 @@
+"""Workload scenario library: empirical flow-size mixes and seeded
+adversarial traffic scenarios with exact per-epoch ground truth.
+
+The synthetic generator in :mod:`~repro.dataplane.trace` produces one
+workload shape — stationary Zipf — which means every statistical
+guarantee in the repo is only ever validated against the traffic it was
+calibrated on.  This module widens the workload space along the two axes
+the measurement literature cares about:
+
+- **Empirical flow-size mixes** (:class:`FlowSizeCDF`): inverse-CDF
+  sampling over the classic *websearch* (DCTCP) and *data-mining* (VL2)
+  flow-size tables, vectorised with ``np.searchsorted`` like the rest of
+  the ingest path.  These are the heavy-tailed-but-not-Zipf shapes real
+  datacenter fabrics see.
+- **Adversarial scenarios**: volumetric DDoS ramp, flash crowd, port
+  scan (distinct-source explosion), heavy-key churn across epochs, and
+  a key-space shift that stresses the sliding-window sketch.  Each is
+  the canonical traffic of one attack/operations event class (StreaMon's
+  event taxonomy) and each stresses a *different* statistic.
+
+Every scenario is **seeded and epoch-segmented**, and reports **exact
+ground truth** per epoch — per-key packet counts, F0, entropy, heavy
+hitters, and heavy-change sets between adjacent epochs — computed from
+the generator's own draws *before* packets are materialised.  The
+property suite (``tests/dataplane/test_scenarios.py``) cross-checks this
+reported truth against a ``collections.Counter`` over the emitted
+packets, so the acceptance matrix can trust it.
+
+Ground truth is reported over the **source-IP key** (the paper's
+evaluation feature and what ``univmon run`` monitors by default).
+
+Usage::
+
+    scenario = make_scenario("ddos_ramp", seed=3)
+    for epoch_index, (trace, truth) in enumerate(
+            zip(scenario.epoch_traces(), scenario.truths)):
+        sketch.update_array(trace.key_array(src_ip_key))
+        ...  # compare estimates against truth.distinct / truth.entropy()
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.dataplane.packet import PROTO_TCP, PROTO_UDP
+from repro.dataplane.trace import Trace, zipf_probabilities
+
+__all__ = [
+    "FlowSizeCDF",
+    "WEBSEARCH_CDF",
+    "DATAMINING_CDF",
+    "EpochTruth",
+    "Scenario",
+    "ScenarioSpec",
+    "SCENARIOS",
+    "scenario_names",
+    "make_scenario",
+]
+
+
+# --------------------------------------------------------------------- #
+# empirical flow-size CDFs
+# --------------------------------------------------------------------- #
+
+class FlowSizeCDF:
+    """Inverse-CDF sampler over an empirical flow-size table.
+
+    ``table`` is a sequence of ``(cdf_value, size_packets)`` pairs with
+    strictly ascending CDF values ending at 1.0 — the usual published
+    form of datacenter flow-size distributions.  Sampling treats the
+    table as a step distribution: size ``s_i`` is drawn with probability
+    ``cdf_i - cdf_{i-1}`` (the rotorsim/PrintQueue convention), via one
+    vectorised ``searchsorted`` over uniform draws.
+    """
+
+    def __init__(self, name: str, table: Sequence[Tuple[float, int]]) -> None:
+        if not table:
+            raise ConfigurationError("flow-size CDF table is empty")
+        cdf = np.asarray([c for c, _ in table], dtype=np.float64)
+        sizes = np.asarray([s for _, s in table], dtype=np.int64)
+        if np.any(np.diff(cdf) <= 0) or cdf[0] <= 0:
+            raise ConfigurationError(
+                f"CDF values of {name!r} must be strictly ascending "
+                f"and positive")
+        if abs(cdf[-1] - 1.0) > 1e-12:
+            raise ConfigurationError(
+                f"CDF of {name!r} must end at 1.0, got {cdf[-1]}")
+        if np.any(sizes < 1):
+            raise ConfigurationError(
+                f"flow sizes of {name!r} must be >= 1 packet")
+        self.name = name
+        self.cdf = cdf
+        self.sizes = sizes
+        self.probs = np.diff(np.concatenate([[0.0], cdf]))
+
+    def mean(self) -> float:
+        """Analytic mean flow size in packets (``sum p_i * s_i``)."""
+        return float(self.probs @ self.sizes)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` flow sizes (packets, ``int64``) drawn from the table."""
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        u = rng.random(n)
+        return self.sizes[np.searchsorted(self.cdf, u, side="left")]
+
+    def sample_total(self, rng: np.random.Generator,
+                     target_packets: int) -> np.ndarray:
+        """Flow sizes drawn until their sum reaches ``target_packets``.
+
+        The last flow is clamped so the total lands exactly on target —
+        scenarios size their epochs in packets, not flows, and the
+        data-mining tail (single flows of ~400k packets) would otherwise
+        blow any epoch budget.
+        """
+        if target_packets < 1:
+            raise ConfigurationError(
+                f"target_packets must be >= 1, got {target_packets}")
+        out: List[np.ndarray] = []
+        total = 0
+        # Draw in batches sized by the analytic mean; the loop almost
+        # always terminates in one round.
+        while total < target_packets:
+            need = target_packets - total
+            batch = max(8, int(need / max(self.mean(), 1.0)) + 1)
+            sizes = self.sample(rng, batch)
+            out.append(sizes)
+            total += int(sizes.sum())
+        sizes = np.concatenate(out)
+        cumulative = np.cumsum(sizes)
+        last = int(np.searchsorted(cumulative, target_packets, side="left"))
+        sizes = sizes[:last + 1].copy()
+        sizes[last] -= int(cumulative[last]) - target_packets
+        return sizes[sizes > 0]
+
+
+#: DCTCP-style websearch flow mix (sizes in packets, ~1.5 KB MSS).
+WEBSEARCH_CDF = FlowSizeCDF("websearch", [
+    (0.15, 4), (0.20, 9), (0.30, 13), (0.40, 22), (0.53, 36),
+    (0.60, 89), (0.70, 445), (0.80, 889), (0.90, 2222),
+    (0.97, 4445), (1.00, 13334),
+])
+
+#: VL2-style data-mining flow mix: mostly single-packet mice with an
+#: extreme elephant tail.
+DATAMINING_CDF = FlowSizeCDF("datamining", [
+    (0.50, 1), (0.60, 2), (0.70, 3), (0.80, 5), (0.90, 178),
+    (0.95, 1405), (0.99, 44445), (1.00, 444445),
+])
+
+
+# --------------------------------------------------------------------- #
+# exact ground truth
+# --------------------------------------------------------------------- #
+
+class EpochTruth:
+    """Exact per-epoch ground truth over the source-IP key.
+
+    Built from the generator's *drawn* per-flow counts, independently of
+    packet materialisation — duplicate keys are aggregated, zero counts
+    dropped.  All statistics below are exact (no estimation anywhere).
+    """
+
+    __slots__ = ("keys", "counts")
+
+    def __init__(self, keys: np.ndarray, counts: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.uint64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if len(keys) != len(counts):
+            raise ConfigurationError(
+                f"keys/counts length mismatch: {len(keys)}/{len(counts)}")
+        if np.any(counts < 0):
+            raise ConfigurationError("negative ground-truth counts")
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        agg = np.bincount(inverse, weights=counts,
+                          minlength=len(uniq)).astype(np.int64)
+        keep = agg > 0
+        self.keys = uniq[keep]
+        self.counts = agg[keep]
+
+    # -- scalar statistics --------------------------------------------- #
+
+    @property
+    def packets(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def distinct(self) -> int:
+        """Exact F0 (number of distinct source keys)."""
+        return int(len(self.keys))
+
+    def counter(self) -> Dict[int, int]:
+        """Per-key packet counts as a plain dict (key -> count)."""
+        return {int(k): int(c) for k, c in zip(self.keys, self.counts)}
+
+    def entropy(self, base: float = 2.0) -> float:
+        """Exact empirical Shannon entropy of the key distribution."""
+        m = self.packets
+        if m == 0:
+            return 0.0
+        p = self.counts / m
+        return float(-(p * (np.log(p) / math.log(base))).sum())
+
+    def heavy_hitter_keys(self, alpha: float) -> Set[int]:
+        """Keys with at least ``alpha`` of the epoch's packets
+        (``>=`` threshold, matching :class:`ExactCounter`)."""
+        threshold = alpha * self.packets
+        return {int(k) for k in self.keys[self.counts >= threshold]}
+
+    # -- two-epoch statistics ------------------------------------------ #
+
+    def _deltas(self, prev: "EpochTruth") -> Tuple[np.ndarray, np.ndarray]:
+        union = np.union1d(self.keys, prev.keys)
+        delta = np.zeros(len(union), dtype=np.int64)
+        delta[np.searchsorted(union, self.keys)] += self.counts
+        delta[np.searchsorted(union, prev.keys)] -= prev.counts
+        return union, delta
+
+    def total_change(self, prev: "EpochTruth") -> int:
+        """Exact L1 change ``D = sum_x |f_now(x) - f_prev(x)|``."""
+        _, delta = self._deltas(prev)
+        return int(np.abs(delta).sum())
+
+    def heavy_change_keys(self, prev: "EpochTruth", phi: float) -> Set[int]:
+        """Keys with ``|delta| >= phi * D`` versus ``prev`` (matching
+        :meth:`ExactCounter.heavy_changes`)."""
+        union, delta = self._deltas(prev)
+        magnitude = np.abs(delta)
+        total = magnitude.sum()
+        if total == 0:
+            return set()
+        return {int(k) for k in union[magnitude >= phi * total]}
+
+    @classmethod
+    def merged(cls, truths: Sequence["EpochTruth"]) -> "EpochTruth":
+        """Union truth over several epochs (sliding-window ground truth)."""
+        if not truths:
+            return cls(np.zeros(0, dtype=np.uint64),
+                       np.zeros(0, dtype=np.int64))
+        return cls(np.concatenate([t.keys for t in truths]),
+                   np.concatenate([t.counts for t in truths]))
+
+
+# --------------------------------------------------------------------- #
+# scenario container
+# --------------------------------------------------------------------- #
+
+@dataclass
+class Scenario:
+    """One generated scenario: an epoch-segmented trace plus the exact
+    ground truth and event annotations the acceptance harness consumes.
+
+    ``events`` is scenario-specific metadata (attack epochs, victims,
+    per-epoch elephant sets, ...) — everything a detection assertion
+    needs that is not a per-key count.
+    """
+
+    name: str
+    seed: int
+    epoch_seconds: float
+    trace: Trace
+    truths: List[EpochTruth]
+    events: Dict[str, object] = field(default_factory=dict)
+    description: str = ""
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.truths)
+
+    def epoch_traces(self) -> List[Trace]:
+        """Per-epoch trace slices at exact ``[i*e, (i+1)*e)`` bounds."""
+        return [self.trace.slice_time(i * self.epoch_seconds,
+                                      (i + 1) * self.epoch_seconds)
+                for i in range(self.n_epochs)]
+
+    def epoch_keys(self) -> List[np.ndarray]:
+        """Per-epoch ``uint64`` source-key arrays, ready for
+        :meth:`UniversalSketch.update_array` (and the fleet simulator)."""
+        from repro.dataplane.keys import src_ip_key
+        return [t.key_array(src_ip_key) for t in self.epoch_traces()]
+
+    def window_truth(self, end_epoch: int, window: int) -> EpochTruth:
+        """Exact union truth of the ``window`` epochs ending at
+        ``end_epoch`` inclusive (sliding-window ground truth)."""
+        lo = max(0, end_epoch - window + 1)
+        return EpochTruth.merged(self.truths[lo:end_epoch + 1])
+
+
+# --------------------------------------------------------------------- #
+# epoch assembly
+# --------------------------------------------------------------------- #
+
+class _EpochSink:
+    """Accumulates per-flow components of one epoch and materialises the
+    packet columns.
+
+    Components are ``(src, count, dst, sport, dport, proto)`` arrays of
+    one row per flow.  The truth is aggregated from the *same* arrays
+    the packets are repeated from, which is what makes the generator's
+    reported ground truth exact by construction."""
+
+    def __init__(self) -> None:
+        self._parts: List[Tuple[np.ndarray, ...]] = []
+
+    def add(self, src: np.ndarray, counts: np.ndarray, dst: np.ndarray,
+            sport: np.ndarray, dport: np.ndarray,
+            proto: np.ndarray) -> None:
+        counts = np.asarray(counts, dtype=np.int64)
+        keep = counts > 0
+        if not np.any(keep):
+            return
+        self._parts.append((
+            np.asarray(src, dtype=np.uint32)[keep], counts[keep],
+            np.asarray(dst, dtype=np.uint32)[keep],
+            np.asarray(sport, dtype=np.uint16)[keep],
+            np.asarray(dport, dtype=np.uint16)[keep],
+            np.asarray(proto, dtype=np.uint8)[keep]))
+
+    def truth(self) -> EpochTruth:
+        if not self._parts:
+            return EpochTruth(np.zeros(0, dtype=np.uint64),
+                              np.zeros(0, dtype=np.int64))
+        src = np.concatenate([p[0] for p in self._parts])
+        counts = np.concatenate([p[1] for p in self._parts])
+        return EpochTruth(src.astype(np.uint64), counts)
+
+    def materialise(self, rng: np.random.Generator, t0: float,
+                    t1: float) -> Trace:
+        if not self._parts:
+            return Trace.empty()
+        counts = np.concatenate([p[1] for p in self._parts])
+        columns = []
+        for index in (0, 2, 3, 4, 5):  # src, dst, sport, dport, proto
+            column = np.concatenate([p[index] for p in self._parts])
+            columns.append(np.repeat(column, counts))
+        n = len(columns[0])
+        order = rng.permutation(n)
+        # Stay strictly inside [t0, t1) so epoch slicing is exact even
+        # under floating-point rounding at the upper bound.
+        ts = np.sort(rng.uniform(t0, np.nextafter(t1, t0), size=n))
+        sizes = rng.choice(np.array([64, 576, 1500], dtype=np.uint16),
+                           size=n, p=[0.5, 0.25, 0.25])
+        src, dst, sport, dport, proto = (c[order] for c in columns)
+        return Trace(ts, src, dst, sport, dport, proto, sizes)
+
+
+class _ZipfPopulation:
+    """A fixed flow table with Zipf popularity, shared across epochs —
+    the same baseline model as :func:`~repro.dataplane.trace.generate_trace`."""
+
+    #: Baseline sources/destinations live below the attack ranges.
+    ADDRESS_LO, ADDRESS_HI = 0x0A000000, 0xDF000000
+
+    def __init__(self, rng: np.random.Generator, flows: int,
+                 skew: float) -> None:
+        if flows < 1:
+            raise ConfigurationError(f"flows must be >= 1, got {flows}")
+        self.flows = flows
+        self.src = rng.integers(self.ADDRESS_LO, self.ADDRESS_HI,
+                                size=flows, dtype=np.uint32)
+        self.dst = rng.integers(self.ADDRESS_LO, self.ADDRESS_HI,
+                                size=flows, dtype=np.uint32)
+        self.sport = rng.integers(1024, 65535, size=flows, dtype=np.uint16)
+        self.dport = rng.choice(
+            np.array([80, 443, 53, 22, 25, 8080, 3306, 123],
+                     dtype=np.uint16), size=flows)
+        self.proto = rng.choice(
+            np.array([PROTO_TCP, PROTO_UDP], dtype=np.uint8),
+            size=flows, p=[0.8, 0.2])
+        self.probs = zipf_probabilities(flows, skew)
+
+    def add_epoch(self, sink: _EpochSink, rng: np.random.Generator,
+                  packets: int,
+                  window: Optional[Tuple[int, int]] = None) -> None:
+        """One epoch of baseline traffic: multinomial packet counts per
+        flow.  ``window=(lo, hi)`` restricts the active population to
+        the flow-index window (key-space shift), re-anchoring the Zipf
+        ranks to the window start."""
+        if packets <= 0:
+            return
+        if window is None:
+            lo, hi = 0, self.flows
+            probs = self.probs
+        else:
+            lo, hi = window
+            if not 0 <= lo < hi <= self.flows:
+                raise ConfigurationError(
+                    f"window {window} outside flow table "
+                    f"[0, {self.flows})")
+            probs = self.probs[:hi - lo]
+            probs = probs / probs.sum()
+        counts = rng.multinomial(packets, probs)
+        index = slice(lo, hi)
+        sink.add(self.src[index], counts, self.dst[index],
+                 self.sport[index], self.dport[index], self.proto[index])
+
+
+def _fresh_sources(rng: np.random.Generator, n: int,
+                   lo: int = 0xE0000000, hi: int = 0xFFFFFFF0) -> np.ndarray:
+    """``n`` distinct attack sources from the high range the baseline
+    population never uses (deduplicated, re-drawn until distinct)."""
+    sources = np.unique(rng.integers(lo, hi, size=n, dtype=np.uint32))
+    while len(sources) < n:
+        extra = rng.integers(lo, hi, size=n - len(sources),
+                             dtype=np.uint32)
+        sources = np.unique(np.concatenate([sources, extra]))
+    return sources[:n]
+
+
+# --------------------------------------------------------------------- #
+# scenario builders
+# --------------------------------------------------------------------- #
+
+#: Baseline epoch shape shared by the adversarial scenarios (the
+#: acceptance workload: 30k packets / 5k flows / skew 1.1 per 5 s epoch).
+EPOCH_SECONDS = 5.0
+BASE_PACKETS = 30_000
+BASE_FLOWS = 5_000
+BASE_SKEW = 1.1
+
+
+def _scaled(value: int, scale: float) -> int:
+    return max(1, int(round(value * scale)))
+
+
+def _assemble(name: str, seed: int, epoch_seconds: float,
+              sinks: Sequence[_EpochSink], rng: np.random.Generator,
+              events: Dict[str, object], description: str) -> Scenario:
+    truths = [sink.truth() for sink in sinks]
+    epoch_traces = [
+        sink.materialise(rng, i * epoch_seconds, (i + 1) * epoch_seconds)
+        for i, sink in enumerate(sinks)]
+    return Scenario(name=name, seed=seed, epoch_seconds=epoch_seconds,
+                    trace=Trace.concat(epoch_traces), truths=truths,
+                    events=events, description=description)
+
+
+def _rng_for(name: str, seed: int) -> np.random.Generator:
+    # Stable per-scenario stream: same (name, seed) -> same draws,
+    # different scenarios at the same seed stay independent.
+    digest = sum(ord(c) * 131 ** i for i, c in enumerate(name))
+    return np.random.default_rng([seed, digest % (2 ** 32)])
+
+
+def _build_mix(cdf: FlowSizeCDF,
+               flows: int) -> Callable[[int, float], Scenario]:
+    """An epoch population whose flow sizes follow the empirical CDF.
+
+    Published tables are per-flow packet counts on 10G+ fabrics; at the
+    test-scale link (30k packets / 5s epoch) drawing flows until the
+    budget is spent would leave a handful of elephants and no population
+    to estimate over.  Instead each epoch draws a *fixed* flow count
+    from the CDF and rescales sizes proportionally onto the packet
+    budget (mice clamp at 1 packet), preserving the distribution's
+    relative structure — which is what HH/entropy/F0 depend on.
+
+    ``flows`` is tuned per table so the top size class — the scenario's
+    true heavy-hitter set — stays smaller than the acceptance sketch's
+    top-k heap (64 at the 256 KB budget); a true set larger than the
+    heap makes the HH task structurally unanswerable rather than hard.
+    """
+    def build(seed: int, scale: float) -> Scenario:
+        name = f"{cdf.name}_mix"
+        rng = _rng_for(name, seed)
+        epochs = 3
+        packets = _scaled(BASE_PACKETS, scale)
+        n_flows = _scaled(flows, scale)
+        sinks = []
+        flows_per_epoch = []
+        for _ in range(epochs):
+            sink = _EpochSink()
+            raw = cdf.sample(rng, n_flows).astype(np.float64)
+            sizes = np.maximum(
+                1, np.round(raw * packets / raw.sum())).astype(np.int64)
+            n = len(sizes)
+            sink.add(
+                rng.integers(_ZipfPopulation.ADDRESS_LO,
+                             _ZipfPopulation.ADDRESS_HI, size=n,
+                             dtype=np.uint32),
+                sizes,
+                rng.integers(_ZipfPopulation.ADDRESS_LO,
+                             _ZipfPopulation.ADDRESS_HI, size=n,
+                             dtype=np.uint32),
+                rng.integers(1024, 65535, size=n, dtype=np.uint16),
+                rng.choice(np.array([80, 443, 8080, 3306],
+                                    dtype=np.uint16), size=n),
+                np.full(n, PROTO_TCP, dtype=np.uint8))
+            flows_per_epoch.append(n)
+            sinks.append(sink)
+        return _assemble(
+            name, seed, EPOCH_SECONDS, sinks, rng,
+            events={"cdf": cdf.name, "mean_flow_packets": cdf.mean(),
+                    "flows_per_epoch": flows_per_epoch},
+            description=f"empirical {cdf.name} flow-size mix "
+                        f"({packets} packets/epoch)")
+    return build
+
+
+def _build_ddos_ramp(seed: int, scale: float) -> Scenario:
+    """Volumetric DDoS that ramps across epochs: 2 clean epochs, then
+    a fresh-source flood doubling each epoch.  Stresses F0."""
+    rng = _rng_for("ddos_ramp", seed)
+    population = _ZipfPopulation(rng, _scaled(BASE_FLOWS, scale), BASE_SKEW)
+    packets = _scaled(BASE_PACKETS, scale)
+    ramp = {2: _scaled(2_000, scale), 3: _scaled(4_000, scale),
+            4: _scaled(8_000, scale)}
+    victim = int(rng.integers(_ZipfPopulation.ADDRESS_LO,
+                              _ZipfPopulation.ADDRESS_HI))
+    sinks = []
+    for epoch in range(5):
+        sink = _EpochSink()
+        population.add_epoch(sink, rng, packets)
+        if epoch in ramp:
+            n = ramp[epoch]
+            sources = _fresh_sources(rng, n)
+            sink.add(sources,
+                     np.full(n, 2, dtype=np.int64),
+                     np.full(n, victim, dtype=np.uint32),
+                     rng.integers(1024, 65535, size=n, dtype=np.uint16),
+                     np.full(n, 80, dtype=np.uint16),
+                     np.full(n, PROTO_TCP, dtype=np.uint8))
+        sinks.append(sink)
+    return _assemble(
+        "ddos_ramp", seed, EPOCH_SECONDS, sinks, rng,
+        events={"attack_epochs": tuple(sorted(ramp)), "victim": victim,
+                "attack_sources": ramp},
+        description="volumetric DDoS ramp: fresh-source flood doubling "
+                    "per epoch (F0 explosion)")
+
+
+def _build_flash_crowd(seed: int, scale: float) -> Scenario:
+    """A legitimate flash crowd: a burst of clients with websearch-sized
+    flows converging on one destination.  Volume concentrates on few
+    sources — entropy drops and new heavy hitters appear."""
+    rng = _rng_for("flash_crowd", seed)
+    population = _ZipfPopulation(rng, _scaled(BASE_FLOWS, scale), BASE_SKEW)
+    packets = _scaled(BASE_PACKETS, scale)
+    crowd_epochs = (2, 3)
+    victim = int(rng.integers(_ZipfPopulation.ADDRESS_LO,
+                              _ZipfPopulation.ADDRESS_HI))
+    crowd_sources: Dict[int, int] = {}
+    sinks = []
+    for epoch in range(4):
+        sink = _EpochSink()
+        population.add_epoch(sink, rng, packets)
+        if epoch in crowd_epochs:
+            sizes = WEBSEARCH_CDF.sample_total(rng, 2 * packets)
+            n = len(sizes)
+            sink.add(_fresh_sources(rng, n, lo=0xE8000000),
+                     sizes,
+                     np.full(n, victim, dtype=np.uint32),
+                     rng.integers(1024, 65535, size=n, dtype=np.uint16),
+                     np.full(n, 443, dtype=np.uint16),
+                     np.full(n, PROTO_TCP, dtype=np.uint8))
+            crowd_sources[epoch] = n
+        sinks.append(sink)
+    return _assemble(
+        "flash_crowd", seed, EPOCH_SECONDS, sinks, rng,
+        events={"crowd_epochs": crowd_epochs, "victim": victim,
+                "crowd_sources": crowd_sources},
+        description="flash crowd: websearch-sized flows converging on "
+                    "one destination (entropy drop, new heavy hitters)")
+
+
+def _build_port_scan(seed: int, scale: float) -> Scenario:
+    """A horizontal scan from spoofed sources: every probe arrives from
+    a distinct address, one packet each — a distinct-source explosion
+    at almost no volume."""
+    rng = _rng_for("port_scan", seed)
+    population = _ZipfPopulation(rng, _scaled(BASE_FLOWS, scale), BASE_SKEW)
+    packets = _scaled(BASE_PACKETS, scale)
+    probes = _scaled(15_000, scale)
+    scan_epochs = (1, 2, 3)
+    victim = int(rng.integers(_ZipfPopulation.ADDRESS_LO,
+                              _ZipfPopulation.ADDRESS_HI))
+    sinks = []
+    for epoch in range(4):
+        sink = _EpochSink()
+        population.add_epoch(sink, rng, packets)
+        if epoch in scan_epochs:
+            sources = _fresh_sources(rng, probes)
+            sink.add(sources,
+                     np.ones(probes, dtype=np.int64),
+                     np.full(probes, victim, dtype=np.uint32),
+                     rng.integers(1024, 65535, size=probes,
+                                  dtype=np.uint16),
+                     (np.arange(probes, dtype=np.uint32)
+                      % 64510 + 1025).astype(np.uint16),
+                     np.full(probes, PROTO_TCP, dtype=np.uint8))
+        sinks.append(sink)
+    return _assemble(
+        "port_scan", seed, EPOCH_SECONDS, sinks, rng,
+        events={"scan_epochs": scan_epochs, "victim": victim,
+                "probes_per_epoch": probes},
+        description="spoofed port scan: one packet per fresh source "
+                    "(distinct-source explosion at low volume)")
+
+
+def _build_heavy_churn(seed: int, scale: float) -> Scenario:
+    """The heavy-key set rotates every epoch: a disjoint elephant cohort
+    rises while the previous one vanishes — every adjacent epoch pair
+    has a large, exactly-known heavy-change set."""
+    rng = _rng_for("heavy_churn", seed)
+    population = _ZipfPopulation(rng, _scaled(BASE_FLOWS, scale), BASE_SKEW)
+    packets = _scaled(BASE_PACKETS, scale)
+    cohort, weight = 12, _scaled(1_500, scale)
+    epochs = 5
+    elephants: Dict[int, List[int]] = {}
+    sinks = []
+    for epoch in range(epochs):
+        sink = _EpochSink()
+        population.add_epoch(sink, rng, packets)
+        # Disjoint cohorts: each epoch draws from its own /24-sized
+        # block (random within the block — sequential addresses can
+        # correlate under a fixed hash seed and bias the estimators).
+        block = 0xF0000000 + (epoch << 16)
+        sources = _fresh_sources(rng, cohort, lo=block,
+                                 hi=block + 0x10000)
+        sink.add(sources,
+                 np.full(cohort, weight, dtype=np.int64),
+                 rng.integers(_ZipfPopulation.ADDRESS_LO,
+                              _ZipfPopulation.ADDRESS_HI, size=cohort,
+                              dtype=np.uint32),
+                 rng.integers(1024, 65535, size=cohort, dtype=np.uint16),
+                 np.full(cohort, 443, dtype=np.uint16),
+                 np.full(cohort, PROTO_TCP, dtype=np.uint8))
+        elephants[epoch] = [int(s) for s in sources]
+        sinks.append(sink)
+    return _assemble(
+        "heavy_churn", seed, EPOCH_SECONDS, sinks, rng,
+        events={"elephants": elephants, "cohort": cohort,
+                "weight": weight},
+        description="heavy-key churn: a disjoint elephant cohort per "
+                    "epoch (large exact heavy-change sets)")
+
+
+def _build_keyspace_shift(seed: int, scale: float) -> Scenario:
+    """The active key population drifts half a window per epoch:
+    adjacent epochs share 50% of their keys, so the union cardinality
+    over a sliding window keeps growing — the workload that stresses
+    the epoch-ring sliding-window sketch."""
+    rng = _rng_for("keyspace_shift", seed)
+    window_flows = _scaled(BASE_FLOWS, scale)
+    epochs, shift = 6, window_flows // 2
+    population = _ZipfPopulation(
+        rng, window_flows + shift * (epochs - 1), BASE_SKEW)
+    packets = _scaled(BASE_PACKETS, scale)
+    sinks = []
+    for epoch in range(epochs):
+        sink = _EpochSink()
+        lo = epoch * shift
+        population.add_epoch(sink, rng, packets,
+                             window=(lo, lo + window_flows))
+        sinks.append(sink)
+    return _assemble(
+        "keyspace_shift", seed, EPOCH_SECONDS, sinks, rng,
+        events={"window_flows": window_flows, "shift": shift,
+                "overlap": 1.0 - shift / window_flows},
+        description="key-space shift: the active population slides half "
+                    "a window per epoch (sliding-window stress)")
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named scenario builder (``build(seed, scale) -> Scenario``)."""
+
+    name: str
+    description: str
+    build: Callable[[int, float], Scenario]
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = {
+    spec.name: spec for spec in (
+        ScenarioSpec("websearch_mix",
+                     "empirical DCTCP websearch flow-size mix",
+                     _build_mix(WEBSEARCH_CDF, flows=1_200)),
+        ScenarioSpec("datamining_mix",
+                     "empirical VL2 data-mining flow-size mix",
+                     _build_mix(DATAMINING_CDF, flows=2_500)),
+        ScenarioSpec("ddos_ramp",
+                     "volumetric DDoS ramp (fresh-source flood, "
+                     "F0 explosion)", _build_ddos_ramp),
+        ScenarioSpec("flash_crowd",
+                     "flash crowd onto one destination (entropy drop, "
+                     "new heavy hitters)", _build_flash_crowd),
+        ScenarioSpec("port_scan",
+                     "spoofed horizontal scan (distinct-source "
+                     "explosion)", _build_port_scan),
+        ScenarioSpec("heavy_churn",
+                     "rotating elephant cohorts (heavy-change sets)",
+                     _build_heavy_churn),
+        ScenarioSpec("keyspace_shift",
+                     "sliding key population (sliding-window stress)",
+                     _build_keyspace_shift),
+    )
+}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(sorted(SCENARIOS))
+
+
+def make_scenario(name: str, seed: int = 0, scale: float = 1.0) -> Scenario:
+    """Build the named scenario at ``seed``.
+
+    ``scale`` multiplies every packet volume and population size (0.1 =
+    a ten-times-smaller scenario for smoke tests and benchmarks).
+    """
+    try:
+        spec = SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r} (have {', '.join(scenario_names())})"
+        ) from None
+    if not scale > 0:
+        raise ConfigurationError(f"scale must be > 0, got {scale}")
+    return spec.build(seed, scale)

@@ -224,7 +224,12 @@ class SyntheticTraceConfig:
         return replace(self, seed=seed)
 
 
-def _zipf_probabilities(flows: int, skew: float) -> np.ndarray:
+def zipf_probabilities(flows: int, skew: float) -> np.ndarray:
+    """Normalised Zipf(``skew``) rank probabilities for ``flows`` flows —
+    the popularity model shared by the synthetic generator, the workload
+    scenario library, and the fleet simulator."""
+    if flows < 1:
+        raise ConfigurationError(f"flows must be >= 1, got {flows}")
     ranks = np.arange(1, flows + 1, dtype=np.float64)
     weights = ranks ** (-skew)
     return weights / weights.sum()
@@ -268,7 +273,7 @@ def generate_trace(config: SyntheticTraceConfig) -> Trace:
         raise ConfigurationError("packets and flows must be >= 1")
     rng = np.random.default_rng(config.seed)
     flow_cols = _draw_flow_table(rng, config.flows)
-    probs = _zipf_probabilities(config.flows, config.zipf_skew)
+    probs = zipf_probabilities(config.flows, config.zipf_skew)
 
     boundaries = sorted({0.0, config.duration}
                         | {e.time for e in config.change_events

@@ -343,3 +343,26 @@ def zipf_keys(rng, packets: int, flows: int = 1024, skew: float = 1.1,
     probs /= probs.sum()
     draws = rng.choice(flows, size=packets, p=probs)
     return (draws.astype(np.uint64) + np.uint64(key_base))
+
+
+def scenario_fleet_epochs(scenario, n_switches: int, seed: int = 0):
+    """Shard a workload scenario's epochs across a simulated fleet.
+
+    For each epoch of ``scenario`` (a
+    :class:`~repro.dataplane.scenarios.Scenario`), the packet key stream
+    is shuffled with a seeded RNG and split into ``n_switches``
+    near-equal shards — the traffic one switch of the fleet would see
+    that epoch.  Returns a list (per epoch) of lists (per switch) of
+    ``uint64`` key arrays.  Packet conservation holds by construction:
+    the shards of an epoch concatenate back to exactly that epoch's
+    stream, so the chaos suite's accounting invariants apply unchanged.
+    """
+    if n_switches < 1:
+        raise ConfigurationError(
+            f"n_switches must be >= 1, got {n_switches}")
+    rng = np.random.default_rng(seed)
+    epochs = []
+    for keys in scenario.epoch_keys():
+        shuffled = keys[rng.permutation(len(keys))]
+        epochs.append(np.array_split(shuffled, n_switches))
+    return epochs

@@ -1,0 +1,278 @@
+"""Scenario acceptance matrix: every workload scenario crossed with
+every headline statistic at the 256 KB budget.
+
+Each cell regenerates one scenario over the shared seed panel (the
+panels and their per-epoch sketches are memoised in ``conftest``, so
+the 28 cells share seven generation passes) and asserts the estimation
+error against a **per-scenario calibrated ceiling**.
+
+Calibration method (see DESIGN.md §12): the matrix was run once at the
+exact panel seeds and sketch parameters used here, the worst and median
+observed errors per cell recorded in ``CALIBRATION`` below, and every
+ceiling derived as ``1.8x`` the observed value.  Because 1.8 < 2, a
+regression that doubles any cell's error is guaranteed to trip its
+ceiling; ``TestCeilingSanity`` re-measures the matrix and proves both
+directions (pass-at-seed and trip-on-doubling) hold for the committed
+table, so a stale table fails loudly instead of going soft.
+
+Detection-rate cells (heavy hitters, churn coverage) frequently observe
+0.0, where "1.8x" is meaningless; they use a 0.15 floor instead, kept
+below 1/3 so that losing a third of the true set always trips.
+
+Run with ``pytest -m acceptance``.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from tests.acceptance.conftest import assert_ceiling, scenario_panel
+
+from repro.core.gsum import (
+    estimate_cardinality,
+    estimate_entropy,
+    g_core,
+    heavy_changes,
+)
+from repro.dataplane.scenarios import scenario_names
+from repro.eval.metrics import detection_rates, relative_error
+
+pytestmark = pytest.mark.acceptance
+
+ALL_SCENARIOS = scenario_names()
+
+ALPHA = 0.005     # heavy-hitter fraction (Fig 4's operating point)
+PHI = 0.03        # heavy-change fraction (Fig 6's operating point)
+MARGIN = 1.8      # ceiling = MARGIN x observed; < 2 so doubling trips
+RATE_FLOOR = 0.15 # detection-rate cells; < 1/3 so losing a third trips
+
+#: Observed (max, median) error per cell, measured at the panel seeds
+#: in ``conftest.PANEL_SEEDS`` with the 256 KB acceptance sketch.
+#: Regenerate with the matrix itself (``TestCeilingSanity`` prints the
+#: fresh numbers on failure).  Notes on the two outliers:
+#: - ``heavy_churn`` F0 max 0.53 is one unlucky (workload, hash-seed)
+#:   pair — the elephants hold ~37% of the stream and inflate the F0
+#:   estimator's variance; the same trace at another sketch seed reads
+#:   <= 0.22, and the median cell keeps the regression bound tight.
+#: - ``port_scan`` change-D ~0.45 is a systematic underestimate: the
+#:   scan-to-scan difference stream is 30k singleton deltas, the
+#:   worst case for the L1-of-difference estimator at this budget.
+CALIBRATION = {
+    "datamining_mix": dict(hh_fp=(0.0, 0.0), hh_fn=(0.0, 0.0),
+                           f0=(0.1688, 0.0956), entropy=(0.0304, 0.0178),
+                           change_d=(0.0765, 0.0256)),
+    "ddos_ramp": dict(hh_fp=(0.0435, 0.0), hh_fn=(0.0455, 0.0),
+                      f0=(0.1058, 0.0640), entropy=(0.0234, 0.0079),
+                      change_d=(0.0680, 0.0358)),
+    "flash_crowd": dict(hh_fp=(0.0, 0.0), hh_fn=(0.0435, 0.0),
+                        f0=(0.0883, 0.0687), entropy=(0.0097, 0.0065),
+                        change_d=(0.0949, 0.0074)),
+    "heavy_churn": dict(hh_fp=(0.0714, 0.0), hh_fn=(0.0, 0.0),
+                        f0=(0.5264, 0.1311), entropy=(0.0332, 0.0063),
+                        change_d=(0.0550, 0.0180)),
+    "keyspace_shift": dict(hh_fp=(0.0455, 0.0), hh_fn=(0.0455, 0.0),
+                           f0=(0.1469, 0.0514), entropy=(0.0189, 0.0054),
+                           change_d=(0.0348, 0.0200),
+                           window_f0=(0.1860, 0.0908)),
+    "port_scan": dict(hh_fp=(0.1250, 0.0), hh_fn=(0.0, 0.0),
+                      f0=(0.1960, 0.0932), entropy=(0.0086, 0.0040),
+                      change_d=(0.4776, 0.4537)),
+    "websearch_mix": dict(hh_fp=(0.0303, 0.0), hh_fn=(0.0, 0.0),
+                          f0=(0.2217, 0.1458), entropy=(0.0901, 0.0207),
+                          change_d=(0.0779, 0.0508)),
+}
+
+#: Which cells are detection rates (floor policy) vs relative errors.
+RATE_CELLS = frozenset({"hh_fp", "hh_fn"})
+
+
+def rate_ceiling(observed_max):
+    return max(MARGIN * observed_max, RATE_FLOOR)
+
+
+def relerr_ceilings(observed):
+    observed_max, observed_median = observed
+    return MARGIN * observed_max, MARGIN * observed_median
+
+
+# --------------------------------------------------------------------- #
+# measurement (shared by the cells and the sanity meta-test)
+# --------------------------------------------------------------------- #
+
+@functools.lru_cache(maxsize=None)
+def measure(name):
+    """Every cell statistic for one scenario, over the whole panel.
+
+    Returns ``{cell: [per-observation errors]}`` — one observation per
+    (panel seed, epoch) for single-epoch statistics, per (panel seed,
+    adjacent epoch pair) for change detection.
+    """
+    out = {"hh_fp": [], "hh_fn": [], "f0": [], "entropy": [],
+           "change_d": []}
+    for scenario, sketches in scenario_panel(name):
+        for e, (truth, sketch) in enumerate(zip(scenario.truths,
+                                                sketches)):
+            true_hh = truth.heavy_hitter_keys(ALPHA)
+            assert len(true_hh) >= 5, (name, e)  # task must be posed
+            reported = {k for k, _ in g_core(sketch, ALPHA)}
+            fp, fn = detection_rates(true_hh, reported)
+            out["hh_fp"].append(fp)
+            out["hh_fn"].append(fn)
+            out["f0"].append(relative_error(
+                estimate_cardinality(sketch), truth.distinct))
+            out["entropy"].append(relative_error(
+                estimate_entropy(sketch, base=2.0),
+                truth.entropy(base=2.0)))
+            if e > 0:
+                _, total = heavy_changes(sketch, sketches[e - 1], PHI)
+                out["change_d"].append(relative_error(
+                    total, truth.total_change(scenario.truths[e - 1])))
+    if name == "keyspace_shift":
+        out["window_f0"] = _measure_window_f0()
+    return out
+
+
+def _measure_window_f0():
+    """Sliding-window F0 on the shifting key space: merge the last
+    three epoch sketches (linearity; they share a seed) and compare
+    against the exact window union truth."""
+    errors = []
+    for scenario, sketches in scenario_panel("keyspace_shift"):
+        for end in range(2, scenario.n_epochs):
+            merged = sketches[end]
+            for e in range(end - 2, end):
+                merged = merged.merge(sketches[e])
+            errors.append(relative_error(
+                estimate_cardinality(merged),
+                scenario.window_truth(end, 3).distinct))
+    return errors
+
+
+# --------------------------------------------------------------------- #
+# the matrix: scenario x statistic
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+class TestScenarioMatrix:
+    def test_heavy_hitters(self, name):
+        m = measure(name)
+        cal = CALIBRATION[name]
+        assert_ceiling(m["hh_fp"], rate_ceiling(cal["hh_fp"][0]),
+                       label=f"{name}/hh_fp")
+        assert_ceiling(m["hh_fn"], rate_ceiling(cal["hh_fn"][0]),
+                       label=f"{name}/hh_fn")
+
+    def test_f0(self, name):
+        ceiling_max, ceiling_median = relerr_ceilings(
+            CALIBRATION[name]["f0"])
+        assert_ceiling(measure(name)["f0"], ceiling_max,
+                       label=f"{name}/f0", median_ceiling=ceiling_median)
+
+    def test_change_detection(self, name):
+        ceiling_max, ceiling_median = relerr_ceilings(
+            CALIBRATION[name]["change_d"])
+        assert_ceiling(measure(name)["change_d"], ceiling_max,
+                       label=f"{name}/change_d",
+                       median_ceiling=ceiling_median)
+
+    def test_entropy(self, name):
+        ceiling_max, ceiling_median = relerr_ceilings(
+            CALIBRATION[name]["entropy"])
+        assert_ceiling(measure(name)["entropy"], ceiling_max,
+                       label=f"{name}/entropy",
+                       median_ceiling=ceiling_median)
+
+
+class TestWindowedKeyspaceShift:
+    """The scenario built to stress the epoch-ring sliding window."""
+
+    def test_window_f0(self):
+        ceiling_max, ceiling_median = relerr_ceilings(
+            CALIBRATION["keyspace_shift"]["window_f0"])
+        assert_ceiling(measure("keyspace_shift")["window_f0"],
+                       ceiling_max, label="keyspace_shift/window_f0",
+                       median_ceiling=ceiling_median)
+
+
+# --------------------------------------------------------------------- #
+# detection events
+# --------------------------------------------------------------------- #
+
+class TestDetectionEvents:
+    def test_ddos_ramp_trips_f0_alarm(self):
+        """Every ramp epoch's F0 estimate must cross the midpoint
+        between the clean-epoch truth and that epoch's truth — and no
+        clean epoch may cross the lowest such alarm line."""
+        for scenario, sketches in scenario_panel("ddos_ramp"):
+            attack = scenario.events["attack_epochs"]
+            clean_epochs = [e for e in range(scenario.n_epochs)
+                            if e not in attack]
+            clean_truth = max(scenario.truths[e].distinct
+                              for e in clean_epochs)
+            thresholds = {
+                e: (clean_truth + scenario.truths[e].distinct) / 2.0
+                for e in attack}
+            for e in attack:
+                estimate = estimate_cardinality(sketches[e])
+                assert estimate > thresholds[e], (scenario.seed, e)
+            lowest = min(thresholds.values())
+            for e in clean_epochs:
+                estimate = estimate_cardinality(sketches[e])
+                assert estimate < lowest, (scenario.seed, e)
+
+    def test_churn_shows_in_heavy_changes(self):
+        """Between adjacent churn epochs, the rising and the fading
+        elephant cohorts must both appear among the reported heavy
+        changes (missing more than the rate floor's share trips)."""
+        misses = []
+        for scenario, sketches in scenario_panel("heavy_churn"):
+            elephants = scenario.events["elephants"]
+            for e in range(1, scenario.n_epochs):
+                changes, _ = heavy_changes(sketches[e], sketches[e - 1],
+                                           PHI)
+                reported = {k for k, _ in changes}
+                cohort = set(elephants[e]) | set(elephants[e - 1])
+                misses.append(len(cohort - reported) / len(cohort))
+        assert_ceiling(misses, RATE_FLOOR, label="heavy_churn/cohort_fn")
+
+
+# --------------------------------------------------------------------- #
+# ceiling sanity
+# --------------------------------------------------------------------- #
+
+class TestCeilingSanity:
+    """The meta-test the matrix's credibility rests on: the committed
+    calibration table must match what the panel measures *now*, every
+    ceiling must pass at seed, and every ceiling must trip if the
+    measured error doubles."""
+
+    def test_table_covers_matrix(self):
+        assert set(CALIBRATION) == set(ALL_SCENARIOS)
+        cells = sum(len(v) for v in CALIBRATION.values())
+        assert cells >= 20  # the acceptance bar: >= 20 matrix cells
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_pass_at_seed_and_trip_on_doubling(self, name):
+        m = measure(name)
+        for cell, observed in CALIBRATION[name].items():
+            values = m[cell]
+            measured_max = max(values)
+            measured_median = float(np.median(values))
+            fresh = (round(measured_max, 4), round(measured_median, 4))
+            if cell in RATE_CELLS:
+                ceiling = rate_ceiling(observed[0])
+                # Pass at seed; a lost third of the true set trips.
+                assert measured_max <= ceiling, (name, cell, fresh)
+                assert ceiling < 1.0 / 3.0, (name, cell)
+            else:
+                ceiling_max, ceiling_median = relerr_ceilings(observed)
+                assert measured_max <= ceiling_max, (name, cell, fresh)
+                assert measured_median <= ceiling_median, \
+                    (name, cell, fresh)
+                # Doubling the measured error must trip a ceiling —
+                # this is what keeps the table honest: if estimation
+                # improves, the table must be re-calibrated downward.
+                assert (2 * measured_max > ceiling_max
+                        or 2 * measured_median > ceiling_median), \
+                    (name, cell, "stale calibration; re-measure:", fresh)

@@ -11,7 +11,6 @@ a genuine regression in estimation quality — not an unlucky seed.  Run
 with ``pytest -m acceptance`` (excluded from the default test run).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.gsum import (
@@ -27,19 +26,21 @@ from repro.dataplane.trace import (
     generate_epoch_pair,
     generate_trace,
 )
-from repro.eval.experiments import DEFAULT_WORKLOAD, _univmon_for
+from repro.eval.experiments import DEFAULT_WORKLOAD
 from repro.eval.groundtruth import GroundTruth
 from repro.eval.metrics import detection_rates, relative_error
+
+from tests.acceptance.conftest import MEMORY_BYTES, assert_ceiling, \
+    build_sketch
 
 pytestmark = pytest.mark.acceptance
 
 WORKLOAD = DEFAULT_WORKLOAD          # 30k packets, 5k flows, skew 1.1
-MEMORY_BYTES = 256 * 1024            # mid-range point of the paper sweep
 SEEDS = (1000, 1001, 1002, 1003, 1004)
 
 
 def _sketch(seed):
-    return _univmon_for(MEMORY_BYTES, WORKLOAD.flows, seed=seed)
+    return build_sketch(seed, flows=WORKLOAD.flows)
 
 
 class TestHeavyHitters:
@@ -63,10 +64,10 @@ class TestHeavyHitters:
             fp, fn = detection_rates(true_hh, reported)
             fps.append(fp)
             fns.append(fn)
-        assert max(fps) <= self.FP_CEILING, fps
-        assert max(fns) <= self.FN_CEILING, fns
-        assert float(np.median(fps)) <= 0.05
-        assert float(np.median(fns)) <= 0.05
+        assert_ceiling(fps, self.FP_CEILING, label="hh/fp",
+                       median_ceiling=0.05)
+        assert_ceiling(fns, self.FN_CEILING, label="hh/fn",
+                       median_ceiling=0.05)
 
 
 class TestDDoSDistinctSources:
@@ -99,8 +100,8 @@ class TestDDoSDistinctSources:
                     estimate, epoch.distinct(src_ip_key)))
                 # Every epoch must land on the right side of the alarm.
                 assert (estimate > threshold) == is_attack, (seed, is_attack)
-        assert max(errors) <= self.ERR_CEILING, errors
-        assert float(np.median(errors)) <= self.MEDIAN_CEILING
+        assert_ceiling(errors, self.ERR_CEILING, label="ddos/f0",
+                       median_ceiling=self.MEDIAN_CEILING)
 
 
 class TestChangeDetection:
@@ -123,8 +124,10 @@ class TestChangeDetection:
             true_changes = truth_b.heavy_change_keys(truth_a, self.PHI)
             assert len(true_changes) >= 2
             half = MEMORY_BYTES // 2
-            sketch_a = _univmon_for(half, WORKLOAD.flows, seed=seed + 17)
-            sketch_b = _univmon_for(half, WORKLOAD.flows, seed=seed + 17)
+            sketch_a = build_sketch(seed + 17, flows=WORKLOAD.flows,
+                                    memory_bytes=half)
+            sketch_b = build_sketch(seed + 17, flows=WORKLOAD.flows,
+                                    memory_bytes=half)
             sketch_a.update_array(epoch_a.key_array(src_ip_key))
             sketch_b.update_array(epoch_b.key_array(src_ip_key))
             changes, _total = heavy_changes(sketch_b, sketch_a, self.PHI)
@@ -132,10 +135,10 @@ class TestChangeDetection:
                                      {k for k, _ in changes})
             fps.append(fp)
             fns.append(fn)
-        assert max(fps) <= self.FP_CEILING, fps
-        assert max(fns) <= self.FN_CEILING, fns
-        assert float(np.median(fps)) == 0.0
-        assert float(np.median(fns)) == 0.0
+        assert_ceiling(fps, self.FP_CEILING, label="change/fp",
+                       median_ceiling=0.0)
+        assert_ceiling(fns, self.FN_CEILING, label="change/fn",
+                       median_ceiling=0.0)
 
 
 class TestEntropy:
@@ -152,8 +155,8 @@ class TestEntropy:
             sketch.update_array(trace.key_array(src_ip_key))
             estimate = estimate_entropy(sketch, base=2.0)
             errors.append(relative_error(estimate, truth.entropy(base=2.0)))
-        assert max(errors) <= self.ERR_CEILING, errors
-        assert float(np.median(errors)) <= 0.02
+        assert_ceiling(errors, self.ERR_CEILING, label="entropy",
+                       median_ceiling=0.02)
 
 
 class TestBatchedQueryPath:
@@ -195,7 +198,9 @@ class TestBatchedQueryPath:
                 results["cardinality"], trace.distinct(src_ip_key)))
             h_errors.append(relative_error(
                 results["entropy"], truth.entropy(base=2.0)))
-        assert max(fps) <= self.FP_CEILING, fps
-        assert max(fns) <= self.FN_CEILING, fns
-        assert max(f0_errors) <= self.F0_ERR_CEILING, f0_errors
-        assert max(h_errors) <= self.ENTROPY_ERR_CEILING, h_errors
+        assert_ceiling(fps, self.FP_CEILING, label="batched/fp")
+        assert_ceiling(fns, self.FN_CEILING, label="batched/fn")
+        assert_ceiling(f0_errors, self.F0_ERR_CEILING,
+                       label="batched/f0")
+        assert_ceiling(h_errors, self.ENTROPY_ERR_CEILING,
+                       label="batched/entropy")

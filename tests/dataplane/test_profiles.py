@@ -48,6 +48,21 @@ class TestProfiles:
         assert distinct["ixp"] > distinct["backbone"] > \
             distinct["enterprise"]
 
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    @pytest.mark.parametrize("duration", [0.01, 0.05, 0.5, 5.0])
+    def test_flows_never_exceed_packets(self, name, duration):
+        """Regression: sublinear flow scaling (sqrt of the duration
+        scale) crossed the linear packet scaling for tiny durations —
+        profile("ixp", duration=0.01) asked for 537 flows over 60
+        packets, which the generator cannot honour."""
+        config = profile(name, duration=duration)
+        assert config.flows <= config.packets
+        assert config.flows >= 1
+
+    def test_tiny_duration_generates(self):
+        trace = generate_trace(profile("ixp", duration=0.01, seed=2))
+        assert len(trace) > 0
+
     def test_base_profiles_are_immutable(self):
         before = PROFILES["backbone"].packets
         profile("backbone", duration=50.0)

@@ -1,0 +1,261 @@
+"""Property tests for the workload scenario library.
+
+Three families, per ISSUE: seeded determinism (same (name, seed, scale)
+-> bit-identical traces and truths), ground-truth self-consistency (the
+generator's reported per-key counts must equal a ``collections.Counter``
+over the packets it actually emitted), and CDF-sampler moment checks
+against the analytic mean.  These are what let the acceptance matrix
+trust the reported ground truth.
+"""
+
+import collections
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.dataplane.keys import src_ip_key
+from repro.dataplane.scenarios import (
+    DATAMINING_CDF,
+    WEBSEARCH_CDF,
+    EpochTruth,
+    FlowSizeCDF,
+    SCENARIOS,
+    make_scenario,
+    scenario_names,
+)
+
+ALL_SCENARIOS = scenario_names()
+
+#: Small-scale builds shared across the suite (session-scoped: every
+#: scenario is built once, several tests inspect it).
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return {name: make_scenario(name, seed=7, scale=SCALE)
+            for name in ALL_SCENARIOS}
+
+
+# --------------------------------------------------------------------- #
+# CDF sampler
+# --------------------------------------------------------------------- #
+
+class TestFlowSizeCDF:
+    @pytest.mark.parametrize("cdf", [WEBSEARCH_CDF, DATAMINING_CDF],
+                             ids=lambda c: c.name)
+    def test_sample_mean_matches_analytic(self, cdf):
+        """Empirical mean of a large sample converges on the analytic
+        ``sum p_i * s_i`` (within 5 sigma of the CLT standard error)."""
+        rng = np.random.default_rng(123)
+        n = 200_000
+        sample = cdf.sample(rng, n)
+        var = float(cdf.probs @ (cdf.sizes - cdf.mean()) ** 2)
+        stderr = math.sqrt(var / n)
+        assert abs(float(sample.mean()) - cdf.mean()) < 5 * stderr
+
+    @pytest.mark.parametrize("cdf", [WEBSEARCH_CDF, DATAMINING_CDF],
+                             ids=lambda c: c.name)
+    def test_sample_support(self, cdf):
+        rng = np.random.default_rng(5)
+        sample = cdf.sample(rng, 50_000)
+        assert set(np.unique(sample)) <= set(cdf.sizes.tolist())
+        assert sample.min() >= 1
+
+    @pytest.mark.parametrize("cdf", [WEBSEARCH_CDF, DATAMINING_CDF],
+                             ids=lambda c: c.name)
+    def test_sample_probabilities(self, cdf):
+        """Per-size frequencies land within 5 sigma of the table."""
+        rng = np.random.default_rng(99)
+        n = 200_000
+        sample = cdf.sample(rng, n)
+        for prob, size in zip(cdf.probs, cdf.sizes):
+            observed = float((sample == size).mean())
+            stderr = math.sqrt(prob * (1 - prob) / n)
+            assert abs(observed - prob) < 5 * stderr + 1e-9
+
+    def test_sample_total_exact_budget(self):
+        rng = np.random.default_rng(3)
+        for target in (1, 17, 5_000, 60_000):
+            sizes = DATAMINING_CDF.sample_total(rng, target)
+            assert int(sizes.sum()) == target
+            assert sizes.min() >= 1
+
+    def test_rejects_bad_tables(self):
+        with pytest.raises(ConfigurationError):
+            FlowSizeCDF("empty", [])
+        with pytest.raises(ConfigurationError):
+            FlowSizeCDF("non-ascending", [(0.5, 1), (0.4, 2), (1.0, 3)])
+        with pytest.raises(ConfigurationError):
+            FlowSizeCDF("short", [(0.5, 1), (0.9, 2)])
+        with pytest.raises(ConfigurationError):
+            FlowSizeCDF("zero-size", [(0.5, 0), (1.0, 2)])
+
+
+# --------------------------------------------------------------------- #
+# EpochTruth
+# --------------------------------------------------------------------- #
+
+class TestEpochTruth:
+    def test_aggregates_duplicates_and_drops_zeros(self):
+        truth = EpochTruth(np.array([5, 3, 5, 9], dtype=np.uint64),
+                           np.array([2, 4, 1, 0], dtype=np.int64))
+        assert truth.counter() == {3: 4, 5: 3}
+        assert truth.distinct == 2
+        assert truth.packets == 7
+
+    def test_entropy_uniform_and_point_mass(self):
+        uniform = EpochTruth(np.arange(8, dtype=np.uint64),
+                             np.ones(8, dtype=np.int64))
+        assert uniform.entropy() == pytest.approx(3.0)
+        point = EpochTruth(np.array([1], dtype=np.uint64),
+                           np.array([100], dtype=np.int64))
+        assert point.entropy() == pytest.approx(0.0)
+
+    def test_heavy_change_matches_manual_l1(self):
+        a = EpochTruth(np.array([1, 2, 3], dtype=np.uint64),
+                       np.array([100, 10, 10], dtype=np.int64))
+        b = EpochTruth(np.array([2, 3, 4], dtype=np.uint64),
+                       np.array([10, 110, 50], dtype=np.int64))
+        # deltas: 1:-100, 2:0, 3:+100, 4:+50 -> D = 250
+        assert b.total_change(a) == 250
+        assert b.heavy_change_keys(a, phi=0.3) == {1, 3}
+        assert b.heavy_change_keys(a, phi=0.15) == {1, 3, 4}
+
+    def test_merged_is_union_of_counts(self):
+        a = EpochTruth(np.array([1, 2], dtype=np.uint64),
+                       np.array([5, 7], dtype=np.int64))
+        b = EpochTruth(np.array([2, 3], dtype=np.uint64),
+                       np.array([1, 4], dtype=np.int64))
+        assert EpochTruth.merged([a, b]).counter() == {1: 5, 2: 8, 3: 4}
+
+
+# --------------------------------------------------------------------- #
+# scenario properties
+# --------------------------------------------------------------------- #
+
+class TestScenarioProperties:
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_seeded_determinism(self, name, scenarios):
+        """Same (name, seed, scale) -> bit-identical trace and truths."""
+        first = scenarios[name]
+        second = make_scenario(name, seed=7, scale=SCALE)
+        np.testing.assert_array_equal(first.trace.timestamps,
+                                      second.trace.timestamps)
+        np.testing.assert_array_equal(first.trace.src, second.trace.src)
+        np.testing.assert_array_equal(first.trace.dst, second.trace.dst)
+        np.testing.assert_array_equal(first.trace.sport,
+                                      second.trace.sport)
+        assert first.events == second.events
+        for t1, t2 in zip(first.truths, second.truths):
+            np.testing.assert_array_equal(t1.keys, t2.keys)
+            np.testing.assert_array_equal(t1.counts, t2.counts)
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_different_seeds_differ(self, name, scenarios):
+        other = make_scenario(name, seed=8, scale=SCALE)
+        assert not np.array_equal(scenarios[name].trace.src, other.trace.src)
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_truth_matches_counter_over_emitted_packets(self, name,
+                                                        scenarios):
+        """The load-bearing property: reported ground truth equals a
+        Counter over the packets each epoch slice actually contains."""
+        scenario = scenarios[name]
+        epoch_traces = scenario.epoch_traces()
+        assert len(epoch_traces) == scenario.n_epochs
+        for trace, truth in zip(epoch_traces, scenario.truths):
+            counted = collections.Counter(
+                int(k) for k in trace.key_array(src_ip_key))
+            assert dict(counted) == truth.counter()
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_epoch_slices_cover_trace(self, name, scenarios):
+        scenario = scenarios[name]
+        assert sum(len(t) for t in scenario.epoch_traces()) == \
+            len(scenario.trace)
+        assert sum(t.packets for t in scenario.truths) == \
+            len(scenario.trace)
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_timestamps_sorted_and_bounded(self, name, scenarios):
+        scenario = scenarios[name]
+        ts = scenario.trace.timestamps
+        assert np.all(np.diff(ts) >= 0)
+        assert ts[0] >= 0.0
+        assert ts[-1] < scenario.n_epochs * scenario.epoch_seconds
+
+    def test_scale_shrinks_volume(self):
+        small = make_scenario("ddos_ramp", seed=1, scale=0.1)
+        large = make_scenario("ddos_ramp", seed=1, scale=0.4)
+        assert len(small.trace) < len(large.trace) / 2
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scenario("slowloris")
+        with pytest.raises(ConfigurationError):
+            make_scenario("ddos_ramp", scale=0.0)
+
+    def test_registry_descriptions(self):
+        for name, spec in SCENARIOS.items():
+            assert spec.name == name
+            assert spec.description
+
+
+# --------------------------------------------------------------------- #
+# scenario-specific structure
+# --------------------------------------------------------------------- #
+
+class TestScenarioStructure:
+    def test_ddos_ramp_f0_ramps(self, scenarios):
+        scenario = scenarios["ddos_ramp"]
+        attack = scenario.events["attack_epochs"]
+        baseline = scenario.truths[0].distinct
+        previous = baseline
+        for epoch in attack:
+            distinct = scenario.truths[epoch].distinct
+            assert distinct > previous  # strictly ramping
+            previous = distinct
+        assert previous > 2 * baseline
+
+    def test_flash_crowd_entropy_drops(self, scenarios):
+        scenario = scenarios["flash_crowd"]
+        clean = scenario.truths[0].entropy()
+        for epoch in scenario.events["crowd_epochs"]:
+            assert scenario.truths[epoch].entropy() < clean - 0.5
+
+    def test_port_scan_distinct_explosion(self, scenarios):
+        scenario = scenarios["port_scan"]
+        clean = scenario.truths[0]
+        for epoch in scenario.events["scan_epochs"]:
+            scan = scenario.truths[epoch]
+            assert scan.distinct > 3 * clean.distinct
+            # low volume: packets grow far less than distinct sources
+            assert scan.packets < 2 * clean.packets
+
+    def test_heavy_churn_elephants_are_heavy_changes(self, scenarios):
+        scenario = scenarios["heavy_churn"]
+        elephants = scenario.events["elephants"]
+        for epoch in range(1, scenario.n_epochs):
+            truth = scenario.truths[epoch].heavy_change_keys(
+                scenario.truths[epoch - 1], phi=0.03)
+            rising = set(elephants[epoch])
+            fading = set(elephants[epoch - 1])
+            assert rising <= truth
+            assert fading <= truth
+
+    def test_keyspace_shift_window_union_grows(self, scenarios):
+        scenario = scenarios["keyspace_shift"]
+        single = scenario.truths[2].distinct
+        window = scenario.window_truth(2, window=3).distinct
+        # 50% overlap per step: a 3-epoch union is ~2x one epoch.
+        assert window > 1.5 * single
+
+    @pytest.mark.parametrize("name", ["websearch_mix", "datamining_mix"])
+    def test_mix_epochs_hit_packet_budget(self, name, scenarios):
+        scenario = scenarios[name]
+        packets = [t.packets for t in scenario.truths]
+        # proportional rescale + mice clamping: within 10% of nominal
+        assert max(packets) < 1.1 * min(packets)

@@ -15,7 +15,10 @@ test-network-scale`` runs it under the SIGALRM watchdog.
 import numpy as np
 import pytest
 
-from repro.network.faults import SimLink, SimulatedSwitch, zipf_keys
+from repro.controlplane.apps.base import MonitoringApp
+from repro.dataplane.scenarios import make_scenario
+from repro.network.faults import SimLink, SimulatedSwitch, \
+    scenario_fleet_epochs, zipf_keys
 from repro.network.hierarchy import HierarchicalCoordinator, \
     ResiliencePolicy
 from repro.core.universal import UniversalSketch
@@ -36,7 +39,7 @@ def factory():
 class ChaosRun:
     """One fully seeded run of the acceptance scenario."""
 
-    def __init__(self, seed=1234):
+    def __init__(self, seed=1234, factory=factory):
         self.names = [f"sw{i:03d}" for i in range(N_SWITCHES)]
         self.switches = {n: SimulatedSwitch(n, factory)
                          for n in self.names}
@@ -169,3 +172,56 @@ class TestChaosAtScale:
         assert drops > 0
         # with 6 attempts at p=0.3, nearly every switch still answers
         assert cov["coverage"] > 0.95
+
+
+class _CardinalityApp(MonitoringApp):
+    name = "f0"
+
+    def on_sketch(self, sketch, epoch_index):
+        return {"estimate": sketch.cardinality()}
+
+
+class TestDDoSRampFleet:
+    """Smoke variant: the DDoS-ramp scenario sharded across the same
+    200-switch tree, with lossy links, asserting the coordinator keeps
+    publishing correct coverage during the attack — and that the attack
+    is still *visible* at the root (the F0 ramp survives aggregation)."""
+
+    def test_ramp_visible_through_lossy_tree(self):
+        scenario = make_scenario("ddos_ramp", seed=21, scale=0.25)
+        shards = scenario_fleet_epochs(scenario, N_SWITCHES, seed=21)
+        # The default chaos factory (4 levels, heap 8) saturates near
+        # F0 ~ 150; distinguishing a few thousand attack sources needs
+        # an F0-capable geometry, still small enough for 200 merges.
+        run = ChaosRun(seed=4321, factory=lambda: UniversalSketch(
+            levels=10, rows=2, width=256, heap_size=32, seed=9))
+        run.coord.register(_CardinalityApp())
+        estimates = []
+        for epoch, epoch_shards in enumerate(shards):
+            for name, shard in zip(run.names, epoch_shards):
+                run.fed += run.switches[name].feed(shard)
+            report = run.coord.run_epoch()
+            cov = report.results["coverage"]
+            run.lost_in_flight += cov["lost_in_flight_packets"]
+            run.root_packets += report.packets
+            # publishes every epoch, with arithmetically correct coverage
+            assert cov["status"] in ("published", "published_degraded")
+            assert cov["switches_covered"] == \
+                N_SWITCHES - len(cov["missing_switches"])
+            assert cov["coverage"] == pytest.approx(
+                cov["switches_covered"] / N_SWITCHES)
+            run.assert_conserved()
+            # conservation: the root merge saw exactly this epoch's keys
+            assert report.packets == scenario.truths[epoch].packets
+            estimates.append(report.results["f0"]["estimate"])
+        # The ramp must read as an F0 explosion at the root.  The small
+        # fleet geometry underestimates uniformly, so the alarm compares
+        # attack-epoch estimates against the clean-epoch *estimates*
+        # (the operational baseline), not against exact truth.
+        clean = max(estimates[e] for e in (0, 1))
+        previous = clean
+        for e in scenario.events["attack_epochs"]:
+            assert estimates[e] > 1.3 * clean, (e, estimates)
+            assert estimates[e] > previous, (e, estimates)  # still ramping
+            previous = estimates[e]
+        assert estimates[4] > 2 * clean, estimates

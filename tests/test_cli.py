@@ -99,6 +99,55 @@ class TestRun:
         assert "cardinality:" in sharded
 
 
+class TestScenarioRun:
+    def test_run_scenario_end_to_end(self, capsys):
+        code = main(["run", "--scenario", "ddos_ramp", "--scale", "0.1",
+                     "--tasks", "cardinality,entropy",
+                     "--memory-kb", "64"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scenario 'ddos_ramp'" in output
+        assert "epoch 0" in output and "epoch 4" in output
+        assert "cardinality:" in output
+
+    def test_scenario_and_trace_are_exclusive(self, tmp_path, capsys):
+        out = tmp_path / "trace.csv"
+        main(["generate", "--out", str(out), "--packets", "100",
+              "--flows", "10"])
+        capsys.readouterr()
+        assert main(["run", "--trace", str(out),
+                     "--scenario", "ddos_ramp"]) == 2
+        assert main(["run"]) == 2
+
+    def test_scenario_list(self, capsys):
+        assert main(["run", "--scenario", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("ddos_ramp", "port_scan", "websearch_mix"):
+            assert name in output
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["run", "--scenario", "slowloris"]) == 2
+
+    def test_generate_scenario_csv(self, tmp_path, capsys):
+        out = tmp_path / "scan.csv"
+        assert main(["generate", "--out", str(out),
+                     "--scenario", "port_scan", "--scale", "0.05",
+                     "--seed", "3"]) == 0
+        from repro.dataplane.csvtrace import load_csv
+        trace = load_csv(out)
+        assert len(trace) > 0
+
+    def test_scenario_determinism_across_invocations(self, tmp_path):
+        paths = []
+        for tag in ("a", "b"):
+            out = tmp_path / f"{tag}.csv"
+            assert main(["generate", "--out", str(out), "--scenario",
+                         "heavy_churn", "--scale", "0.05",
+                         "--seed", "11"]) == 0
+            paths.append(out)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
 class TestExperimentCommand:
     def test_quick_fig7(self, capsys):
         assert main(["experiment", "fig7", "--quick"]) == 0
