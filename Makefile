@@ -3,8 +3,9 @@
 PYTHON ?= python
 
 .PHONY: install test test-network test-network-scale test-acceptance \
-        test-parallel test-scenarios coverage bench bench-quick bench-query \
-        bench-network bench-parallel bench-smoke results examples lint clean
+        test-parallel test-scenarios test-detect coverage bench bench-quick \
+        bench-query bench-network bench-parallel bench-smoke results \
+        examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -55,6 +56,19 @@ test-scenarios:
 	REPRO_TEST_TIMEOUT=120 PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest tests/network/test_chaos_scale.py -q \
 	    -m scale -o addopts='' -k DDoSRampFleet
+
+# Detection-pipeline suites: the rule grammar, state machine, and
+# pipeline unit tests, the zoom hold-down regressions the pipeline
+# flushed out, and the detection acceptance cell over the scenario
+# matrix (attack scenarios CONFIRMED on every hot epoch with
+# ground-truth key recovery; clean scenarios stay IDLE on both panel
+# seeds).
+test-detect:
+	PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest tests/detect tests/network/test_zoom.py -q
+	PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest tests/acceptance/test_detect.py -q \
+	    -m acceptance -o addopts=''
 
 # Sharded multi-process ingest suite: shard/merge exactness, crash and
 # stall handling, degradation paths, under both fork and spawn start
@@ -124,16 +138,20 @@ bench-parallel:
 # the network collection path.  The scenario suites ride along too
 # (test-scenarios prerequisite + the per-scenario ingest/error bench),
 # so a degraded scenario ceiling or a broken scenario generator blocks
-# the smoke as well.
+# the smoke as well.  The detection suites (test-detect prerequisite +
+# the rule-eval overhead floor in bench_detect.py) gate the detection
+# pipeline the same way.
 bench-smoke: test-network test-network-scale test-acceptance \
-             test-parallel test-scenarios coverage
+             test-parallel test-scenarios test-detect coverage
 	REPRO_BENCH_QUICK=1 PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest benchmarks/bench_throughput.py \
 	    benchmarks/bench_query_latency.py \
 	    benchmarks/bench_network_scale.py \
-	    benchmarks/bench_scenarios.py -q -s \
+	    benchmarks/bench_scenarios.py \
+	    benchmarks/bench_detect.py -q -s \
 	    -k "speedup or batch_ingest or crossover or matches or snapshot \
-	        or bytes_on_wire or merge_time or cumulative or scenario_ingest"
+	        or bytes_on_wire or merge_time or cumulative or scenario_ingest \
+	        or rule_eval"
 
 results:
 	$(PYTHON) benchmarks/collect_results.py

@@ -43,6 +43,7 @@ JSON_SOURCES = {
     "bench-query": "BENCH_query.json",
     "bench-network": "BENCH_network.json",
     "bench-scenarios": "BENCH_scenarios.json",
+    "bench-detect": "BENCH_detect.json",
 }
 
 _MARKER = re.compile(

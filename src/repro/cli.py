@@ -27,6 +27,11 @@ Subcommands
   (``hh:0.005,entropy,moment:1.5,...``) against one sealed sketch — from
   a local trace or polled off a running agent — in a single snapshot
   pass through the vectorised query engine.
+- ``detect`` — run the programmable detection pipeline over a trace or
+  library scenario: declarative rules (built-in set, or a TOML/JSON spec
+  via ``--rules``) evaluated per sealed epoch, with per-rule state
+  machines and zoom/key-recovery actions; ``--json`` emits the
+  structured detection events.
 """
 
 from __future__ import annotations
@@ -227,6 +232,39 @@ def _add_query(sub: argparse._SubParsersAction) -> None:
     _add_retry_options(p)
 
 
+def _add_detect(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "detect",
+        help="run the programmable detection pipeline over a trace")
+    p.add_argument("--trace", default=None,
+                   help="input .csv or .pcap trace (or use --scenario)")
+    p.add_argument("--scenario", default=None, metavar="NAME",
+                   help="run a named workload scenario instead of a "
+                        "trace file (`--scenario help` lists them)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="scenario seed (with --scenario)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="scenario size multiplier (with --scenario)")
+    p.add_argument("--rules", default=None, metavar="PATH",
+                   help="rule spec (.toml or .json with a [[rules]] "
+                        "list); default: the built-in rule set")
+    p.add_argument("--epoch", type=float, default=5.0,
+                   help="polling interval in seconds")
+    p.add_argument("--memory-kb", type=int, default=256,
+                   help="sketch memory budget per epoch")
+    p.add_argument("--key", default="src_ip",
+                   choices=["src_ip", "dst_ip", "src_dst", "five_tuple"])
+    p.add_argument("--recover-fraction", type=float, default=0.08,
+                   help="key-recovery threshold as a share of epoch "
+                        "packets")
+    p.add_argument("--json", action="store_true",
+                   help="print the run as one JSON object (per-epoch "
+                        "states + structured detection events)")
+    p.add_argument("--metrics-json", default=None, metavar="PATH",
+                   help="collect metrics during the run and write a JSON "
+                        "registry snapshot to PATH")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="univmon",
@@ -243,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_coordinate(sub)
     _add_metrics(sub)
     _add_query(sub)
+    _add_detect(sub)
     return parser
 
 
@@ -650,6 +689,101 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_detect(args: argparse.Namespace) -> int:
+    return _with_metrics_json(args.metrics_json,
+                              lambda: _detect_monitor(args))
+
+
+def _detect_monitor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.controlplane.controller import Controller
+    from repro.dataplane.keys import KEY_FUNCTIONS
+    from repro.dataplane.packet import format_ipv4
+    from repro.detect import DetectionPipeline, default_rules, load_rules
+    from repro.core.universal import UniversalSketch
+
+    if (args.trace is None) == (args.scenario is None):
+        print("detect needs exactly one input: --trace PATH or "
+              "--scenario NAME", file=sys.stderr)
+        return 2
+    if args.scenario is not None:
+        scenario, code = _scenario_or_exit_code(args.scenario, args.seed,
+                                                args.scale)
+        if scenario is None:
+            return code
+        trace = scenario.trace
+        if not args.json:
+            print(f"scenario {scenario.name!r} (seed {scenario.seed}): "
+                  f"{len(trace)} packets over {scenario.n_epochs} "
+                  f"{scenario.epoch_seconds:.0f}s epochs — "
+                  f"{scenario.description}")
+    else:
+        trace = _load_trace(args.trace)
+    try:
+        rules = load_rules(args.rules) if args.rules is not None \
+            else default_rules()
+        pipeline = DetectionPipeline(
+            rules, recover_fraction=args.recover_fraction)
+    except (ConfigurationError, OSError, ValueError) as exc:
+        print(f"bad rules: {exc}", file=sys.stderr)
+        return 2
+    budget = args.memory_kb * 1024
+    factory = lambda: UniversalSketch.for_memory_budget(  # noqa: E731
+        budget, levels=12, rows=5, heap_size=64, seed=1)
+    controller = Controller(sketch_factory=factory,
+                            key_function=KEY_FUNCTIONS[args.key],
+                            epoch_seconds=args.epoch)
+    controller.register(pipeline)
+    try:
+        reports = controller.run_trace(trace)
+    finally:
+        controller.close()
+
+    if args.json:
+        payload = {
+            "rules": [{"name": r.name, "when": r.when,
+                       "confirm_epochs": r.confirm_epochs,
+                       "cooldown_epochs": r.cooldown_epochs,
+                       "actions": list(r.actions)} for r in rules],
+            "epochs": [{"epoch": rep.epoch_index,
+                        "packets": rep.packets,
+                        "states": rep["detect"]["states"],
+                        "alerting": rep["detect"]["alerting"]}
+                       for rep in reports],
+            "events": [event.to_dict() for event in pipeline.events],
+            "final_states": {name: state.value for name, state
+                             in pipeline.states().items()},
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    for rep in reports:
+        result = rep["detect"]
+        states = " ".join(f"{name}={state}" for name, state
+                          in sorted(result["states"].items()))
+        print(f"epoch {rep.epoch_index} ({rep.packets} pkts): {states}")
+        for event in result["events"]:
+            if event["from"] != event["to"]:
+                print(f"  {event['rule']}: {event['from']} -> "
+                      f"{event['to']} [{event['condition']}]")
+            for rec in event["recovered_keys"][:8]:
+                print(f"    recovered {rec['feature']}/{rec['stream']}: "
+                      f"{format_ipv4(rec['key'])} "
+                      f"(~{rec['estimate']:.0f} pkts)")
+            if event["zoom_regions"]:
+                regions = ", ".join(
+                    f"{format_ipv4(value)}/{plen}"
+                    for value, plen in event["zoom_regions"][:6])
+                print(f"    zoomed: {regions}")
+    alerted = sorted({event.rule for event in pipeline.events
+                      if event.state_to == "confirmed"})
+    print(f"rules confirmed during the run: "
+          f"{', '.join(alerted) or '(none)'}")
+    return 0
+
+
 def _cmd_coordinate(args: argparse.Namespace) -> int:
     return _with_metrics_json(args.metrics_json,
                               lambda: _coordinate_loop(args))
@@ -768,6 +902,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_metrics(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "detect":
+        return _cmd_detect(args)
     return 2
 
 

@@ -29,10 +29,10 @@ class ChangeDetectionApp(MonitoringApp):
 
     def on_sketch(self, sketch, epoch_index: int) -> Dict[str, Any]:
         if self._previous is None:
-            self._previous = sketch
+            self._previous = self._retain(sketch)
             return {"changes": [], "total_change": 0.0, "ready": False}
         changes, total = heavy_changes(sketch, self._previous, self.phi)
-        self._previous = sketch
+        self._previous = self._retain(sketch)
         return {
             "phi": self.phi,
             "changes": changes,
@@ -40,6 +40,19 @@ class ChangeDetectionApp(MonitoringApp):
             "total_change": total,
             "ready": True,
         }
+
+    @staticmethod
+    def _retain(sketch):
+        """Defensive snapshot of the epoch sketch.
+
+        Holding the live object is an aliasing hazard: if the host
+        mutates (or recycles) the sealed sketch after the epoch, the
+        next difference is silently computed against corrupted state.
+        Duck-typed sketches without ``copy()`` are kept as-is — the
+        legacy behaviour, at the caller's own risk.
+        """
+        copy = getattr(sketch, "copy", None)
+        return copy() if copy is not None else sketch
 
     def reset(self) -> None:
         self._previous = None

@@ -114,8 +114,9 @@ class Controller:
         reg.gauge("univmon_epoch_packets",
                   help="packets in the last sealed epoch").set(
                       len(epoch_trace))
-        t0 = float(epoch_trace.timestamps[0]) if len(epoch_trace) else 0.0
-        t1 = float(epoch_trace.timestamps[-1]) if len(epoch_trace) else 0.0
+        # min/max, not [0]/[-1]: traces are not guaranteed time-sorted.
+        t0 = float(epoch_trace.timestamps.min()) if len(epoch_trace) else 0.0
+        t1 = float(epoch_trace.timestamps.max()) if len(epoch_trace) else 0.0
         report = EpochReport(epoch_index=epoch_index, start_time=t0,
                              end_time=t1, packets=len(epoch_trace))
         if self._apps:
@@ -123,6 +124,14 @@ class Controller:
             # app below reads the sealed (immutable-from-here) sketch, so
             # they all share this build via the version-guarded cache.
             QueryEngine(sealed).warm()
+        for app in self._apps:
+            # Trace-aware apps (e.g. the detection pipeline, which feeds
+            # zoom and reversible sketches from raw packets) get the
+            # epoch's trace before estimation; sketch-only apps don't
+            # implement the hook.
+            observe = getattr(app, "observe_trace", None)
+            if observe is not None:
+                observe(epoch_trace)
         for app in self._apps:
             with reg.span("univmon_app_seconds",
                           help="per-app estimation latency",

@@ -14,6 +14,7 @@ the monotone ``g`` upper-bounded by ``O(f**2)``.  This module provides
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -222,8 +223,14 @@ def require_stream_polylog(g: GFunction) -> None:
             f"polylogarithmic-space universal estimate exists for it")
 
 
+@functools.lru_cache(maxsize=64)
 def make_moment(p: float) -> GFunction:
-    """``g(x) = x**p``.  Only ``0 <= p <= 2`` is Stream-PolyLog."""
+    """``g(x) = x**p``.  Only ``0 <= p <= 2`` is Stream-PolyLog.
+
+    Memoised: repeated requests for the same order share one (immutable)
+    GFunction, so downstream identity-keyed caches — the Stream-PolyLog
+    validation cache, a snapshot's per-g values — hit across epochs.
+    """
     if p < 0:
         raise NotSketchableError(f"negative moments (p={p}) are out of scope")
 

@@ -90,7 +90,8 @@ class QuerySnapshot:
     """
 
     __slots__ = ("keys", "weights", "mags", "factors", "total_weight",
-                 "deepest", "version")
+                 "deepest", "version", "_flat_mags", "_level_offsets",
+                 "_gsum_coeffs")
 
     def __init__(self, keys: List[np.ndarray], weights: List[np.ndarray],
                  factors: List[np.ndarray], total_weight: float,
@@ -102,6 +103,9 @@ class QuerySnapshot:
         self.total_weight = total_weight
         self.deepest = len(keys) - 1
         self.version = version
+        self._flat_mags: Optional[np.ndarray] = None
+        self._level_offsets: Optional[np.ndarray] = None
+        self._gsum_coeffs: Optional[np.ndarray] = None
 
     @classmethod
     def build(cls, sketch, version: Optional[int] = None) -> "QuerySnapshot":
@@ -152,30 +156,72 @@ class QuerySnapshot:
     # Algorithm 2 as array reductions
     # ------------------------------------------------------------------ #
 
+    def _flat(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All levels' magnitudes as one array, plus level offsets.
+
+        Built lazily and cached: the snapshot is immutable, and a
+        multi-statistic batch applies several g functions to the same
+        magnitudes — one fused ``apply_array`` per statistic beats one
+        per (statistic, level)."""
+        if self._flat_mags is None:
+            sizes = [len(m) for m in self.mags]
+            offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+            np.cumsum(sizes, out=offsets[1:])
+            self._flat_mags = (np.concatenate(self.mags) if sizes
+                               else np.zeros(0, dtype=np.float64))
+            self._level_offsets = offsets
+        return self._flat_mags, self._level_offsets
+
     def gvalues(self, g: GFunction, min_weight: float = 0.5) \
             -> List[np.ndarray]:
-        """Per-level ``g(|w|)`` with sub-``min_weight`` entries zeroed."""
-        out = []
-        for mags in self.mags:
-            vals = g.apply_array(mags)
-            if min_weight > 0.0:
-                vals = np.where(mags >= min_weight, vals, 0.0)
-            out.append(vals)
-        return out
+        """Per-level ``g(|w|)`` with sub-``min_weight`` entries zeroed.
+
+        The returned arrays are contiguous views into one fused
+        ``g`` application, so the per-level reductions downstream see
+        exactly the values (and summation order) of a per-level apply.
+        """
+        flat, offsets = self._flat()
+        vals = g.apply_array(flat)
+        if min_weight > 0.0:
+            vals = np.where(flat >= min_weight, vals, 0.0)
+        return [vals[offsets[j]:offsets[j + 1]]
+                for j in range(len(self.mags))]
+
+    def _coeffs(self) -> np.ndarray:
+        """Recursive-Sum coefficients aligned with the flat magnitudes.
+
+        Unrolling the Horner recursion, level ``j < deepest``
+        contributes ``2**j * (1 - 2*h_{j+1}(i))`` per key and the
+        deepest level contributes ``2**deepest`` — all exact powers of
+        two times ±1, so folding them into one vector changes nothing
+        but the summation order.  Cached: they depend only on the
+        snapshot's structure, not on ``g``."""
+        if self._gsum_coeffs is None:
+            flat, offsets = self._flat()
+            coeffs = np.empty_like(flat)
+            for j in range(self.deepest):
+                coeffs[offsets[j]:offsets[j + 1]] = \
+                    np.ldexp(self.factors[j], j)
+            coeffs[offsets[self.deepest]:offsets[self.deepest + 1]] = \
+                float(1 << self.deepest)
+            self._gsum_coeffs = coeffs
+        return self._gsum_coeffs
 
     def gsum(self, g: GFunction, min_weight: float = 0.5) -> float:
         """Recursive Sum over the snapshot — the vectorised Algorithm 2.
 
         Numerically equivalent to the scalar reference
         (:func:`repro.core.gsum.estimate_gsum_scalar`): the same terms
-        enter the same recursion; only the summation order inside one
-        level differs (NumPy pairwise vs left-to-right).
+        enter the same recursion, here fused into a single dot product
+        against the cached level coefficients; only the summation order
+        differs (one BLAS reduction vs the per-level left-to-right
+        walk).
         """
-        vals = self.gvalues(g, min_weight)
-        y = float(np.sum(vals[self.deepest]))
-        for j in range(self.deepest - 1, -1, -1):
-            y = 2.0 * y + float(np.dot(self.factors[j], vals[j]))
-        return y
+        flat, offsets = self._flat()
+        vals = g.apply_array(flat)
+        if min_weight > 0.0:
+            vals = np.where(flat >= min_weight, vals, 0.0)
+        return float(np.dot(self._coeffs(), vals))
 
     def gcore(self, fraction: float,
               total: Optional[float] = None) -> List[Tuple[int, float]]:

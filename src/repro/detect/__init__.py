@@ -1,0 +1,35 @@
+"""Programmable detection over the universal sketch (StreaMon-style).
+
+One RISC sketch, many detectors: rules are condition expressions over
+the per-epoch batch statistics (:mod:`repro.detect.rules`), debounced by
+per-rule state machines (:mod:`repro.detect.state`), driving zoom-in and
+reversible-sketch key recovery as actions (:mod:`repro.detect.actions`),
+all packaged as one controller app (:mod:`repro.detect.pipeline`).
+"""
+
+from repro.detect.rules import (Baseline, Comparison, Condition, Rule,
+                                RuleSyntaxError, parse_condition)
+from repro.detect.state import RuleState, RuleStateMachine
+from repro.detect.actions import RecoveryAction, ZoomAction
+from repro.detect.pipeline import (DetectionEvent, DetectionPipeline,
+                                   DEFAULT_RULES, default_rules, load_rules,
+                                   rules_from_spec)
+
+__all__ = [
+    "Baseline",
+    "Comparison",
+    "Condition",
+    "DetectionEvent",
+    "DetectionPipeline",
+    "DEFAULT_RULES",
+    "default_rules",
+    "load_rules",
+    "parse_condition",
+    "RecoveryAction",
+    "Rule",
+    "RuleState",
+    "RuleStateMachine",
+    "RuleSyntaxError",
+    "rules_from_spec",
+    "ZoomAction",
+]

@@ -1,0 +1,116 @@
+"""Per-rule detection state machine.
+
+Four states, driven once per sealed epoch by the boolean outcome of the
+rule's condition:
+
+.. code-block:: text
+
+                 trigger                    trigger x confirm_epochs
+      IDLE  ────────────────►  TRIGGERED  ─────────────────────────►  CONFIRMED
+        ▲                          │                                      │
+        │          quiet           │ quiet                                │ quiet
+        │  ◄───────────────────────┘                                      ▼
+        │                                                            RECOVERING
+        │            quiet x cooldown_epochs                              │
+        └─────────────────────────────────────────◄───────────────────────┘
+                                                      (trigger: back to CONFIRMED)
+
+TRIGGERED means "hot, but not for long enough to alert" — one noisy
+epoch falls straight back to IDLE.  CONFIRMED is the alerting state;
+actions (zoom, key recovery) run while a rule is CONFIRMED.  RECOVERING
+is the cooldown: the condition has gone quiet but the rule re-confirms
+immediately (no confirm delay) if it flares up again before
+``cooldown_epochs`` consecutive quiet epochs have passed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RuleState(enum.Enum):
+    IDLE = "idle"
+    TRIGGERED = "triggered"
+    CONFIRMED = "confirmed"
+    RECOVERING = "recovering"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class RuleStateMachine:
+    """Tracks one rule's state across epochs.
+
+    Parameters
+    ----------
+    confirm_epochs:
+        Consecutive triggering epochs required before CONFIRMED
+        (``1`` = confirm on the first hot epoch, skipping TRIGGERED).
+    cooldown_epochs:
+        Consecutive quiet epochs in RECOVERING before returning to IDLE
+        (``1`` = a single quiet epoch ends the alert).
+    """
+
+    confirm_epochs: int = 2
+    cooldown_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.confirm_epochs < 1:
+            raise ValueError(
+                f"confirm_epochs must be >= 1, got {self.confirm_epochs}")
+        if self.cooldown_epochs < 1:
+            raise ValueError(
+                f"cooldown_epochs must be >= 1, got {self.cooldown_epochs}")
+        self.state = RuleState.IDLE
+        self._hot_epochs = 0      # consecutive triggering epochs
+        self._quiet_epochs = 0    # consecutive quiet epochs in RECOVERING
+
+    @property
+    def active(self) -> bool:
+        """True while actions should run (CONFIRMED only)."""
+        return self.state is RuleState.CONFIRMED
+
+    def step(self, triggering: bool) -> tuple:
+        """Advance one epoch; returns ``(previous_state, new_state)``."""
+        previous = self.state
+        if triggering:
+            self._hot_epochs += 1
+            self._quiet_epochs = 0
+            if previous is RuleState.IDLE:
+                self.state = (RuleState.CONFIRMED
+                              if self._hot_epochs >= self.confirm_epochs
+                              else RuleState.TRIGGERED)
+            elif previous is RuleState.TRIGGERED:
+                if self._hot_epochs >= self.confirm_epochs:
+                    self.state = RuleState.CONFIRMED
+            elif previous is RuleState.RECOVERING:
+                # Flare-up during cooldown: re-confirm immediately.
+                self.state = RuleState.CONFIRMED
+            # CONFIRMED + trigger stays CONFIRMED.
+        else:
+            self._hot_epochs = 0
+            if previous is RuleState.TRIGGERED:
+                self.state = RuleState.IDLE
+            elif previous is RuleState.CONFIRMED:
+                self._quiet_epochs = 1
+                self.state = (RuleState.IDLE
+                              if self._quiet_epochs >= self.cooldown_epochs
+                              else RuleState.RECOVERING)
+            elif previous is RuleState.RECOVERING:
+                self._quiet_epochs += 1
+                if self._quiet_epochs >= self.cooldown_epochs:
+                    self.state = RuleState.IDLE
+            # IDLE + quiet stays IDLE.
+        if self.state is RuleState.IDLE:
+            self._quiet_epochs = 0
+        return previous, self.state
+
+    def reset(self) -> None:
+        self.state = RuleState.IDLE
+        self._hot_epochs = 0
+        self._quiet_epochs = 0
+
+
+__all__ = ["RuleState", "RuleStateMachine"]

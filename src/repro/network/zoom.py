@@ -17,7 +17,7 @@ truncated at the deepest refined ancestor's child granularity.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -39,18 +39,37 @@ def _truncate_scalar(address: int, prefix_len: int) -> int:
 
 
 class ZoomMonitor:
-    """Adaptive-granularity source-prefix monitoring."""
+    """Adaptive-granularity source-prefix monitoring.
+
+    Parameters
+    ----------
+    zoom_fraction:
+        Traffic share above which a region is refined one ladder step.
+    hold_down:
+        Consecutive *cold* epochs a refined region must see before it is
+        de-refined (and then only one ladder step at a time, leaf first).
+        Without a hold-down, a region oscillating around
+        ``zoom_fraction`` snaps between /8 and finer every epoch —
+        refinement flapping; ``hold_down=1`` restores the old eager
+        collapse, one step per epoch.
+    """
 
     def __init__(self,
                  sketch_factory: Optional[Callable[[], UniversalSketch]] = None,
-                 zoom_fraction: float = 0.05) -> None:
+                 zoom_fraction: float = 0.05,
+                 hold_down: int = 2) -> None:
         if sketch_factory is None:
             sketch_factory = lambda: UniversalSketch(  # noqa: E731
                 levels=10, rows=5, width=1024, heap_size=64, seed=1)
+        if hold_down < 1:
+            raise ValueError(f"hold_down must be >= 1, got {hold_down}")
         self._factory = sketch_factory
         self.zoom_fraction = zoom_fraction
+        self.hold_down = hold_down
         #: regions split to the next ladder step: {(prefix_value, prefix_len)}
         self.refined: Set[Tuple[int, int]] = set()
+        #: consecutive cold epochs per refined region
+        self._cold: Dict[Tuple[int, int], int] = {}
         self.sketch = self._factory()
         self.epoch = 0
 
@@ -94,28 +113,81 @@ class ZoomMonitor:
         """Sketch one epoch, adapt granularity, return the sealed sketch."""
         self.sketch.update_array(self.keys_for(trace))
         sealed = self.sketch
-        self._adapt(sealed)
+        self._adapt(sealed, trace)
         self.sketch = self._factory()
         self.epoch += 1
         return sealed
 
-    def _adapt(self, sealed: UniversalSketch) -> None:
-        """Refine hot regions; let cold refinements expire."""
+    def _adapt(self, sealed: UniversalSketch, trace: Trace) -> None:
+        """Refine hot regions; de-refine cold ones gradually.
+
+        Refinement is immediate (a hot region splits next epoch), but
+        de-refinement is damped two ways so a region oscillating around
+        ``zoom_fraction`` doesn't snap between /8 and finer every epoch:
+        a region must be cold for ``hold_down`` consecutive epochs, and
+        the tree only collapses one ladder step per epoch — leaves
+        first, never a region that still has a refined descendant.
+
+        A refined region's traffic is split across child keys in the
+        sealed sketch, so ``heavy_hitters`` alone cannot tell whether
+        the region *as a whole* is still hot — its warmth is judged by
+        its aggregate share of the epoch trace instead.
+        """
         if sealed.total_weight <= 0:
             return
         hot = sealed.heavy_hitters(self.zoom_fraction)
-        refined: Set[Tuple[int, int]] = set()
+        wanted: Set[Tuple[int, int]] = set()
         for key, _weight in hot:
             key = int(key)
             plen = self.granularity_of(key)
             # Keep the whole ancestor chain refined, then split the hot
             # region itself one step further (unless already at /32).
-            for i, step in enumerate(LADDER[:-1]):
+            for step in LADDER[:-1]:
                 if step < plen:
-                    refined.add((_truncate_scalar(key, step), step))
+                    wanted.add((_truncate_scalar(key, step), step))
             if plen < LADDER[-1]:
-                refined.add((_truncate_scalar(key, plen), plen))
-        self.refined = refined
+                wanted.add((_truncate_scalar(key, plen), plen))
+        self.refined |= wanted
+        warm = wanted | self._warm_regions(trace)
+        cold: Dict[Tuple[int, int], int] = {}
+        expired: Set[Tuple[int, int]] = set()
+        for region in self.refined:
+            if region in warm:
+                continue    # hot again: cold streak resets
+            streak = self._cold.get(region, 0) + 1
+            if streak >= self.hold_down and self._is_leaf(region):
+                expired.add(region)     # one ladder step: leaves only
+            else:
+                cold[region] = streak
+        self.refined -= expired
+        self._cold = cold
+
+    def _warm_regions(self, trace: Trace) -> Set[Tuple[int, int]]:
+        """Refined regions whose aggregate trace share clears
+        ``zoom_fraction`` this epoch."""
+        total = len(trace)
+        if not total or not self.refined:
+            return set()
+        addresses = trace.src.astype(np.uint64)
+        by_len: Dict[int, List[int]] = {}
+        for value, plen in self.refined:
+            by_len.setdefault(plen, []).append(value)
+        warm: Set[Tuple[int, int]] = set()
+        for plen, values in by_len.items():
+            truncated = _truncate(addresses, plen)
+            uniq, counts = np.unique(truncated, return_counts=True)
+            shares = dict(zip(uniq.tolist(), counts.tolist()))
+            for value in values:
+                if shares.get(value, 0) / total >= self.zoom_fraction:
+                    warm.add((value, plen))
+        return warm
+
+    def _is_leaf(self, region: Tuple[int, int]) -> bool:
+        """True if no finer refined region lies inside ``region``."""
+        value, plen = region
+        return not any(
+            other_len > plen and _truncate_scalar(other_val, plen) == value
+            for other_val, other_len in self.refined)
 
     def monitored_regions(self) -> List[Tuple[int, int]]:
         """Currently refined (prefix_value, prefix_len) regions."""

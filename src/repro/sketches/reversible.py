@@ -172,6 +172,24 @@ class ReversibleSketch(Sketch):
             keys.append(key)
         return keys
 
+    def _candidate_array(self, row: int, bucket: int) -> np.ndarray:
+        """Vectorised preimage enumeration: same keys as
+        :meth:`_candidates_for_bucket`, built by broadcasting the
+        per-chunk preimage sets instead of a Python product loop."""
+        mask = (1 << self.bucket_bits) - 1
+        per_chunk: List[np.ndarray] = []
+        for c in range(self.chunks):
+            hash_value = (bucket >> (self.bucket_bits * c)) & mask
+            pre = self._preimages[row][c].get(hash_value, [])
+            if not pre:
+                return np.empty(0, dtype=np.uint64)
+            per_chunk.append(np.asarray(pre, dtype=np.uint64))
+        keys = per_chunk[0]
+        for c in range(1, self.chunks):
+            shifted = per_chunk[c] << np.uint64(self.chunk_bits * c)
+            keys = (keys[:, None] | shifted[None, :]).ravel()
+        return keys
+
     def recover_heavy_keys(self, threshold: float,
                            verify_rows: Optional[int] = None,
                            max_buckets: int = 32) -> List[Tuple[int, float]]:
@@ -194,13 +212,19 @@ class ReversibleSketch(Sketch):
                 f"max_buckets={max_buckets}; raise the threshold")
         recovered: Dict[int, float] = {}
         for bucket in heavy0:
-            for key in self._candidates_for_bucket(0, bucket):
-                if key in recovered:
-                    continue
-                confirmed = all(
-                    abs(self.table[r, self.bucket(r, key)]) >= threshold
-                    for r in range(1, verify_rows))
-                if confirmed:
+            # One preimage set per bucket can reach |preimage|^chunks
+            # keys (~1M at the default geometry); enumerate and verify
+            # them as arrays, not in a Python loop.
+            candidates = self._candidate_array(0, bucket)
+            if candidates.size == 0:
+                continue
+            confirmed = np.ones(len(candidates), dtype=bool)
+            for r in range(1, verify_rows):
+                row_buckets = self._buckets_array(r, candidates)
+                confirmed &= np.abs(self.table[r, row_buckets]) >= threshold
+            for key in candidates[confirmed].tolist():
+                key = int(key)
+                if key not in recovered:
                     recovered[key] = self.query(key)
         survivors = [(k, est) for k, est in recovered.items()
                      if abs(est) >= threshold * 0.5]

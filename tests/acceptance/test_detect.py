@@ -1,0 +1,145 @@
+"""Detection-pipeline acceptance cell: the calibrated surge rule over
+the workload scenario matrix at the 256 KB budget.
+
+The cell asserts the end-to-end detection contract from the ISSUE:
+
+- the two attack scenarios (``ddos_ramp``, ``port_scan``) reach
+  CONFIRMED on **every** attack/scan epoch on both panel seeds, and at
+  least one key recovered during each confirmed epoch lies in the
+  ground-truth heavy set (the scenario's victim address or a true
+  source heavy hitter);
+- the clean CDF-mix scenarios (and the stricter churn/shift workloads)
+  never leave IDLE.
+
+Calibration (same method as the scenario matrix, DESIGN.md §12): at
+the panel seeds and the 256 KB acceptance sketch, the attack epochs'
+distinct-source counts sit >= 1.64x their frozen EWMA baseline
+(ddos_ramp; port_scan reads ~5x), while the worst clean-epoch ratio
+across every benign scenario/seed/epoch is 1.304x (heavy_churn, seed
+1001, epoch 1).  The rule threshold 1.4x splits the two populations
+with margin on both sides; a regression that inflates clean-epoch
+cardinality noise by ~8% or dampens the attack signal by ~15% trips
+the cell.
+
+Run with ``pytest -m acceptance``.
+"""
+
+import functools
+
+import pytest
+
+from tests.acceptance.conftest import scenario_panel
+
+from repro.detect import DetectionPipeline, Rule
+
+pytestmark = pytest.mark.acceptance
+
+#: Calibrated spike threshold (see module docstring).
+SPIKE = 1.4
+
+#: Ground-truth heavy-hitter fraction for the recovery cross-check
+#: (matches the scenario matrix operating point).
+ALPHA = 0.005
+
+#: scenario name -> events key holding its hot epochs.
+ATTACKS = {"ddos_ramp": "attack_epochs", "port_scan": "scan_epochs"}
+
+#: Scenarios the rule must stay silent on.  The two CDF mixes are the
+#: ISSUE's required clean set; churn and shift are the two noisiest
+#: benign workloads and make the cell strictly harder.
+CLEAN = ("websearch_mix", "datamining_mix", "heavy_churn",
+         "keyspace_shift")
+
+
+def surge_rule():
+    return Rule(
+        name="surge",
+        when=f"cardinality spikes > {SPIKE}x baseline",
+        confirm_epochs=1,       # port_scan has a single clean lead-in epoch
+        cooldown_epochs=2,
+        min_baseline_epochs=1,
+        actions=("recover",),
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def run_detection(name):
+    """Drive the pipeline over one scenario's panel.
+
+    Returns ``[(scenario, states, recovered)]`` with one entry per
+    panel seed; ``states`` is the per-epoch state string and
+    ``recovered`` the per-epoch set of recovered keys.
+    """
+    runs = []
+    for scenario, sketches in scenario_panel(name):
+        pipeline = DetectionPipeline([surge_rule()], keep_events=False)
+        states, recovered = [], []
+        for e, (trace, sketch) in enumerate(
+                zip(scenario.epoch_traces(), sketches)):
+            pipeline.observe_trace(trace)
+            out = pipeline.on_sketch(sketch, e)
+            states.append(out["states"]["surge"])
+            keys = set()
+            for event in out["events"]:
+                keys.update(r["key"] for r in event["recovered_keys"])
+            recovered.append(keys)
+        runs.append((scenario, states, recovered))
+    return runs
+
+
+def truth_keys(scenario, epoch):
+    """Ground-truth heavy set for one epoch: the attack victim plus the
+    epoch's true source heavy hitters."""
+    keys = set(scenario.truths[epoch].heavy_hitter_keys(ALPHA))
+    keys.add(int(scenario.events["victim"]))
+    return keys
+
+
+class TestAttackScenarios:
+    @pytest.mark.parametrize("name", sorted(ATTACKS))
+    def test_confirmed_on_every_attack_epoch(self, name):
+        hot = set(scenario_panel(name)[0][0].events[ATTACKS[name]])
+        for scenario, states, _recovered in run_detection(name):
+            for epoch in hot:
+                assert states[epoch] == "confirmed", (
+                    f"{name} seed {scenario.seed}: epoch {epoch} is "
+                    f"{states[epoch]}, expected confirmed "
+                    f"(states: {states})")
+
+    @pytest.mark.parametrize("name", sorted(ATTACKS))
+    def test_recovered_keys_hit_ground_truth(self, name):
+        hot = set(scenario_panel(name)[0][0].events[ATTACKS[name]])
+        for scenario, _states, recovered in run_detection(name):
+            for epoch in hot:
+                assert recovered[epoch], (
+                    f"{name} seed {scenario.seed}: no keys recovered "
+                    f"at confirmed epoch {epoch}")
+                truth = truth_keys(scenario, epoch)
+                assert recovered[epoch] & truth, (
+                    f"{name} seed {scenario.seed} epoch {epoch}: none "
+                    f"of {sorted(recovered[epoch])} in the ground-truth "
+                    f"heavy set")
+
+    @pytest.mark.parametrize("name", sorted(ATTACKS))
+    def test_clean_lead_in_epochs_stay_quiet(self, name):
+        """Epochs before the attack must not alert (the baseline is
+        still warming on epoch 0, so IDLE is the only legal state)."""
+        hot = set(scenario_panel(name)[0][0].events[ATTACKS[name]])
+        for scenario, states, _recovered in run_detection(name):
+            for epoch, state in enumerate(states):
+                if epoch < min(hot):
+                    assert state == "idle", (
+                        f"{name} seed {scenario.seed}: pre-attack epoch "
+                        f"{epoch} is {state}")
+
+
+class TestCleanScenarios:
+    @pytest.mark.parametrize("name", CLEAN)
+    def test_stays_idle_throughout(self, name):
+        for scenario, states, recovered in run_detection(name):
+            assert set(states) == {"idle"}, (
+                f"{name} seed {scenario.seed}: rule left idle "
+                f"(states: {states})")
+            assert not any(recovered), (
+                f"{name} seed {scenario.seed}: keys recovered on a "
+                f"clean workload")

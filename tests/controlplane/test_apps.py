@@ -88,6 +88,26 @@ class TestChangeDetectionApp:
         app.reset()
         assert app.on_sketch(skewed_sketch, 1)["ready"] is False
 
+    def test_previous_epoch_immune_to_later_mutation(self):
+        """Regression: the app must not alias the live epoch sketch.
+
+        Holding a live reference means any post-epoch mutation of the
+        sealed sketch (hosts recycling buffers, callers reusing the
+        object) silently corrupts the next difference.  The app should
+        snapshot via ``copy()`` instead.
+        """
+        app = ChangeDetectionApp(phi=0.3)
+        base = np.arange(300, dtype=np.uint64)
+        first = sketch_of(base, seed=9)
+        app.on_sketch(first, 0)
+        # Mutate the sealed sketch after the epoch ended.
+        first.update_array(np.full(5000, 424242, dtype=np.uint64))
+        # The next epoch replays the *same* traffic as the original
+        # epoch 0, so the true difference is zero.
+        result = app.on_sketch(sketch_of(base, seed=9), 1)
+        assert 424242 not in result["keys"]
+        assert result["total_change"] < 500
+
 
 class TestEntropyApp:
     def test_reports_entropy_and_m(self):

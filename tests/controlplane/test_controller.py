@@ -118,6 +118,51 @@ class TestPollLoop:
             c.run_trace(small_trace)
         assert reg.get("univmon_query_snapshot_builds_total") is None
 
+    def test_report_times_are_min_max_for_unsorted_traces(self):
+        """Regression: start/end must be min/max of the timestamps.
+
+        Reading ``timestamps[0]``/``timestamps[-1]`` is only correct for
+        time-sorted traces; epoch slices assembled from multiple taps
+        (or concatenated captures) arrive unsorted.
+        """
+        import numpy as np
+
+        from repro.dataplane.trace import Trace
+
+        n = 50
+        timestamps = np.linspace(0.0, 4.0, n)
+        rng = np.random.default_rng(3)
+        rng.shuffle(timestamps)
+        # Guarantee the endpoints are interior after the shuffle.
+        assert timestamps[0] != timestamps.min()
+        assert timestamps[-1] != timestamps.max()
+        trace = Trace(timestamps,
+                      rng.integers(1, 1000, n).astype(np.uint32),
+                      np.full(n, 1, dtype=np.uint32),
+                      np.full(n, 1000, dtype=np.uint16),
+                      np.full(n, 80, dtype=np.uint16),
+                      np.full(n, 6, dtype=np.uint8))
+        report = make_controller().run_epoch(trace, 0)
+        assert report.start_time == pytest.approx(0.0)
+        assert report.end_time == pytest.approx(4.0)
+
+    def test_trace_hook_reaches_trace_aware_apps(self, small_trace):
+        """Apps exposing ``observe_trace`` get each epoch's raw trace
+        before estimation (the detection pipeline relies on this)."""
+        seen = []
+
+        class TraceAware(CardinalityApp):
+            name = "trace_aware"
+
+            def observe_trace(self, trace):
+                seen.append(len(trace))
+
+        c = make_controller(epoch_seconds=1.0)
+        c.register(TraceAware())
+        reports = c.run_trace(small_trace)
+        assert len(seen) == len(reports)
+        assert sum(seen) == len(small_trace)
+
     def test_heavy_hitter_app_integration(self, small_trace):
         from repro.eval.groundtruth import GroundTruth
         c = make_controller(epoch_seconds=10.0)  # one epoch = whole trace

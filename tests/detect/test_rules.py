@@ -1,0 +1,274 @@
+"""Tests for the detection-rule grammar, AST, and baselines."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.detect.rules import (And, Baseline, Comparison, Not, Or, Rule,
+                                RuleSyntaxError, parse_condition)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+
+class TestParsing:
+    def test_absolute_comparison(self):
+        c = parse_condition("cardinality > 5000")
+        assert isinstance(c, Comparison)
+        assert c.metric == "cardinality"
+        assert c.op == ">"
+        assert c.threshold == 5000.0
+
+    def test_all_absolute_operators(self):
+        for op in (">", ">=", "<", "<="):
+            c = parse_condition(f"l1 {op} 3.5")
+            assert c.op == op and c.threshold == 3.5
+
+    def test_spikes_with_x_and_baseline(self):
+        c = parse_condition("cardinality spikes > 4x baseline")
+        assert c.op == "spikes"
+        assert c.threshold == 4.0
+
+    def test_spikes_sugar_optional(self):
+        # the '>' and trailing 'baseline' are both optional sugar
+        assert parse_condition("cardinality spikes 4 x") == \
+            parse_condition("cardinality spikes > 4x baseline")
+
+    def test_drops_percent(self):
+        c = parse_condition("entropy drops > 30%")
+        assert c.op == "drops"
+        assert c.threshold == 30.0
+
+    def test_rises_percent(self):
+        c = parse_condition("packets rises > 150%")
+        assert c.op == "rises"
+        assert c.threshold == 150.0
+
+    def test_feature_tag(self):
+        c = parse_condition("entropy(src) drops > 30%")
+        assert c.feature == "src"
+        assert c.metric == "entropy"
+
+    def test_metric_parameter(self):
+        c = parse_condition("moment:1.5 > 100")
+        assert c.metric == "moment:1.5"
+        c = parse_condition("hh_count:0.01 > 3")
+        assert c.metric == "hh_count:0.01"
+
+    def test_issue_headline_expression(self):
+        c = parse_condition(
+            "entropy(src) drops > 30% AND cardinality spikes > 4x baseline")
+        assert isinstance(c, And)
+        assert len(c.children) == 2
+        assert c.metrics() == {"entropy", "cardinality"}
+
+    def test_keywords_case_insensitive(self):
+        a = parse_condition("l1 > 1 AND l2 > 2 OR NOT f2 > 3")
+        b = parse_condition("l1 > 1 and l2 > 2 or not f2 > 3")
+        assert a == b
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        c = parse_condition("l1 > 1 or l2 > 2 and f2 > 3")
+        assert isinstance(c, Or)
+        assert isinstance(c.children[1], And)
+
+    def test_parentheses_override_precedence(self):
+        c = parse_condition("(l1 > 1 or l2 > 2) and f2 > 3")
+        assert isinstance(c, And)
+        assert isinstance(c.children[0], Or)
+
+    def test_not_parses(self):
+        c = parse_condition("not cardinality > 10")
+        assert isinstance(c, Not)
+
+    def test_describe_round_trips_through_parser(self):
+        source = ("entropy(src) drops > 30% and "
+                  "(cardinality spikes > 4x baseline or packets > 1000)")
+        c = parse_condition(source)
+        assert parse_condition(c.describe()) == c
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "   ",
+        "cardinality >",
+        "> 5",
+        "cardinality ~ 5",
+        "bogus_metric > 5",
+        "cardinality > 5 extra",
+        "(cardinality > 5",
+        "cardinality spikes x",
+        "and and",
+        "cardinality > 5 and",
+        "entropy(src",
+        "cardinality !! 5",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(RuleSyntaxError):
+            parse_condition(bad)
+
+    def test_spike_ratio_validated(self):
+        with pytest.raises(RuleSyntaxError):
+            Comparison("cardinality", "spikes", 0.0)
+
+    def test_percent_range_validated(self):
+        with pytest.raises(RuleSyntaxError):
+            Comparison("entropy", "drops", 0.0)
+        with pytest.raises(RuleSyntaxError):
+            Comparison("entropy", "drops", 1000.0)
+
+
+class TestEvaluation:
+    def test_absolute(self):
+        c = parse_condition("cardinality > 100")
+        assert c.evaluate({"cardinality": 150.0}, {})
+        assert not c.evaluate({"cardinality": 50.0}, {})
+
+    def test_missing_value_is_false(self):
+        c = parse_condition("cardinality > 100")
+        assert not c.evaluate({}, {})
+        assert not c.evaluate({"cardinality": None}, {})
+
+    def test_spikes_needs_baseline(self):
+        c = parse_condition("cardinality spikes > 2x baseline")
+        assert not c.evaluate({"cardinality": 500.0}, {})  # still warming
+        assert c.evaluate({"cardinality": 500.0}, {"cardinality": 200.0})
+        assert not c.evaluate({"cardinality": 300.0}, {"cardinality": 200.0})
+
+    def test_drops_relative_to_baseline(self):
+        c = parse_condition("entropy drops > 30%")
+        baselines = {"entropy": 10.0}
+        assert c.evaluate({"entropy": 6.0}, baselines)    # -40%
+        assert not c.evaluate({"entropy": 8.0}, baselines)  # -20%
+
+    def test_rises_relative_to_baseline(self):
+        c = parse_condition("packets rises > 100%")
+        baselines = {"packets": 1000.0}
+        assert c.evaluate({"packets": 2500.0}, baselines)
+        assert not c.evaluate({"packets": 1500.0}, baselines)
+
+    def test_boolean_combinators(self):
+        c = parse_condition("l1 > 1 and not l2 > 5")
+        assert c.evaluate({"l1": 2.0, "l2": 3.0}, {})
+        assert not c.evaluate({"l1": 2.0, "l2": 9.0}, {})
+
+
+class TestBaseline:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Baseline(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            Baseline(min_epochs=0)
+
+    def test_warmup_gate(self):
+        b = Baseline(min_epochs=2)
+        assert b.current() is None
+        b.observe(10.0)
+        assert b.current() is None      # one sample, needs two
+        b.observe(10.0)
+        assert b.current() == pytest.approx(10.0)
+
+    def test_ewma_update(self):
+        b = Baseline(alpha=0.5, min_epochs=1)
+        b.observe(10.0)
+        b.observe(20.0)
+        assert b.current() == pytest.approx(15.0)
+
+
+class TestRule:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Rule(name="", when="l1 > 1")
+        with pytest.raises(ConfigurationError):
+            Rule(name="r", when="l1 > 1", confirm_epochs=0)
+        with pytest.raises(ConfigurationError):
+            Rule(name="r", when="l1 > 1", cooldown_epochs=0)
+        with pytest.raises(ConfigurationError):
+            Rule(name="r", when="l1 > 1", actions=("explode",))
+        with pytest.raises(RuleSyntaxError):
+            Rule(name="r", when="nope > 1")
+
+    def test_baseline_learned_from_clean_epochs(self):
+        rule = Rule(name="r", when="cardinality spikes > 2x baseline",
+                    min_baseline_epochs=1)
+        assert not rule.evaluate({"cardinality": 100.0})  # warms baseline
+        assert rule.evaluate({"cardinality": 500.0})      # 5x -> trigger
+
+    def test_baseline_frozen_while_triggering(self):
+        """A ramping attack must not drag its own baseline up."""
+        rule = Rule(name="r", when="cardinality spikes > 2x baseline",
+                    min_baseline_epochs=1, baseline_alpha=1.0)
+        rule.evaluate({"cardinality": 100.0})
+        assert rule.evaluate({"cardinality": 300.0})
+        # Had the baseline absorbed 300, 650 would be only 2.2x; against
+        # the frozen baseline of 100 it is 6.5x either way — so probe
+        # with a value that distinguishes: 550 vs baseline 100 = 5.5x,
+        # vs baseline 300 it would be 1.8x (no trigger).
+        assert rule.evaluate({"cardinality": 550.0})
+
+    def test_reset_forgets_baselines(self):
+        rule = Rule(name="r", when="cardinality spikes > 2x baseline",
+                    min_baseline_epochs=1)
+        rule.evaluate({"cardinality": 100.0})
+        rule.reset()
+        assert not rule.evaluate({"cardinality": 500.0})  # warming again
+
+
+if HAVE_HYPOTHESIS:
+    _metric = st.sampled_from(
+        ["cardinality", "entropy", "l1", "l2", "f2", "packets"])
+    _number = st.floats(min_value=0.001, max_value=1e6,
+                        allow_nan=False, allow_infinity=False)
+
+    @st.composite
+    def _expressions(draw, depth=0):
+        if depth >= 3 or draw(st.booleans()):
+            metric = draw(_metric)
+            kind = draw(st.sampled_from(["abs", "spikes", "drops", "rises"]))
+            if kind == "abs":
+                op = draw(st.sampled_from([">", ">=", "<", "<="]))
+                return f"{metric} {op} {draw(_number):g}"
+            if kind == "spikes":
+                return f"{metric} spikes > {draw(_number):g}x baseline"
+            percent = draw(st.floats(min_value=1, max_value=999,
+                                     allow_nan=False))
+            return f"{metric} {kind} > {percent:g}%"
+        left = draw(_expressions(depth=depth + 1))
+        right = draw(_expressions(depth=depth + 1))
+        joiner = draw(st.sampled_from(["and", "or"]))
+        if draw(st.booleans()):
+            return f"not ({left}) {joiner} {right}"
+        return f"({left}) {joiner} ({right})"
+
+    class TestParserProperties:
+        @settings(max_examples=60, deadline=None)
+        @given(_expressions())
+        def test_generated_expressions_parse(self, source):
+            condition = parse_condition(source)
+            assert condition.metrics()
+
+        @settings(max_examples=60, deadline=None)
+        @given(_expressions())
+        def test_describe_is_idempotent_through_the_parser(self, source):
+            """describe() output re-parses, and is stable from then on.
+
+            (Exact AST equality only holds for thresholds ``%g`` renders
+            losslessly — the hand-written round-trip test covers that;
+            here arbitrary floats may round once, then must fix.)
+            """
+            first = parse_condition(source).describe()
+            assert parse_condition(first).describe() == first
+
+        @settings(max_examples=60, deadline=None)
+        @given(_expressions(),
+               st.dictionaries(_metric, _number, min_size=6),
+               st.dictionaries(_metric, _number, min_size=6))
+        def test_evaluation_is_total_and_boolean(self, source, values,
+                                                 baselines):
+            condition = parse_condition(source)
+            result = condition.evaluate(values, baselines)
+            assert isinstance(result, bool)

@@ -81,10 +81,25 @@ class TestGranularity:
         assert mon.granularity_of(hot16 | 5) == 24
 
     def test_cold_regions_unzoom(self):
-        mon = ZoomMonitor(sketch_factory=factory, zoom_fraction=0.3)
+        mon = ZoomMonitor(sketch_factory=factory, zoom_fraction=0.3,
+                          hold_down=2)
         mon.process_epoch(hot_trace(seed=6))
         assert mon.refined
-        # Next epoch: traffic moves elsewhere entirely.
+        # Traffic moves elsewhere entirely; after hold_down cold epochs
+        # the stale refinement expires.
+        rng = np.random.default_rng(7)
+        other = trace_from_sources(
+            (0x20000000 | rng.integers(0, 1 << 24, size=2000)).astype(np.uint32))
+        mon.process_epoch(other)
+        assert (HOT_PREFIX, 8) in mon.refined  # still inside the hold-down
+        mon.process_epoch(other)
+        assert (HOT_PREFIX, 8) not in mon.refined
+
+    def test_hold_down_one_restores_eager_collapse(self):
+        mon = ZoomMonitor(sketch_factory=factory, zoom_fraction=0.3,
+                          hold_down=1)
+        mon.process_epoch(hot_trace(seed=6))
+        assert mon.refined
         rng = np.random.default_rng(7)
         other = trace_from_sources(
             (0x20000000 | rng.integers(0, 1 << 24, size=2000)).astype(np.uint32))
@@ -109,3 +124,72 @@ class TestGranularity:
             np.array([], dtype=np.uint32)))
         assert sealed.total_weight == 0
         assert mon.refined == set()
+
+
+class TestHoldDown:
+    """Regression tests for refinement flapping: `_adapt` used to
+    rebuild ``refined`` from scratch each epoch, so a region oscillating
+    around ``zoom_fraction`` snapped between /8 and finer every epoch."""
+
+    def test_hold_down_validated(self):
+        with pytest.raises(ValueError):
+            ZoomMonitor(sketch_factory=factory, hold_down=0)
+
+    def test_oscillating_region_does_not_flap(self):
+        """One cold epoch must not drop a refinement (hold_down=2).
+
+        Pre-fix, granularity snapped 16 -> 8 -> 16 -> 8 across the
+        hot/cold alternation; post-fix it stays at 16 throughout.
+        """
+        mon = ZoomMonitor(sketch_factory=factory, zoom_fraction=0.3,
+                          hold_down=2)
+        rng = np.random.default_rng(11)
+        cold_trace = trace_from_sources(
+            (0x20000000 | rng.integers(0, 1 << 24, size=2000))
+            .astype(np.uint32))
+        mon.process_epoch(hot_trace(seed=1))
+        assert mon.granularity_of(HOT_PREFIX | 1) == 16
+        granularities = []
+        for epoch in range(6):
+            trace = hot_trace(seed=epoch) if epoch % 2 == 0 else cold_trace
+            mon.process_epoch(trace)
+            granularities.append(mon.granularity_of(HOT_PREFIX | 1))
+        assert granularities == [16] * 6, \
+            f"refinement flapped: {granularities}"
+
+    def test_cold_streak_resets_when_region_reheats(self):
+        mon = ZoomMonitor(sketch_factory=factory, zoom_fraction=0.3,
+                          hold_down=2)
+        rng = np.random.default_rng(12)
+        cold_trace = trace_from_sources(
+            (0x20000000 | rng.integers(0, 1 << 24, size=2000))
+            .astype(np.uint32))
+        mon.process_epoch(hot_trace(seed=2))
+        mon.process_epoch(cold_trace)           # cold streak = 1
+        mon.process_epoch(hot_trace(seed=3))    # hot again: streak resets
+        mon.process_epoch(cold_trace)           # cold streak = 1 again
+        assert (HOT_PREFIX, 8) in mon.refined
+        mon.process_epoch(cold_trace)           # streak = 2: expires
+        assert (HOT_PREFIX, 8) not in mon.refined
+
+    def test_deep_tree_collapses_one_ladder_step_per_epoch(self):
+        """De-refinement walks back one step per cold epoch, leaves
+        first — never a region that still has a refined descendant."""
+        rng = np.random.default_rng(13)
+        hot16 = 0x0B0C0000
+        deep = trace_from_sources(
+            (hot16 | rng.integers(0, 1 << 16, size=4000)).astype(np.uint32))
+        cold_trace = trace_from_sources(
+            (0x20000000 | rng.integers(0, 1 << 24, size=2000))
+            .astype(np.uint32))
+        mon = ZoomMonitor(sketch_factory=factory, zoom_fraction=0.3,
+                          hold_down=1)
+        mon.process_epoch(deep)
+        mon.process_epoch(deep)
+        assert {(hot16 & 0xFF000000, 8), (hot16, 16)} <= mon.refined
+        mon.process_epoch(cold_trace)
+        # Only the /16 leaf collapsed; the /8 still has had a child.
+        assert (hot16, 16) not in mon.refined
+        assert (hot16 & 0xFF000000, 8) in mon.refined
+        mon.process_epoch(cold_trace)
+        assert (hot16 & 0xFF000000, 8) not in mon.refined
