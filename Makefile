@@ -3,9 +3,9 @@
 PYTHON ?= python
 
 .PHONY: install test test-network test-network-scale test-acceptance \
-        test-parallel test-scenarios test-detect coverage bench bench-quick \
-        bench-query bench-network bench-parallel bench-smoke results \
-        examples lint clean
+        test-parallel test-scenarios test-detect test-service coverage \
+        bench bench-quick bench-query bench-network bench-parallel \
+        bench-service bench-smoke results examples lint clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -78,6 +78,16 @@ test-parallel:
 	REPRO_TEST_TIMEOUT=60 PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest tests/dataplane/test_parallel.py -q
 
+# Always-on service suites: publication-ring atomicity under
+# concurrent readers, SSE backpressure, ingest-loop sealing/drain,
+# end-to-end HTTP over a live service, memo collapse, graceful
+# shutdown, and the concurrency regression tests for the metric
+# primitives and the snapshot cache. The tightened SIGALRM watchdog
+# turns a wedged event loop or a hung socket into a fast failure.
+test-service:
+	REPRO_TEST_TIMEOUT=60 PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest tests/service -q
+
 # Line coverage of the observability layer (src/repro/obs), failing
 # under 85%. Skips cleanly when coverage.py is not installed.
 coverage:
@@ -140,9 +150,11 @@ bench-parallel:
 # so a degraded scenario ceiling or a broken scenario generator blocks
 # the smoke as well.  The detection suites (test-detect prerequisite +
 # the rule-eval overhead floor in bench_detect.py) gate the detection
-# pipeline the same way.
+# pipeline the same way, and the always-on service gates through
+# test-service plus the quick-mode service load bench (latency sweep,
+# ingest-isolation floor, memo collapse).
 bench-smoke: test-network test-network-scale test-acceptance \
-             test-parallel test-scenarios test-detect coverage
+             test-parallel test-scenarios test-detect test-service coverage
 	REPRO_BENCH_QUICK=1 PYTHONPATH=src:$(PYTHONPATH) \
 	$(PYTHON) -m pytest benchmarks/bench_throughput.py \
 	    benchmarks/bench_query_latency.py \
@@ -152,6 +164,18 @@ bench-smoke: test-network test-network-scale test-acceptance \
 	    -k "speedup or batch_ingest or crossover or matches or snapshot \
 	        or bytes_on_wire or merge_time or cumulative or scenario_ingest \
 	        or rule_eval"
+	REPRO_BENCH_QUICK=1 PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest benchmarks/bench_service.py -q -s
+
+# Service load bench: p50/p99 query latency under a concurrent client
+# swarm during live ingest (200 clients in full mode), the <= 10%
+# ingest-degradation floor under a sustained external poll load, and
+# the memo-collapse / builds-equals-epochs invariants, recorded into
+# BENCH_service.json and spliced into EXPERIMENTS.md.
+bench-service:
+	PYTHONPATH=src:$(PYTHONPATH) \
+	$(PYTHON) -m pytest benchmarks/bench_service.py -q -s
+	$(PYTHON) benchmarks/collect_results.py
 
 results:
 	$(PYTHON) benchmarks/collect_results.py

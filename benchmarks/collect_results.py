@@ -44,6 +44,7 @@ JSON_SOURCES = {
     "bench-network": "BENCH_network.json",
     "bench-scenarios": "BENCH_scenarios.json",
     "bench-detect": "BENCH_detect.json",
+    "bench-service": "BENCH_service.json",
 }
 
 _MARKER = re.compile(

@@ -32,6 +32,10 @@ Subcommands
   via ``--rules``) evaluated per sealed epoch, with per-rule state
   machines and zoom/key-recovery actions; ``--json`` emits the
   structured detection events.
+- ``serve`` — the always-on monitoring service: cycle a trace (or
+  scenario) through the epoch pipeline forever, sealing on a wall-clock
+  timer, and serve ``/query``, ``/epochs``, ``/events`` (SSE),
+  ``/metrics`` and ``/healthz`` over HTTP while ingest keeps running.
 """
 
 from __future__ import annotations
@@ -265,6 +269,50 @@ def _add_detect(sub: argparse._SubParsersAction) -> None:
                         "registry snapshot to PATH")
 
 
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="run the always-on monitoring service over HTTP")
+    p.add_argument("--trace", default=None,
+                   help="trace to cycle through the service (or use "
+                        "--scenario)")
+    p.add_argument("--scenario", default=None, metavar="NAME",
+                   help="cycle a named workload scenario instead of a "
+                        "trace file (`--scenario help` lists them)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="scenario seed (with --scenario)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="scenario size multiplier (with --scenario)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9600,
+                   help="HTTP port (0 = pick an ephemeral port)")
+    p.add_argument("--epoch", type=float, default=1.0,
+                   help="wall-clock sealing interval in seconds")
+    p.add_argument("--epochs", type=int, default=0, metavar="N",
+                   help="seal N epochs then exit (0 = run until "
+                        "interrupted)")
+    p.add_argument("--ring", type=int, default=8, metavar="DEPTH",
+                   help="published epochs kept for /epochs and /query")
+    p.add_argument("--memo", type=int, default=128, metavar="ENTRIES",
+                   help="query-result memo capacity")
+    p.add_argument("--memory-kb", type=int, default=512,
+                   help="sketch memory budget per epoch")
+    p.add_argument("--key", default="src_ip",
+                   choices=["src_ip", "dst_ip", "src_dst", "five_tuple"])
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="shard ingest across N worker processes")
+    p.add_argument("--chunk-size", type=int, default=4096,
+                   help="packets per ingest chunk")
+    p.add_argument("--pace", type=float, default=0.0, metavar="SECONDS",
+                   help="sleep between chunks (0 = ingest at max rate)")
+    p.add_argument("--detect", action="store_true",
+                   help="run the detection pipeline (built-in rules) "
+                        "and stream its events over /events")
+    p.add_argument("--rules", default=None, metavar="PATH",
+                   help="detection rule spec (.toml/.json); implies "
+                        "--detect")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="univmon",
@@ -282,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics(sub)
     _add_query(sub)
     _add_detect(sub)
+    _add_serve(sub)
     return parser
 
 
@@ -884,6 +933,85 @@ def _coordinate_loop(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.errors import ConfigurationError
+    from repro.obs import MetricsRegistry, use_registry
+    from repro.dataplane.keys import KEY_FUNCTIONS
+    from repro.service import MonitoringService, ServiceConfig
+    from repro.core.universal import UniversalSketch
+
+    if (args.trace is None) == (args.scenario is None):
+        print("serve needs exactly one input: --trace PATH or "
+              "--scenario NAME", file=sys.stderr)
+        return 2
+    if args.scenario is not None:
+        scenario, code = _scenario_or_exit_code(args.scenario, args.seed,
+                                                args.scale)
+        if scenario is None:
+            return code
+        trace = scenario.trace
+    else:
+        trace = _load_trace(args.trace)
+
+    apps = []
+    if args.detect or args.rules is not None:
+        from repro.detect import DetectionPipeline, default_rules, load_rules
+        try:
+            rules = load_rules(args.rules) if args.rules is not None \
+                else default_rules()
+            apps.append(DetectionPipeline(rules))
+        except (ConfigurationError, OSError, ValueError) as exc:
+            print(f"bad rules: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        config = ServiceConfig(
+            host=args.host, port=args.port, epoch_seconds=args.epoch,
+            ring_depth=args.ring, memo_size=args.memo,
+            chunk_size=args.chunk_size, chunk_sleep=args.pace,
+            max_epochs=args.epochs if args.epochs > 0 else None)
+    except ConfigurationError as exc:
+        print(f"{exc}", file=sys.stderr)
+        return 2
+    budget = args.memory_kb * 1024
+    factory = lambda: UniversalSketch.for_memory_budget(  # noqa: E731
+        budget, levels=12, rows=5, heap_size=64, seed=1)
+
+    # The service serves /metrics, so it always runs instrumented.
+    with use_registry(MetricsRegistry()):
+        service = MonitoringService.from_trace(
+            trace, config, sketch_factory=factory,
+            key_function=KEY_FUNCTIONS[args.key], workers=args.workers,
+            apps=apps)
+        try:
+            service.start()
+        except OSError as exc:
+            print(f"cannot bind {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"univmon service on http://{args.host}:{service.port} — "
+              f"{args.epoch:g}s epochs, ring depth {args.ring}"
+              + (f", {args.epochs} epochs then exit" if args.epochs
+                 else " (ctrl-c to stop)"),
+              flush=True)
+        try:
+            if config.max_epochs is not None:
+                service.wait()
+            else:
+                while service.ingest.is_alive():
+                    time.sleep(0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            service.stop()
+        health = service.health()
+        print(f"service stopped: {health['epochs_sealed']} epochs, "
+              f"{health['packets_ingested']} packets ingested")
+        return 0 if service.ingest.error is None else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "generate":
@@ -904,6 +1032,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_query(args)
     if args.command == "detect":
         return _cmd_detect(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2
 
 

@@ -100,38 +100,76 @@ class Controller:
 
     def run_epoch(self, epoch_trace: Trace, epoch_index: int) -> EpochReport:
         """Feed one epoch through the switch, poll, and estimate."""
-        reg = get_registry()
-        with reg.span("univmon_epoch_ingest_seconds",
-                      help="wall time feeding one epoch into the switch"):
-            self.switch.process_trace(epoch_trace, workers=self.workers)
+        self.ingest(epoch_trace)
+        _sealed, report = self.seal_epoch(epoch_index, trace=epoch_trace)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # the epoch loop, decomposed (reused by repro.service)
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, trace: Trace) -> None:
+        """Feed packets into the live sketch (no epoch boundary).
+
+        The batch loop calls this once per epoch; the always-on service
+        calls it per arriving chunk and seals on a wall-clock timer via
+        :meth:`seal_epoch` — same data path, different pacing.
+        """
+        with get_registry().span(
+                "univmon_epoch_ingest_seconds",
+                help="wall time feeding one epoch into the switch"):
+            self.switch.process_trace(trace, workers=self.workers)
+
+    def seal_epoch(self, epoch_index: int,
+                   trace: Optional[Trace] = None) -> tuple:
+        """Poll the live sketch (sealing the epoch) and run every app.
+
+        Returns ``(sealed_sketch, EpochReport)`` — callers that need the
+        sealed sketch itself (the service publishes its query snapshot)
+        get it without a second poll.  ``trace`` is optional: it powers
+        the per-epoch timestamps and trace-aware apps (detection zoom /
+        recovery); timer-driven callers that do not retain packets pass
+        None and those apps degrade as documented.
+        """
         sealed = self.switch.poll("univmon")
+        report = self.evaluate_sealed(sealed, epoch_index, trace=trace)
+        return sealed, report
+
+    def evaluate_sealed(self, sealed, epoch_index: int,
+                        trace: Optional[Trace] = None) -> EpochReport:
+        """Account one sealed sketch and fan it out to the apps."""
+        reg = get_registry()
         observe_sketch(sealed, reg)
+        packets = len(trace) if trace is not None \
+            else int(getattr(sealed, "packets", 0))
         reg.counter("univmon_epochs_total",
                     help="epochs sealed by the controller").inc()
         reg.counter("univmon_epoch_packets_total",
                     help="packets covered across all sealed epochs").inc(
-                        len(epoch_trace))
+                        packets)
         reg.gauge("univmon_epoch_packets",
-                  help="packets in the last sealed epoch").set(
-                      len(epoch_trace))
+                  help="packets in the last sealed epoch").set(packets)
         # min/max, not [0]/[-1]: traces are not guaranteed time-sorted.
-        t0 = float(epoch_trace.timestamps.min()) if len(epoch_trace) else 0.0
-        t1 = float(epoch_trace.timestamps.max()) if len(epoch_trace) else 0.0
+        t0 = float(trace.timestamps.min()) \
+            if trace is not None and len(trace) else 0.0
+        t1 = float(trace.timestamps.max()) \
+            if trace is not None and len(trace) else 0.0
         report = EpochReport(epoch_index=epoch_index, start_time=t0,
-                             end_time=t1, packets=len(epoch_trace))
+                             end_time=t1, packets=packets)
         if self._apps:
             # Materialise the epoch's query snapshot once, up front: every
             # app below reads the sealed (immutable-from-here) sketch, so
             # they all share this build via the version-guarded cache.
             QueryEngine(sealed).warm()
-        for app in self._apps:
-            # Trace-aware apps (e.g. the detection pipeline, which feeds
-            # zoom and reversible sketches from raw packets) get the
-            # epoch's trace before estimation; sketch-only apps don't
-            # implement the hook.
-            observe = getattr(app, "observe_trace", None)
-            if observe is not None:
-                observe(epoch_trace)
+        if trace is not None:
+            for app in self._apps:
+                # Trace-aware apps (e.g. the detection pipeline, which
+                # feeds zoom and reversible sketches from raw packets) get
+                # the epoch's trace before estimation; sketch-only apps
+                # don't implement the hook.
+                observe = getattr(app, "observe_trace", None)
+                if observe is not None:
+                    observe(trace)
         for app in self._apps:
             with reg.span("univmon_app_seconds",
                           help="per-app estimation latency",

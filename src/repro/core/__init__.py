@@ -33,7 +33,7 @@ from repro.core.gsum import (
     g_core,
 )
 from repro.core.level import SketchLevel
-from repro.core.query import QueryEngine, QuerySnapshot, Statistic
+from repro.core.query import QueryEngine, QueryMemo, QuerySnapshot, Statistic
 from repro.core.universal import UniversalSketch
 from repro.core.windowed import SlidingWindowUniversalSketch
 
@@ -57,6 +57,7 @@ __all__ = [
     "estimate_moment",
     "g_core",
     "QueryEngine",
+    "QueryMemo",
     "QuerySnapshot",
     "Statistic",
 ]

@@ -34,6 +34,8 @@ evaluation, no matter how many apps ask.
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -341,6 +343,72 @@ DEFAULT_STATISTICS: Tuple[Statistic, ...] = (
 )
 
 
+class QueryMemo:
+    """Bounded LRU of :meth:`QueryEngine.evaluate_many` results.
+
+    Keyed on *(snapshot identity, statistic tuple)*: two batches over
+    the same immutable snapshot asking for the same parsed statistics
+    collapse to one evaluation — the memoisation the monitoring service
+    relies on when hundreds of clients issue identical queries against
+    one published epoch, and equally usable by any batch caller.
+
+    Each entry pins its snapshot (a strong reference rides in the
+    value), so ``id(snapshot)`` cannot be recycled while its key is
+    live; eviction drops key and pin together.  Thread-safe: the
+    service evaluates on the asyncio loop but scrapers and benchmarks
+    may share a memo across threads.  Hit/miss/eviction counts are
+    mirrored into ``univmon_query_memo_*``.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ConfigurationError(
+                f"memo maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple[int, Tuple[Statistic, ...]], " \
+            "Tuple[Any, Dict[str, Any]]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, snapshot, stats: Tuple["Statistic", ...]) \
+            -> Optional[Dict[str, Any]]:
+        """The memoised results for this (snapshot, batch), or None."""
+        key = (id(snapshot), stats)
+        reg = get_registry()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is None:
+            reg.counter("univmon_query_memo_misses_total",
+                        help="memoised query lookups that missed").inc()
+            return None
+        reg.counter("univmon_query_memo_hits_total",
+                    help="query batches served from the result memo").inc()
+        return dict(entry[1])
+
+    def put(self, snapshot, stats: Tuple["Statistic", ...],
+            results: Dict[str, Any]) -> None:
+        key = (id(snapshot), stats)
+        evicted = 0
+        with self._lock:
+            self._entries[key] = (snapshot, dict(results))
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            get_registry().counter(
+                "univmon_query_memo_evictions_total",
+                help="memo entries evicted by the LRU bound").inc(evicted)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
 class QueryEngine:
     """Batched, snapshot-sharing evaluation over one sketch.
 
@@ -349,10 +417,17 @@ class QueryEngine:
     :class:`~repro.core.universal.UniversalSketch` the snapshot comes
     from its version-guarded cache, so interleaved scalar estimators
     (``estimate_entropy(sketch)`` from an app, say) reuse the same build.
+
+    Pass a :class:`QueryMemo` to additionally collapse *repeated
+    identical batches* over one snapshot into a single evaluation
+    (results are cached per (snapshot, statistic tuple)); the memo can
+    be shared across engines — the service shares one across all epochs
+    in its ring.
     """
 
-    def __init__(self, sketch) -> None:
+    def __init__(self, sketch, memo: Optional[QueryMemo] = None) -> None:
         self.sketch = sketch
+        self.memo = memo
 
     def snapshot(self) -> QuerySnapshot:
         """This sketch state's snapshot (cached when the sketch caches)."""
@@ -392,8 +467,15 @@ class QueryEngine:
         with reg.span("univmon_query_batch_seconds",
                       help="snapshot build + batched evaluation latency"):
             snapshot = self.snapshot()
-            return {stat.name: self._evaluate(snapshot, stat)
-                    for stat in stats}
+            if self.memo is not None:
+                hit = self.memo.get(snapshot, stats)
+                if hit is not None:
+                    return hit
+            results = {stat.name: self._evaluate(snapshot, stat)
+                       for stat in stats}
+            if self.memo is not None:
+                self.memo.put(snapshot, stats, results)
+            return results
 
     def _evaluate(self, snapshot: QuerySnapshot, stat: Statistic) -> Any:
         from repro.core import gsum as _gsum  # circular at import time
@@ -415,6 +497,7 @@ class QueryEngine:
 __all__ = [
     "QuerySnapshot",
     "QueryEngine",
+    "QueryMemo",
     "Statistic",
     "DEFAULT_STATISTICS",
     "BATCH_SIZE_BUCKETS",

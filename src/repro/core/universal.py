@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 import random
+import threading
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -53,7 +54,7 @@ class UniversalSketch(Sketch):
 
     __slots__ = ("num_levels", "rows", "width", "heap_size", "seed",
                  "counter_bytes", "sampler", "levels", "packets",
-                 "_version", "_snapshot")
+                 "_version", "_snapshot", "_snapshot_lock")
 
     def __init__(self, levels: int = 16, rows: int = 5, width: int = 1024,
                  heap_size: int = 64, seed: Optional[int] = None,
@@ -77,6 +78,7 @@ class UniversalSketch(Sketch):
         self.packets = 0
         self._version = 0     # bumped on every mutation
         self._snapshot = None  # cached QuerySnapshot for _version
+        self._snapshot_lock = threading.Lock()  # one build per version
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -208,8 +210,9 @@ class UniversalSketch(Sketch):
         this after mutating level internals directly (heap surgery,
         counter edits) so the next query rebuilds.
         """
-        self._version += 1
-        self._snapshot = None
+        with self._snapshot_lock:
+            self._version += 1
+            self._snapshot = None
 
     def query_snapshot(self):
         """This sketch state's :class:`~repro.core.query.QuerySnapshot`.
@@ -217,28 +220,41 @@ class UniversalSketch(Sketch):
         Built at most once per mutation version: all control-plane
         estimates between two mutations — no matter how many apps ask —
         share one materialisation of the heaps and sampling bits.
+        Thread-safe: concurrent readers of a sealed sketch (the
+        monitoring service's request handlers, metric scrapers) race to
+        this cache, so check-and-build runs under a per-sketch lock —
+        N concurrent first queries still cost exactly one build.
         Instrumented via ``univmon_query_snapshot_*`` (builds, cache
         hits, invalidations, build latency).
         """
         from repro.core.query import QuerySnapshot
         reg = get_registry()
         snapshot = self._snapshot
-        if snapshot is not None:
-            if snapshot.version == self._version:
-                reg.counter("univmon_query_snapshot_cache_hits_total",
-                            help="queries served from a cached "
-                                 "snapshot").inc()
-                return snapshot
-            reg.counter("univmon_query_snapshot_invalidations_total",
-                        help="cached snapshots discarded because the "
-                             "sketch mutated").inc()
-        with reg.span("univmon_query_snapshot_build_seconds",
-                      help="snapshot materialisation latency"):
-            snapshot = QuerySnapshot.build(self, version=self._version)
-        self._snapshot = snapshot
-        reg.counter("univmon_query_snapshot_builds_total",
-                    help="query snapshots materialised").inc()
-        return snapshot
+        if snapshot is not None and snapshot.version == self._version:
+            # Lock-free hit: the cached reference is immutable and the
+            # version check makes a stale read harmless (worst case we
+            # fall through and revalidate under the lock).
+            reg.counter("univmon_query_snapshot_cache_hits_total",
+                        help="queries served from a cached snapshot").inc()
+            return snapshot
+        with self._snapshot_lock:
+            snapshot = self._snapshot
+            if snapshot is not None:
+                if snapshot.version == self._version:
+                    reg.counter("univmon_query_snapshot_cache_hits_total",
+                                help="queries served from a cached "
+                                     "snapshot").inc()
+                    return snapshot
+                reg.counter("univmon_query_snapshot_invalidations_total",
+                            help="cached snapshots discarded because the "
+                                 "sketch mutated").inc()
+            with reg.span("univmon_query_snapshot_build_seconds",
+                          help="snapshot materialisation latency"):
+                snapshot = QuerySnapshot.build(self, version=self._version)
+            self._snapshot = snapshot
+            reg.counter("univmon_query_snapshot_builds_total",
+                        help="query snapshots materialised").inc()
+            return snapshot
 
     # ------------------------------------------------------------------ #
     # control-plane entry points (thin wrappers over repro.core.gsum)
@@ -337,6 +353,7 @@ class UniversalSketch(Sketch):
         out.packets = self.packets
         out._version = 0
         out._snapshot = None
+        out._snapshot_lock = threading.Lock()
         return out
 
     def merge(self, other: "UniversalSketch") -> "UniversalSketch":

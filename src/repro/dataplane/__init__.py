@@ -51,7 +51,12 @@ from repro.dataplane.scenarios import (
     make_scenario,
     scenario_names,
 )
-from repro.dataplane.replay import BatchIngest, IngestReport, TraceReplayer
+from repro.dataplane.replay import (
+    BatchIngest,
+    IngestReport,
+    LoopingChunkSource,
+    TraceReplayer,
+)
 from repro.dataplane.switch import MonitoredSwitch, SwitchProgram
 from repro.dataplane.trace import (
     ChangeEvent,
@@ -77,6 +82,7 @@ __all__ = [
     "TraceReplayer",
     "BatchIngest",
     "IngestReport",
+    "LoopingChunkSource",
     "ShardedIngest",
     "ShardedIngestReport",
     "ShardWorkerPool",

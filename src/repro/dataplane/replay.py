@@ -179,3 +179,52 @@ class BatchIngest:
                 "BatchIngest needs a key_function to ingest a trace; "
                 "use ingest_keys() for pre-extracted keys")
         return self.ingest_keys(trace.key_array(self.key_function), weights)
+
+
+class LoopingChunkSource:
+    """An endless chunk stream cycled from a finite trace.
+
+    The always-on monitoring service ingests forever but test and demo
+    deployments only have a finite trace on disk; this source re-plays
+    it in fixed-size row slices, shifting the timestamp column forward
+    by one trace-span per wrap so capture time keeps advancing (epoch
+    slicing and detection baselines never see time jump backwards).
+
+    Iteration is infinite — callers stop by breaking out (the service's
+    ingest loop checks its stop flag between chunks).  ``wraps`` counts
+    completed passes over the source trace.
+    """
+
+    def __init__(self, trace: Trace, chunk_size: int = 4096) -> None:
+        if len(trace) == 0:
+            raise ConfigurationError(
+                "LoopingChunkSource needs a non-empty trace")
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}")
+        self.trace = trace.sorted_by_time()
+        self.chunk_size = chunk_size
+        self.wraps = 0
+        # Span includes one mean inter-packet gap so the first packet of
+        # a wrap lands after the last packet of the previous one.
+        t = self.trace.timestamps
+        span = float(t[-1] - t[0])
+        gap = span / max(len(t) - 1, 1)
+        self._span = span + max(gap, 1e-9)
+
+    def __iter__(self):
+        return self.chunks()
+
+    def chunks(self):
+        """Yield row-sliced :class:`Trace` chunks forever."""
+        trace = self.trace
+        n = len(trace)
+        while True:
+            offset = self.wraps * self._span
+            for lo in range(0, n, self.chunk_size):
+                hi = min(lo + self.chunk_size, n)
+                yield Trace(trace.timestamps[lo:hi] + offset,
+                            trace.src[lo:hi], trace.dst[lo:hi],
+                            trace.sport[lo:hi], trace.dport[lo:hi],
+                            trace.proto[lo:hi], trace.size[lo:hi])
+            self.wraps += 1

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import bisect
 import re
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -57,20 +58,27 @@ def render_name(name: str, labels: LabelSet) -> str:
 
 
 class Counter:
-    """A monotonically non-decreasing total."""
+    """A monotonically non-decreasing total.
 
-    __slots__ = ("name", "labels", "_value")
+    Mutations are lock-protected: ``_value += amount`` is a
+    read-modify-write across several bytecodes, so unsynchronised
+    increments from concurrent scrape/serve threads lose updates.
+    """
+
+    __slots__ = ("name", "labels", "_value", "_lock")
 
     def __init__(self, name: str, labels: LabelSet = ()) -> None:
         self.name = name
         self.labels = labels
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ConfigurationError(
                 f"counter {self.name!r} cannot decrease (inc {amount})")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -80,21 +88,24 @@ class Counter:
 class Gauge:
     """A point-in-time value (may move in either direction)."""
 
-    __slots__ = ("name", "labels", "_value", "touched")
+    __slots__ = ("name", "labels", "_value", "touched", "_lock")
 
     def __init__(self, name: str, labels: LabelSet = ()) -> None:
         self.name = name
         self.labels = labels
         self._value = 0.0
         self.touched = False
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self._value = float(value)
-        self.touched = True
+        with self._lock:
+            self._value = float(value)
+            self.touched = True
 
     def inc(self, amount: float = 1) -> None:
-        self._value += amount
-        self.touched = True
+        with self._lock:
+            self._value += amount
+            self.touched = True
 
     def dec(self, amount: float = 1) -> None:
         self.inc(-amount)
@@ -114,7 +125,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "bounds", "bucket_counts", "_sum",
-                 "_count")
+                 "_count", "_lock")
 
     def __init__(self, name: str, labels: LabelSet = (),
                  bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
@@ -135,11 +146,14 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
         self._sum = 0.0
         self._count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
-        self._sum += value
-        self._count += 1
+        bucket = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.bucket_counts[bucket] += 1
+            self._sum += value
+            self._count += 1
 
     @property
     def sum(self) -> float:
@@ -152,8 +166,10 @@ class Histogram:
     def cumulative_counts(self) -> List[int]:
         """Per-bound cumulative counts, Prometheus ``le`` style; the last
         entry (the ``+Inf`` bucket) always equals :attr:`count`."""
+        with self._lock:      # consistent snapshot vs a mid-observe writer
+            counts = list(self.bucket_counts)
         total, out = 0, []
-        for c in self.bucket_counts:
+        for c in counts:
             total += c
             out.append(total)
         return out
@@ -178,6 +194,10 @@ class MetricsRegistry:
         self._types: Dict[str, str] = {}
         self._help: Dict[str, str] = {}
         self._bounds: Dict[str, Tuple[float, ...]] = {}
+        # Guards family registration and metric creation: concurrent
+        # get-or-create from serving/scrape/ingest threads must never
+        # hand two callers distinct metric objects for one identity.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # metric access
@@ -198,37 +218,54 @@ class MetricsRegistry:
             self._help[name] = help
 
     def counter(self, name: str, help: str = "", **labels: str) -> Counter:
-        self._family(name, "counter", help)
         key = (name, _labelset(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = self._metrics[key] = Counter(name, key[1])
+        metric = self._metrics.get(key)    # lock-free fast path
+        if type(metric) is not Counter:
+            with self._lock:
+                self._family(name, "counter", help)
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = self._metrics[key] = Counter(name, key[1])
         return metric  # type: ignore[return-value]
 
     def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
-        self._family(name, "gauge", help)
         key = (name, _labelset(labels))
         metric = self._metrics.get(key)
-        if metric is None:
-            metric = self._metrics[key] = Gauge(name, key[1])
+        if type(metric) is not Gauge:
+            with self._lock:
+                self._family(name, "gauge", help)
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = self._metrics[key] = Gauge(name, key[1])
         return metric  # type: ignore[return-value]
 
     def histogram(self, name: str, help: str = "",
                   buckets: Optional[Sequence[float]] = None,
                   **labels: str) -> Histogram:
-        self._family(name, "histogram", help)
-        bounds = tuple(float(b) for b in buckets) if buckets is not None \
-            else self._bounds.get(name, DEFAULT_LATENCY_BUCKETS)
-        registered = self._bounds.setdefault(name, bounds)
-        if bounds != registered:
-            raise ConfigurationError(
-                f"histogram {name!r} already registered with buckets "
-                f"{registered}, cannot change to {bounds}")
         key = (name, _labelset(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = self._metrics[key] = Histogram(name, key[1],
-                                                    bounds=registered)
+        metric = self._metrics.get(key)    # lock-free fast path: an
+        # existing metric whose bounds already match never needs the
+        # lock — callers that pass ``buckets`` on every observation
+        # (the per-request serving path does) must not serialize
+        # against the ingest thread here.
+        if type(metric) is Histogram and (
+                buckets is None
+                or metric.bounds == tuple(float(b) for b in buckets)):
+            return metric  # type: ignore[return-value]
+        with self._lock:
+            self._family(name, "histogram", help)
+            bounds = tuple(float(b) for b in buckets) \
+                if buckets is not None \
+                else self._bounds.get(name, DEFAULT_LATENCY_BUCKETS)
+            registered = self._bounds.setdefault(name, bounds)
+            if bounds != registered:
+                raise ConfigurationError(
+                    f"histogram {name!r} already registered with buckets "
+                    f"{registered}, cannot change to {bounds}")
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = self._metrics[key] = Histogram(name, key[1],
+                                                        bounds=registered)
         return metric  # type: ignore[return-value]
 
     def span(self, name: str, help: str = "",
@@ -250,8 +287,10 @@ class MetricsRegistry:
 
     def metrics(self) -> Iterator[object]:
         """All metric objects, family-sorted then label-sorted."""
-        for key in sorted(self._metrics):
-            yield self._metrics[key]
+        with self._lock:   # stable snapshot vs concurrent creation
+            snapshot = sorted(self._metrics.items())
+        for _key, metric in snapshot:
+            yield metric
 
     def families(self) -> List[str]:
         return sorted(self._types)
@@ -273,9 +312,10 @@ class MetricsRegistry:
         exporting their last values forever.  Returns the number of
         metrics removed.
         """
-        doomed = [key for key in self._metrics if key[0] == name]
-        for key in doomed:
-            del self._metrics[key]
+        with self._lock:
+            doomed = [key for key in self._metrics if key[0] == name]
+            for key in doomed:
+                del self._metrics[key]
         return len(doomed)
 
     # ------------------------------------------------------------------ #
@@ -292,7 +332,9 @@ class MetricsRegistry:
         """
         out = MetricsRegistry(clock=self._clock)
         for source in (self, other):
-            for (name, labels), metric in sorted(source._metrics.items()):
+            with source._lock:
+                items = sorted(source._metrics.items())
+            for (name, labels), metric in items:
                 kwargs = dict(metric.labels)
                 if isinstance(metric, Counter):
                     out.counter(name, help=source.help(name),

@@ -1,0 +1,28 @@
+"""The always-on monitoring service (``univmon serve``).
+
+A long-running deployment of the epoch pipeline: a background ingest
+thread seals epochs on a wall-clock timer and publishes immutable
+per-epoch records into a lock-free ring; an asyncio HTTP front end
+serves queries, metrics, epoch history, and SSE event streams against
+those records without ever touching the live sketch.  See DESIGN.md
+§14 and ``docs/service.md``.
+"""
+
+from repro.service.events import EventBroker, Subscription
+from repro.service.http import ServiceHttp, HttpError
+from repro.service.ingest import IngestLoop
+from repro.service.ring import EpochRecord, EpochRing, make_record
+from repro.service.service import MonitoringService, ServiceConfig
+
+__all__ = [
+    "MonitoringService",
+    "ServiceConfig",
+    "EpochRing",
+    "EpochRecord",
+    "make_record",
+    "IngestLoop",
+    "EventBroker",
+    "Subscription",
+    "ServiceHttp",
+    "HttpError",
+]

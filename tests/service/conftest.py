@@ -1,0 +1,73 @@
+"""Shared fixtures for the always-on service tests."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.core.universal import UniversalSketch
+from repro.service import MonitoringService, ServiceConfig
+
+
+@pytest.fixture()
+def registry():
+    """A fresh live registry installed for the duration of the test."""
+    with use_registry(MetricsRegistry()) as reg:
+        yield reg
+
+
+def small_sketch_factory():
+    """A small-geometry sketch keeping service tests fast."""
+    return UniversalSketch(levels=8, rows=3, width=512, heap_size=32,
+                           seed=1)
+
+
+@pytest.fixture()
+def make_service(small_trace, registry):
+    """Factory for started services over the shared small trace;
+    everything it starts is stopped at teardown."""
+    started = []
+
+    def make(config=None, **config_kwargs):
+        if config is None:
+            config = ServiceConfig(port=0, **config_kwargs)
+        service = MonitoringService.from_trace(
+            small_trace, config, sketch_factory=small_sketch_factory)
+        started.append(service)
+        return service.start()
+
+    yield make
+    for service in started:
+        service.stop()
+
+
+def http_get(port, path, timeout=5.0):
+    """GET a service endpoint, returning (status, parsed-or-text)."""
+    url = f"http://127.0.0.1:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            body = resp.read()
+            status = resp.status
+    except urllib.error.HTTPError as err:
+        body = err.read()
+        status = err.code
+    text = body.decode("utf-8")
+    try:
+        return status, json.loads(text)
+    except ValueError:
+        return status, text
+
+
+def http_post(port, path, payload, timeout=5.0):
+    """POST JSON to a service endpoint, returning (status, parsed)."""
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read().decode("utf-8"))

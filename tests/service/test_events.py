@@ -1,0 +1,99 @@
+"""EventBroker backpressure: bounded queues, drop-oldest, isolation."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, use_registry
+from repro.service.events import EventBroker
+
+
+class TestBrokerBackpressure:
+    def test_queue_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            EventBroker(queue_size=0)
+
+    def test_drop_oldest_keeps_newest(self):
+        async def scenario():
+            broker = EventBroker(queue_size=4)
+            broker.bind(asyncio.get_running_loop())
+            sub = broker.subscribe()
+            for i in range(10):
+                broker.deliver({"i": i})
+            got = []
+            while not sub.queue.empty():
+                got.append(sub.queue.get_nowait()["i"])
+            return got, sub.dropped
+
+        got, dropped = asyncio.run(scenario())
+        assert got == [6, 7, 8, 9]   # oldest dropped, newest kept
+        assert dropped == 6
+
+    def test_slow_client_never_grows_and_fast_client_unaffected(self):
+        async def scenario():
+            broker = EventBroker(queue_size=8)
+            broker.bind(asyncio.get_running_loop())
+            fast = broker.subscribe()
+            slow = broker.subscribe()
+            received = []
+            for i in range(200):
+                broker.deliver({"i": i})
+                received.append(fast.queue.get_nowait()["i"])  # drains
+                # the slow client never reads
+            return received, slow.queue.qsize(), slow.dropped
+
+        received, slow_depth, slow_dropped = asyncio.run(scenario())
+        assert received == list(range(200))       # fast client: lossless
+        assert slow_depth <= 8                    # bounded, not 200
+        assert slow_dropped == 200 - 8
+
+    def test_drop_metric_counted(self):
+        with use_registry(MetricsRegistry()) as reg:
+            async def scenario():
+                broker = EventBroker(queue_size=2)
+                broker.bind(asyncio.get_running_loop())
+                broker.subscribe()
+                for i in range(5):
+                    broker.deliver({"i": i})
+
+            asyncio.run(scenario())
+            assert reg.counter(
+                "univmon_service_events_dropped_total").value == 3
+            assert reg.counter(
+                "univmon_service_events_total").value == 5
+
+    def test_unsubscribe_stops_delivery(self):
+        async def scenario():
+            broker = EventBroker(queue_size=4)
+            broker.bind(asyncio.get_running_loop())
+            sub = broker.subscribe()
+            assert broker.subscribers == 1
+            broker.unsubscribe(sub)
+            broker.unsubscribe(sub)  # idempotent
+            assert broker.subscribers == 0
+            broker.deliver({"i": 1})
+            return sub.queue.qsize()
+
+        assert asyncio.run(scenario()) == 0
+
+
+class TestCrossThreadPublish:
+    def test_unbound_broker_discards(self):
+        broker = EventBroker()
+        assert broker.publish_from_thread({"x": 1}) is False
+
+    def test_publish_from_thread_delivers_on_loop(self):
+        async def scenario():
+            broker = EventBroker(queue_size=4)
+            broker.bind(asyncio.get_running_loop())
+            sub = broker.subscribe()
+            loop = asyncio.get_running_loop()
+            # run the producer in a worker thread, as the service does
+            ok = await loop.run_in_executor(
+                None, broker.publish_from_thread, {"x": 42})
+            assert ok
+            event = await asyncio.wait_for(sub.queue.get(), timeout=5)
+            return event
+
+        assert asyncio.run(scenario()) == {"x": 42}

@@ -1,0 +1,107 @@
+"""Publication-ring semantics: eviction, lookup, and reader atomicity."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, use_registry
+from repro.service.ring import EpochRecord, EpochRing
+
+
+def record(index, packets=100):
+    return EpochRecord(epoch_index=index, sealed_at=float(index),
+                       packets=packets, sketch=None, snapshot=None,
+                       report=None)
+
+
+class TestRingBasics:
+    def test_depth_validated(self):
+        with pytest.raises(ConfigurationError):
+            EpochRing(depth=0)
+
+    def test_empty_ring(self):
+        ring = EpochRing(depth=4)
+        assert len(ring) == 0
+        assert ring.latest() is None
+        assert ring.get(0) is None
+        assert ring.records() == ()
+
+    def test_publish_and_lookup(self):
+        ring = EpochRing(depth=4)
+        for i in range(3):
+            ring.publish(record(i))
+        assert len(ring) == 3
+        assert ring.latest().epoch_index == 2
+        assert ring.get(1).epoch_index == 1
+        assert ring.get(7) is None
+        assert [r.epoch_index for r in ring.records()] == [0, 1, 2]
+
+    def test_eviction_keeps_newest(self):
+        ring = EpochRing(depth=3)
+        for i in range(10):
+            ring.publish(record(i))
+        assert len(ring) == 3
+        assert [r.epoch_index for r in ring.records()] == [7, 8, 9]
+        assert ring.get(6) is None          # evicted
+        assert ring.get(7) is not None
+
+    def test_eviction_metric(self):
+        with use_registry(MetricsRegistry()) as reg:
+            ring = EpochRing(depth=2)
+            for i in range(5):
+                ring.publish(record(i))
+            evictions = reg.counter(
+                "univmon_service_ring_evictions_total")
+            assert evictions.value == 3
+            assert reg.gauge("univmon_service_ring_epochs").value == 2
+
+    def test_summary_is_jsonable(self):
+        rec = record(4, packets=17)
+        summary = rec.summary()
+        assert summary["epoch"] == 4
+        assert summary["packets"] == 17
+
+
+class TestRingAtomicity:
+    """Readers racing a fast writer must always see a consistent view:
+    contiguous ascending epochs, never more than ``depth``, and a
+    ``latest()`` that never goes backwards."""
+
+    def test_concurrent_readers_see_consistent_views(self):
+        ring = EpochRing(depth=5)
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            last_seen = -1
+            while not stop.is_set():
+                view = ring.records()
+                if len(view) > ring.depth:
+                    failures.append(f"over-deep view: {len(view)}")
+                    return
+                indices = [r.epoch_index for r in view]
+                if indices != sorted(indices) or (
+                        indices and indices
+                        != list(range(indices[0], indices[-1] + 1))):
+                    failures.append(f"torn view: {indices}")
+                    return
+                latest = ring.latest()
+                if latest is not None:
+                    if latest.epoch_index < last_seen:
+                        failures.append(
+                            f"latest went backwards: "
+                            f"{latest.epoch_index} < {last_seen}")
+                        return
+                    last_seen = latest.epoch_index
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in readers:
+            t.start()
+        for i in range(20_000):  # the writer: publish as fast as possible
+            ring.publish(record(i))
+        stop.set()
+        for t in readers:
+            t.join()
+        assert failures == []
+        assert ring.latest().epoch_index == 19_999

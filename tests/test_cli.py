@@ -327,3 +327,58 @@ class TestRunMetricsJson:
         queries = snapshot["histograms"][
             'univmon_sketch_query_seconds{op="heavy_hitters"}']
         assert queries["count"] == 2  # one HH estimate per epoch
+
+
+class TestServeCommand:
+    def _trace(self, tmp_path):
+        out = tmp_path / "trace.csv"
+        main(["generate", "--out", str(out), "--packets", "3000",
+              "--flows", "300", "--duration", "4", "--seed", "5"])
+        return out
+
+    def test_requires_exactly_one_input(self, capsys):
+        assert main(["serve"]) == 2
+        assert "exactly one input" in capsys.readouterr().err
+        assert main(["serve", "--trace", "x.csv",
+                     "--scenario", "ddos_ramp"]) == 2
+
+    def test_scenario_help_lists_and_exits(self, capsys):
+        assert main(["serve", "--scenario", "help"]) == 0
+        assert "ddos_ramp" in capsys.readouterr().out
+
+    def test_bad_rules_path_rejected(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        assert main(["serve", "--trace", str(trace),
+                     "--rules", str(tmp_path / "missing.toml")]) == 2
+        assert "bad rules" in capsys.readouterr().err
+
+    def test_bad_epoch_rejected(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        assert main(["serve", "--trace", str(trace),
+                     "--epoch", "0"]) == 2
+
+    def test_bounded_run_seals_and_exits(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        code = main(["serve", "--trace", str(trace), "--port", "0",
+                     "--epoch", "0.1", "--epochs", "2",
+                     "--memory-kb", "64"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "univmon service on http://127.0.0.1:" in output
+        assert "service stopped: 2 epochs" in output
+
+    def test_bounded_run_with_detection(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        code = main(["serve", "--trace", str(trace), "--port", "0",
+                     "--epoch", "0.1", "--epochs", "2",
+                     "--memory-kb", "64", "--detect"])
+        assert code == 0
+        assert "service stopped: 2 epochs" in capsys.readouterr().out
+
+    def test_global_registry_restored(self, tmp_path):
+        from repro.obs import NULL_REGISTRY, get_registry
+        trace = self._trace(tmp_path)
+        assert main(["serve", "--trace", str(trace), "--port", "0",
+                     "--epoch", "0.1", "--epochs", "1",
+                     "--memory-kb", "64"]) == 0
+        assert get_registry() is NULL_REGISTRY
